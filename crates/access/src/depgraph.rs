@@ -1,0 +1,175 @@
+//! Dependency-graph access predictor, after Padmanabhan & Mogul
+//! (reference \[9\] of the paper).
+//!
+//! "The server builds a dependency graph where each link is labelled with
+//! the probability of the follow-up access being made." A node per item;
+//! an arc `i → j` counts how often `j` was accessed within a lookahead
+//! window of `w` accesses after `i`. The arc weight divided by the count
+//! of `i`-accesses estimates `P(j follows i)`.
+//!
+//! Unlike the first-order [`crate::markov::MarkovChain`] (an exact model
+//! fed to the prefetcher in Figure 7), the dependency graph is a *learned*
+//! model; the examples use it to drive prefetching over synthetic
+//! browsing sessions.
+
+use std::collections::HashMap;
+
+/// Learned dependency graph over items `0..n`.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    n_items: usize,
+    window: usize,
+    /// arcs[i] -> (j -> follow count)
+    arcs: Vec<HashMap<u32, u32>>,
+    node_count: Vec<u32>,
+    recent: Vec<u32>,
+}
+
+impl DependencyGraph {
+    /// Creates a graph over `n_items` with a lookahead `window ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics when `window == 0` or `n_items == 0`.
+    pub fn new(n_items: usize, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        assert!(n_items >= 1, "need at least one item");
+        Self {
+            n_items,
+            window,
+            arcs: vec![HashMap::new(); n_items],
+            node_count: vec![0; n_items],
+            recent: Vec::new(),
+        }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Lookahead window.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Observes the next access: every item in the recent window gains an
+    /// arc to it.
+    ///
+    /// # Panics
+    /// Panics when `item >= n_items`.
+    pub fn observe(&mut self, item: usize) {
+        assert!(item < self.n_items, "item out of range");
+        for &prev in &self.recent {
+            *self.arcs[prev as usize].entry(item as u32).or_insert(0) += 1;
+        }
+        self.node_count[item] += 1;
+        self.recent.push(item as u32);
+        if self.recent.len() > self.window {
+            let excess = self.recent.len() - self.window;
+            self.recent.drain(..excess);
+        }
+    }
+
+    /// Estimated probability that `next` follows `current` within the
+    /// window.
+    pub fn follow_prob(&self, current: usize, next: usize) -> f64 {
+        let visits = self.node_count[current];
+        if visits == 0 {
+            return 0.0;
+        }
+        let c = self.arcs[current].get(&(next as u32)).copied().unwrap_or(0);
+        (c as f64 / visits as f64).min(1.0)
+    }
+
+    /// Dense follow-probability row for `current`, **normalised to sum to
+    /// at most one** (window > 1 makes raw follow-counts overlap, so the
+    /// row is scaled down when it exceeds unit mass) — directly usable as
+    /// an SKP probability vector.
+    pub fn predict(&self, current: usize) -> Vec<f64> {
+        let mut row: Vec<f64> = (0..self.n_items)
+            .map(|j| self.follow_prob(current, j))
+            .collect();
+        let total: f64 = row.iter().sum();
+        if total > 1.0 {
+            for p in &mut row {
+                *p /= total;
+            }
+        }
+        row
+    }
+
+    /// Number of times `item` has been accessed.
+    #[inline]
+    pub fn visits(&self, item: usize) -> u32 {
+        self.node_count[item]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_direct_successors() {
+        let mut g = DependencyGraph::new(3, 1);
+        for _ in 0..10 {
+            g.observe(0);
+            g.observe(1);
+        }
+        // 0 is always followed by 1.
+        assert!(g.follow_prob(0, 1) > 0.9);
+        assert_eq!(g.follow_prob(0, 2), 0.0);
+    }
+
+    #[test]
+    fn window_catches_skip_links() {
+        // Pattern 0, 1, 2: with window 2 the arc 0 → 2 also builds up.
+        let mut g = DependencyGraph::new(3, 2);
+        for _ in 0..10 {
+            g.observe(0);
+            g.observe(1);
+            g.observe(2);
+        }
+        assert!(g.follow_prob(0, 2) > 0.5);
+        // With window 1 it would not:
+        let mut g1 = DependencyGraph::new(3, 1);
+        for _ in 0..10 {
+            g1.observe(0);
+            g1.observe(1);
+            g1.observe(2);
+        }
+        assert_eq!(g1.follow_prob(0, 2), 0.0);
+    }
+
+    #[test]
+    fn predict_row_is_valid_probability_vector() {
+        let mut g = DependencyGraph::new(4, 3);
+        let stream = [0usize, 1, 2, 3, 0, 2, 1, 3, 0, 1, 1, 2];
+        for &x in &stream {
+            g.observe(x);
+        }
+        for i in 0..4 {
+            let row = g.predict(i);
+            let total: f64 = row.iter().sum();
+            assert!(total <= 1.0 + 1e-9, "row {i} sums to {total}");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn cold_nodes_predict_nothing() {
+        let g = DependencyGraph::new(3, 2);
+        assert_eq!(g.follow_prob(0, 1), 0.0);
+        assert!(g.predict(0).iter().all(|&p| p == 0.0));
+        assert_eq!(g.visits(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut g = DependencyGraph::new(2, 1);
+        g.observe(3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Predictor evaluation: scoring a stream of probability forecasts
+//! against the accesses that actually happened.
+//!
+//! The paper assumes the probabilities `P_i` are given; when they come
+//! from a learned model ([`crate::ngram`], [`crate::depgraph`]) their
+//! quality decides how much of SKP's theoretical gain survives. This
+//! module provides the standard proper scoring rules plus prefetch-
+//! flavoured hit metrics, accumulated streamingly.
+
+/// Streaming evaluation of a next-access predictor.
+#[derive(Debug, Clone, Default)]
+pub struct PredictorEval {
+    n_obs: u64,
+    hit_at_1: u64,
+    hit_at_3: u64,
+    log_loss_sum: f64,
+    brier_sum: f64,
+    prob_mass_on_truth: f64,
+}
+
+/// Floor applied inside the log to keep log-loss finite for zero
+/// forecasts.
+pub const LOG_FLOOR: f64 = 1e-12;
+
+impl PredictorEval {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores one forecast (dense probability vector, entries in `[0,1]`)
+    /// against the realised access `truth`.
+    ///
+    /// # Panics
+    /// Panics when `truth` is out of range.
+    pub fn observe(&mut self, forecast: &[f64], truth: usize) {
+        assert!(truth < forecast.len(), "truth out of range");
+        self.n_obs += 1;
+
+        let p_true = forecast[truth].clamp(0.0, 1.0);
+        self.prob_mass_on_truth += p_true;
+        self.log_loss_sum += -(p_true.max(LOG_FLOOR)).ln();
+
+        // Brier score over the one-hot outcome.
+        let mut brier = 0.0;
+        for (i, &p) in forecast.iter().enumerate() {
+            let o = if i == truth { 1.0 } else { 0.0 };
+            brier += (p - o) * (p - o);
+        }
+        self.brier_sum += brier;
+
+        // Rank of the truth by forecast probability (ties: worst case).
+        let better = forecast
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| i != truth && p >= p_true)
+            .count();
+        if better == 0 {
+            self.hit_at_1 += 1;
+        }
+        if better < 3 {
+            self.hit_at_3 += 1;
+        }
+    }
+
+    /// Number of scored forecasts.
+    pub fn count(&self) -> u64 {
+        self.n_obs
+    }
+
+    /// Fraction of accesses whose item had the (weakly) highest forecast.
+    pub fn hit_at_1(&self) -> f64 {
+        self.ratio(self.hit_at_1)
+    }
+
+    /// Fraction of accesses ranked in the forecast's top three.
+    pub fn hit_at_3(&self) -> f64 {
+        self.ratio(self.hit_at_3)
+    }
+
+    /// Mean negative log-likelihood (nats); lower is better.
+    pub fn log_loss(&self) -> f64 {
+        if self.n_obs == 0 {
+            0.0
+        } else {
+            self.log_loss_sum / self.n_obs as f64
+        }
+    }
+
+    /// Mean Brier score; lower is better.
+    pub fn brier(&self) -> f64 {
+        if self.n_obs == 0 {
+            0.0
+        } else {
+            self.brier_sum / self.n_obs as f64
+        }
+    }
+
+    /// Mean probability the forecast placed on the realised item — the
+    /// quantity SKP's expected gain is linear in.
+    pub fn mean_truth_mass(&self) -> f64 {
+        if self.n_obs == 0 {
+            0.0
+        } else {
+            self.prob_mass_on_truth / self.n_obs as f64
+        }
+    }
+
+    /// Merges another accumulator (parallel evaluation).
+    pub fn merge(&mut self, other: &PredictorEval) {
+        self.n_obs += other.n_obs;
+        self.hit_at_1 += other.hit_at_1;
+        self.hit_at_3 += other.hit_at_3;
+        self.log_loss_sum += other.log_loss_sum;
+        self.brier_sum += other.brier_sum;
+        self.prob_mass_on_truth += other.prob_mass_on_truth;
+    }
+
+    fn ratio(&self, x: u64) -> f64 {
+        if self.n_obs == 0 {
+            0.0
+        } else {
+            x as f64 / self.n_obs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores_perfectly() {
+        let mut e = PredictorEval::new();
+        e.observe(&[0.0, 1.0, 0.0], 1);
+        assert_eq!(e.hit_at_1(), 1.0);
+        assert_eq!(e.hit_at_3(), 1.0);
+        assert!(e.log_loss() < 1e-9);
+        assert!(e.brier() < 1e-9);
+        assert!((e.mean_truth_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_confident_forecast_scores_badly() {
+        let mut e = PredictorEval::new();
+        e.observe(&[1.0, 0.0], 1);
+        assert_eq!(e.hit_at_1(), 0.0);
+        assert!(e.log_loss() > 20.0); // floored log of zero
+        assert!((e.brier() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_forecast_baseline() {
+        let mut e = PredictorEval::new();
+        let uniform = [0.25; 4];
+        for truth in 0..4 {
+            e.observe(&uniform, truth);
+        }
+        // log-loss of uniform over 4 = ln 4.
+        assert!((e.log_loss() - 4.0_f64.ln()).abs() < 1e-9);
+        assert!((e.mean_truth_mass() - 0.25).abs() < 1e-12);
+        // Ties count as hits (weakly highest) in this implementation...
+        // all four outcomes tie with three others: better = 3 -> not @1.
+        assert_eq!(e.hit_at_1(), 0.0);
+    }
+
+    #[test]
+    fn hit_at_3_counts_top_three() {
+        let mut e = PredictorEval::new();
+        let f = [0.4, 0.3, 0.2, 0.1];
+        e.observe(&f, 2); // rank 3 -> hit@3, not hit@1
+        assert_eq!(e.hit_at_1(), 0.0);
+        assert_eq!(e.hit_at_3(), 1.0);
+        e.observe(&f, 3); // rank 4 -> neither
+        assert_eq!(e.hit_at_3(), 0.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let f1 = [0.7, 0.3];
+        let f2 = [0.1, 0.9];
+        let mut whole = PredictorEval::new();
+        whole.observe(&f1, 0);
+        whole.observe(&f2, 0);
+
+        let mut a = PredictorEval::new();
+        let mut b = PredictorEval::new();
+        a.observe(&f1, 0);
+        b.observe(&f2, 0);
+        a.merge(&b);
+
+        assert_eq!(a.count(), whole.count());
+        assert!((a.log_loss() - whole.log_loss()).abs() < 1e-12);
+        assert!((a.brier() - whole.brier()).abs() < 1e-12);
+        assert!((a.hit_at_1() - whole.hit_at_1()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zeroes() {
+        let e = PredictorEval::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.log_loss(), 0.0);
+        assert_eq!(e.hit_at_1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_truth_panics() {
+        let mut e = PredictorEval::new();
+        e.observe(&[1.0], 3);
+    }
+
+    #[test]
+    fn better_predictor_scores_better() {
+        // A sharp correct forecast must beat a diffuse one on every metric.
+        let mut sharp = PredictorEval::new();
+        let mut diffuse = PredictorEval::new();
+        for _ in 0..10 {
+            sharp.observe(&[0.8, 0.1, 0.1], 0);
+            diffuse.observe(&[0.34, 0.33, 0.33], 0);
+        }
+        assert!(sharp.log_loss() < diffuse.log_loss());
+        assert!(sharp.brier() < diffuse.brier());
+        assert!(sharp.mean_truth_mass() > diffuse.mean_truth_mass());
+    }
+}

@@ -1,0 +1,229 @@
+//! Online first-order Markov estimator with Laplace smoothing.
+//!
+//! The Figure-7 prefetcher is handed the *true* transition row; a real
+//! client must estimate it from the stream. This estimator counts
+//! observed transitions and predicts smoothed rows — the
+//! correctly-specified learned model for Markov workloads (the n-gram and
+//! dependency-graph predictors are more general but less statistically
+//! efficient here).
+
+/// Online transition-count estimator over items `0..n`.
+#[derive(Debug, Clone)]
+pub struct MarkovEstimator {
+    n: usize,
+    /// Dense transition counts, row-major: `counts[i * n + j]`.
+    counts: Vec<u32>,
+    row_totals: Vec<u64>,
+    /// Laplace smoothing pseudo-count added to every cell.
+    alpha: f64,
+    last: Option<usize>,
+}
+
+impl MarkovEstimator {
+    /// Creates an estimator with smoothing `alpha` (≥ 0; 0 = maximum
+    /// likelihood, which predicts a zero row for unseen states).
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `alpha` is negative/NaN.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!(alpha.is_finite() && alpha >= 0.0, "invalid smoothing");
+        Self {
+            n,
+            counts: vec![0; n * n],
+            row_totals: vec![0; n],
+            alpha,
+            last: None,
+        }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n
+    }
+
+    /// Observes the next access (transitions are counted from the
+    /// previously observed item).
+    ///
+    /// # Panics
+    /// Panics when `item` is out of range.
+    pub fn observe(&mut self, item: usize) {
+        assert!(item < self.n, "item out of range");
+        if let Some(prev) = self.last {
+            self.counts[prev * self.n + item] += 1;
+            self.row_totals[prev] += 1;
+        }
+        self.last = Some(item);
+    }
+
+    /// Observed count of the transition `i → j`.
+    pub fn count(&self, i: usize, j: usize) -> u32 {
+        self.counts[i * self.n + j]
+    }
+
+    /// Number of observed transitions out of `i`.
+    pub fn row_total(&self, i: usize) -> u64 {
+        self.row_totals[i]
+    }
+
+    /// Smoothed transition row from state `i`: probabilities summing to 1
+    /// when any evidence or smoothing exists, all-zero otherwise.
+    pub fn predict_row(&self, i: usize) -> Vec<f64> {
+        let total = self.row_totals[i] as f64 + self.alpha * self.n as f64;
+        if total <= 0.0 {
+            return vec![0.0; self.n];
+        }
+        (0..self.n)
+            .map(|j| (self.counts[i * self.n + j] as f64 + self.alpha) / total)
+            .collect()
+    }
+
+    /// Total-variation distance between the estimated row of `i` and a
+    /// reference row — the convergence diagnostic used in tests.
+    pub fn tv_distance(&self, i: usize, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.n, "reference row length");
+        let row = self.predict_row(i);
+        0.5 * row
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+    }
+
+    /// Freezes the estimate into a [`crate::MarkovChain`] usable as a
+    /// simulation workload, with the given per-state viewing times.
+    ///
+    /// Rows with no evidence and no smoothing get a uniform row over the
+    /// *other* states (a chain row may not be empty). Returns an error
+    /// when the chain would be invalid (fewer than two states).
+    pub fn to_chain(
+        &self,
+        viewing: Vec<f64>,
+    ) -> Result<crate::MarkovChain, crate::markov::MarkovError> {
+        let n = self.n;
+        let mut transitions = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = self.predict_row(i);
+            let mut pairs: Vec<(usize, f64)> = row
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p > 0.0)
+                .map(|(j, &p)| (j, p))
+                .collect();
+            if pairs.is_empty() {
+                // No evidence: uniform over the other states.
+                let p = 1.0 / (n - 1).max(1) as f64;
+                pairs = (0..n).filter(|&j| j != i).map(|j| (j, p)).collect();
+            }
+            transitions.push(pairs);
+        }
+        crate::MarkovChain::new(transitions, viewing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::MarkovChain;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_transitions() {
+        let mut e = MarkovEstimator::new(3, 0.0);
+        e.observe(0);
+        e.observe(1);
+        e.observe(1);
+        e.observe(2);
+        assert_eq!(e.count(0, 1), 1);
+        assert_eq!(e.count(1, 1), 1);
+        assert_eq!(e.count(1, 2), 1);
+        assert_eq!(e.row_total(1), 2);
+    }
+
+    #[test]
+    fn ml_rows_are_empirical_frequencies() {
+        let mut e = MarkovEstimator::new(2, 0.0);
+        for _ in 0..3 {
+            e.observe(0);
+            e.observe(1);
+        }
+        // Transitions out of 0: all to 1.
+        let row = e.predict_row(0);
+        assert!((row[1] - 1.0).abs() < 1e-12);
+        assert_eq!(row[0], 0.0);
+    }
+
+    #[test]
+    fn unseen_state_with_smoothing_is_uniform() {
+        let e = MarkovEstimator::new(4, 1.0);
+        let row = e.predict_row(2);
+        assert!(row.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+        // Without smoothing: zeros.
+        let e0 = MarkovEstimator::new(4, 0.0);
+        assert!(e0.predict_row(2).iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn rows_normalise() {
+        let mut e = MarkovEstimator::new(5, 0.5);
+        let stream = [0usize, 3, 1, 4, 2, 0, 1, 1, 3];
+        for &x in &stream {
+            e.observe(x);
+        }
+        for i in 0..5 {
+            let s: f64 = e.predict_row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn converges_to_the_true_chain() {
+        let chain = MarkovChain::random(8, 2, 4, 1, 10, 31).unwrap();
+        let mut e = MarkovEstimator::new(8, 0.05);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut state = 0usize;
+        e.observe(state);
+
+        let mut early = 0.0;
+        for step in 0..30_000 {
+            state = chain.next_state(state, &mut rng);
+            e.observe(state);
+            if step == 300 {
+                early = (0..8)
+                    .map(|i| e.tv_distance(i, &chain.row_probs(i)))
+                    .sum::<f64>();
+            }
+        }
+        let late: f64 = (0..8).map(|i| e.tv_distance(i, &chain.row_probs(i))).sum();
+        assert!(late < early, "TV distance must shrink: {early} -> {late}");
+        assert!(late / 8.0 < 0.05, "mean TV distance {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut e = MarkovEstimator::new(2, 0.0);
+        e.observe(9);
+    }
+
+    #[test]
+    fn freezes_into_a_usable_chain() {
+        let mut e = MarkovEstimator::new(3, 0.0);
+        for _ in 0..5 {
+            e.observe(0);
+            e.observe(1);
+            e.observe(2);
+        }
+        let chain = e.to_chain(vec![2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(chain.n_states(), 3);
+        assert!(chain.transition_prob(0, 1) > 0.9);
+        assert_eq!(chain.viewing(1), 3.0);
+        // The unseen-state fallback: a fresh estimator still yields a
+        // valid chain (uniform rows).
+        let fresh = MarkovEstimator::new(3, 0.0);
+        let chain = fresh.to_chain(vec![1.0; 3]).unwrap();
+        let sum: f64 = chain.successors(0).iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! Online order-`k` Markov predictor with back-off — a lightweight,
+//! PPM-flavoured access model in the spirit of Vitter & Krishnan's
+//! compression-based predictors (reference \[16\] of the paper).
+//!
+//! The predictor observes the access stream one item at a time and, on
+//! request, estimates next-access probabilities from the longest matching
+//! context with enough evidence, backing off to shorter contexts (down to
+//! the unigram distribution) when the long context is unseen.
+
+use std::collections::HashMap;
+
+/// Online n-gram predictor over items `0..n`.
+#[derive(Debug, Clone)]
+pub struct NgramPredictor {
+    n_items: usize,
+    order: usize,
+    /// `tables[k]` maps a context of length `k+1` (most recent last,
+    /// encoded) to successor counts.
+    tables: Vec<HashMap<Vec<u32>, HashMap<u32, u32>>>,
+    unigram: Vec<u64>,
+    history: Vec<u32>,
+    observed: u64,
+}
+
+impl NgramPredictor {
+    /// Creates a predictor over `n_items` items using contexts up to
+    /// `order` (≥ 1) most recent accesses.
+    ///
+    /// # Panics
+    /// Panics if `order == 0` or `n_items == 0`.
+    pub fn new(n_items: usize, order: usize) -> Self {
+        assert!(order >= 1, "order must be at least 1");
+        assert!(n_items >= 1, "need at least one item");
+        Self {
+            n_items,
+            order,
+            tables: vec![HashMap::new(); order],
+            unigram: vec![0; n_items],
+            history: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    /// Number of items in the universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Maximum context length.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Total accesses observed.
+    #[inline]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Feeds the next access into the model.
+    ///
+    /// # Panics
+    /// Panics when `item >= n_items`.
+    pub fn observe(&mut self, item: usize) {
+        assert!(item < self.n_items, "item out of range");
+        let item = item as u32;
+        for k in 0..self.order {
+            if self.history.len() > k {
+                let ctx = self.history[self.history.len() - (k + 1)..].to_vec();
+                *self.tables[k]
+                    .entry(ctx)
+                    .or_default()
+                    .entry(item)
+                    .or_insert(0) += 1;
+            }
+        }
+        self.unigram[item as usize] += 1;
+        self.observed += 1;
+        self.history.push(item);
+        if self.history.len() > self.order {
+            let excess = self.history.len() - self.order;
+            self.history.drain(..excess);
+        }
+    }
+
+    /// Predicts next-access probabilities given the internal history,
+    /// backing off from the longest context with at least `min_support`
+    /// observations. Returns a dense probability vector (may be all zero
+    /// before anything is observed).
+    pub fn predict(&self, min_support: u32) -> Vec<f64> {
+        // Longest context first.
+        for k in (0..self.order.min(self.history.len())).rev() {
+            let ctx = &self.history[self.history.len() - (k + 1)..];
+            if let Some(counts) = self.tables[k].get(ctx) {
+                let total: u32 = counts.values().sum();
+                if total >= min_support {
+                    let mut probs = vec![0.0; self.n_items];
+                    for (&item, &c) in counts {
+                        probs[item as usize] = c as f64 / total as f64;
+                    }
+                    return probs;
+                }
+            }
+        }
+        // Unigram back-off.
+        let total: u64 = self.unigram.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.n_items];
+        }
+        self.unigram
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Convenience: the most probable next item, if any has been seen.
+    pub fn best_guess(&self, min_support: u32) -> Option<usize> {
+        let probs = self.predict(min_support);
+        probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_deterministic_cycle() {
+        let mut m = NgramPredictor::new(3, 2);
+        for _ in 0..10 {
+            m.observe(0);
+            m.observe(1);
+            m.observe(2);
+        }
+        // History ends ...1, 2: after 2 comes 0.
+        let probs = m.predict(1);
+        assert!(probs[0] > 0.95, "probs {probs:?}");
+        assert_eq!(m.best_guess(1), Some(0));
+    }
+
+    #[test]
+    fn order2_disambiguates_shared_successor() {
+        // Stream alternates A B C and D B E: after B, the next item
+        // depends on what preceded B — order-1 cannot tell, order-2 can.
+        let mut m = NgramPredictor::new(5, 2);
+        let (a, b, c, d, e) = (0, 1, 2, 3, 4);
+        for _ in 0..20 {
+            m.observe(a);
+            m.observe(b);
+            m.observe(c);
+            m.observe(d);
+            m.observe(b);
+            m.observe(e);
+        }
+        // Now feed "a, b": the bigram (a,b) predicts c.
+        m.observe(a);
+        m.observe(b);
+        let probs = m.predict(1);
+        assert!(probs[c] > 0.9, "probs {probs:?}");
+    }
+
+    #[test]
+    fn backs_off_to_unigram_when_context_unseen() {
+        let mut m = NgramPredictor::new(4, 2);
+        m.observe(0);
+        m.observe(1);
+        m.observe(2);
+        // Context (1, 2) then something fresh: history (2, 3) unseen,
+        // context (3) unseen -> unigram.
+        m.observe(3);
+        let probs = m.predict(2); // min support 2 > any bigram count
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn cold_start_returns_zeros() {
+        let m = NgramPredictor::new(3, 1);
+        assert!(m.predict(1).iter().all(|&p| p == 0.0));
+        assert_eq!(m.best_guess(1), None);
+    }
+
+    #[test]
+    fn probabilities_normalised() {
+        let mut m = NgramPredictor::new(6, 3);
+        let stream = [0usize, 1, 2, 3, 4, 5, 0, 1, 2, 0, 1, 4, 2, 3];
+        for &x in &stream {
+            m.observe(x);
+        }
+        let probs = m.predict(1);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn observe_out_of_range_panics() {
+        let mut m = NgramPredictor::new(2, 1);
+        m.observe(5);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = NgramPredictor::new(7, 2);
+        assert_eq!(m.n_items(), 7);
+        assert_eq!(m.order(), 2);
+        assert_eq!(m.observed(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! arbitration cost, sub-arbitration variants, the extension objectives,
+//! and the discrete-event session replay vs the closed form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distsys::{run_session, Catalog, SessionConfig};
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use skp_core::arbitration::{arbitrate, CacheEntry, SubArbitration};
+use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy};
+use skp_core::gain::access_time_empty;
+use skp_core::policy::Prefetcher;
+use skp_core::skp::solve_paper;
+use skp_core::Scenario;
+use std::hint::black_box;
+
+fn scenarios(n: usize, count: usize) -> Vec<Scenario> {
+    let gen = ScenarioGen::paper(n, ProbMethod::skewy());
+    let mut rng = SmallRng::seed_from_u64(0xAB1A);
+    (0..count).map(|_| gen.generate(&mut rng)).collect()
+}
+
+fn bench_arbitration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbitration");
+    for &n in &[20usize, 100] {
+        let batch = scenarios(n, 32);
+        // Cache holds the odd items; plans come from SKP over the evens.
+        let prepared: Vec<_> = batch
+            .iter()
+            .map(|s| {
+                let candidates: Vec<bool> = (0..s.n()).map(|i| i % 2 == 0).collect();
+                let plan = skp_core::skp::solve_paper_candidates(s, &candidates).plan;
+                let cache: Vec<CacheEntry> = (0..s.n())
+                    .filter(|i| i % 2 == 1)
+                    .map(|id| CacheEntry {
+                        id,
+                        freq: (id % 7) as u64,
+                    })
+                    .collect();
+                (s, plan, cache)
+            })
+            .collect();
+        for (label, sub) in [
+            ("pr", SubArbitration::None),
+            ("pr_lfu", SubArbitration::Lfu),
+            ("pr_ds", SubArbitration::DelaySaving),
+        ] {
+            g.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| {
+                    for (s, plan, cache) in &prepared {
+                        black_box(arbitrate(s, plan, cache, 0, sub));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extension_objectives");
+    let batch = scenarios(25, 64);
+    g.bench_function("plain_skp", |b| {
+        b.iter(|| {
+            for s in &batch {
+                black_box(solve_paper(s));
+            }
+        })
+    });
+    for lambda in [0.5, 2.0] {
+        let pol = StretchPenalisedPolicy::new(lambda);
+        g.bench_function(
+            BenchmarkId::new("stretch_penalised", format!("{lambda}")),
+            |b| {
+                b.iter(|| {
+                    for s in &batch {
+                        black_box(pol.plan(s));
+                    }
+                })
+            },
+        );
+    }
+    for mu in [0.1, 1.0] {
+        let pol = NetworkAwarePolicy::new(mu);
+        g.bench_function(BenchmarkId::new("network_aware", format!("{mu}")), |b| {
+            b.iter(|| {
+                for s in &batch {
+                    black_box(pol.plan(s));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_formula_vs_event_replay(c: &mut Criterion) {
+    // The closed-form access time against the mechanistic discrete-event
+    // replay — the cost of "simulating it properly".
+    let mut g = c.benchmark_group("access_time");
+    let batch = scenarios(10, 64);
+    let prepared: Vec<_> = batch
+        .iter()
+        .map(|s| {
+            let plan = solve_paper(s).plan;
+            let retr = Catalog::new(s.retrievals().to_vec());
+            (s, plan, retr)
+        })
+        .collect();
+    g.bench_function("closed_form", |b| {
+        b.iter(|| {
+            for (s, plan, _) in &prepared {
+                for alpha in 0..s.n() {
+                    black_box(access_time_empty(s, plan.items(), alpha));
+                }
+            }
+        })
+    });
+    g.bench_function("event_replay", |b| {
+        b.iter(|| {
+            for (s, plan, retr) in &prepared {
+                for alpha in 0..s.n() {
+                    black_box(run_session(
+                        retr,
+                        &SessionConfig {
+                            viewing: s.viewing(),
+                            plan: plan.items(),
+                            request: alpha,
+                            cached: &[],
+                        },
+                    ));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arbitration,
+    bench_extensions,
+    bench_formula_vs_event_replay
+);
+criterion_main!(benches);

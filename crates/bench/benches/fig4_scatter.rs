@@ -1,0 +1,61 @@
+//! Figure-4 harness benchmark: throughput of the 'prefetch only'
+//! simulation that generates the scatter panels (SKP and KP prefetch on
+//! skewy and flat workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use montecarlo::prefetch_only::PrefetchOnlySim;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use skp_core::policy::PolicyKind;
+use std::hint::black_box;
+
+const ITERS: u64 = 2_000;
+
+fn bench_fig4_panels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_scatter");
+    g.throughput(Throughput::Elements(ITERS));
+    g.sample_size(10);
+
+    let panels = [
+        ("a_skp_skewy", PolicyKind::SkpPaper, ProbMethod::skewy()),
+        ("b_skp_flat", PolicyKind::SkpPaper, ProbMethod::flat()),
+        ("c_kp_skewy", PolicyKind::Kp, ProbMethod::skewy()),
+        ("d_kp_flat", PolicyKind::Kp, ProbMethod::flat()),
+    ];
+    for (label, policy, method) in panels {
+        let sim = PrefetchOnlySim {
+            gen: ScenarioGen::paper(10, method),
+            iterations: ITERS,
+            seed: 1999,
+            threads: 1,
+            chunks: 1,
+        };
+        g.bench_function(BenchmarkId::new("panel", label), |b| {
+            b.iter(|| black_box(sim.run(&[policy], 500)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // The same panel fanned out over threads: the hpc-parallel win.
+    let mut g = c.benchmark_group("fig4_parallel");
+    g.throughput(Throughput::Elements(8 * ITERS));
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let sim = PrefetchOnlySim {
+            gen: ScenarioGen::paper(10, ProbMethod::skewy()),
+            iterations: 8 * ITERS,
+            seed: 1999,
+            threads,
+            chunks: 32,
+        };
+        g.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(sim.run(&[PolicyKind::SkpPaper], 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4_panels, bench_parallel_speedup);
+criterion_main!(benches);

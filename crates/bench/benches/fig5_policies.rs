@@ -1,0 +1,47 @@
+//! Figure-5 harness benchmark: the four-policy (plus corrected-SKP)
+//! comparison at `n = 10` and `n = 25`, skewy and flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use montecarlo::prefetch_only::PrefetchOnlySim;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use skp_core::policy::PolicyKind;
+use std::hint::black_box;
+
+const ITERS: u64 = 1_000;
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::NoPrefetch,
+    PolicyKind::Kp,
+    PolicyKind::SkpPaper,
+    PolicyKind::SkpExact,
+    PolicyKind::Perfect,
+];
+
+fn bench_fig5_panels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_policies");
+    g.throughput(Throughput::Elements(ITERS * POLICIES.len() as u64));
+    g.sample_size(10);
+
+    let panels = [
+        ("a_n10_skewy", 10usize, ProbMethod::skewy()),
+        ("b_n10_flat", 10, ProbMethod::flat()),
+        ("c_n25_skewy", 25, ProbMethod::skewy()),
+        ("d_n25_flat", 25, ProbMethod::flat()),
+    ];
+    for (label, n, method) in panels {
+        let sim = PrefetchOnlySim {
+            gen: ScenarioGen::paper(n, method),
+            iterations: ITERS,
+            seed: 1999,
+            threads: 1,
+            chunks: 1,
+        };
+        g.bench_function(BenchmarkId::new("panel", label), |b| {
+            b.iter(|| black_box(sim.run(&POLICIES, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5_panels);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure-7 harness benchmark: one sweep point of the prefetch–cache
+//! simulation (Markov source + SKP planning + Figure-6 arbitration) per
+//! policy, plus the request-cycle cost as a function of cache size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use montecarlo::prefetch_cache::PrefetchCacheSim;
+use std::hint::black_box;
+
+const REQUESTS: u64 = 1_000;
+
+fn bench_fig7_policies(c: &mut Criterion) {
+    let sim = PrefetchCacheSim::paper(REQUESTS, 1999);
+    let (chain, catalog) = sim.workload();
+    let policies = cache_sim::PrefetchCacheConfig::figure7_policies(30);
+
+    let mut g = c.benchmark_group("fig7_policies");
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.sample_size(10);
+    for (name, cfg) in policies {
+        g.bench_function(BenchmarkId::new("policy", name), |b| {
+            b.iter(|| black_box(sim.run_point(&chain, &catalog, name, cfg, 7)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_capacity_scaling(c: &mut Criterion) {
+    let sim = PrefetchCacheSim::paper(REQUESTS, 1999);
+    let (chain, catalog) = sim.workload();
+
+    let mut g = c.benchmark_group("fig7_capacity");
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.sample_size(10);
+    for capacity in [5usize, 25, 50, 100] {
+        let (name, cfg) = cache_sim::PrefetchCacheConfig::figure7_policies(capacity)[4];
+        g.bench_function(BenchmarkId::new("skp_pr_ds_cap", capacity), |b| {
+            b.iter(|| black_box(sim.run_point(&chain, &catalog, name, cfg, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7_policies, bench_fig7_capacity_scaling);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Multi-client discrete-event simulation benchmark: cost of the shared
+//! FIFO channel as the client population grows, per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use distsys::multiclient::access_shim::{Chain, MarkovLike};
+use distsys::multiclient::MultiClientSim;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::hint::black_box;
+
+const REQUESTS: u64 = 300;
+
+struct Ring {
+    n: usize,
+}
+impl MarkovLike for Ring {
+    fn viewing(&self, state: usize) -> f64 {
+        3.0 + (state % 5) as f64
+    }
+    fn next_state(&self, state: usize, rng: &mut SmallRng) -> usize {
+        // Mostly the next item, sometimes a jump: cheap but non-trivial.
+        if rng.random_range(0..10) < 8 {
+            (state + 1) % self.n
+        } else {
+            rng.random_range(0..self.n)
+        }
+    }
+    fn n_states(&self) -> usize {
+        self.n
+    }
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let ring = Ring { n: 50 };
+    let chain = Chain(&ring);
+    let retrievals: Vec<f64> = (0..50).map(|i| 1.0 + (i % 30) as f64).collect();
+
+    let mut g = c.benchmark_group("multiclient");
+    g.sample_size(10);
+    for clients in [1usize, 4, 16] {
+        g.throughput(Throughput::Elements(REQUESTS * clients as u64));
+        let sim = MultiClientSim {
+            workload: &chain,
+            retrievals: &retrievals,
+            clients,
+            requests_per_client: REQUESTS,
+            seed: 3,
+        };
+        g.bench_function(BenchmarkId::new("next_item_prefetch", clients), |b| {
+            b.iter(|| {
+                let mut policy = |_c: usize, s: usize| vec![(s + 1) % 50];
+                black_box(sim.run(&mut policy))
+            })
+        });
+        g.bench_function(BenchmarkId::new("no_prefetch", clients), |b| {
+            b.iter(|| {
+                let mut policy = |_c: usize, _s: usize| Vec::new();
+                black_box(sim.run(&mut policy))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_population_scaling);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Solver microbenchmarks: the Figure-3 branch-and-bound, the corrected
+//! canonical solver, the 0/1-knapsack baseline solvers, the Eq. 7 bound
+//! and the exhaustive oracle, across problem sizes and workload skews.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use skp_core::kp::{greedy_by_density, solve_kp, solve_kp_dp};
+use skp_core::skp::{
+    linear_relaxation, solve_exact, solve_global, solve_optimal, solve_paper, upper_bound,
+};
+use skp_core::Scenario;
+use std::hint::black_box;
+
+fn scenarios(n: usize, method: ProbMethod, count: usize) -> Vec<Scenario> {
+    let gen = ScenarioGen::paper(n, method);
+    let mut rng = SmallRng::seed_from_u64(0xBE7C);
+    (0..count).map(|_| gen.generate(&mut rng)).collect()
+}
+
+fn bench_skp_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skp_solvers");
+    for &n in &[10usize, 25, 50, 100] {
+        let batch = scenarios(n, ProbMethod::skewy(), 64);
+        g.bench_with_input(
+            BenchmarkId::new("figure3_verbatim", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(solve_paper(s));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("corrected_canonical", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(solve_exact(s));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("upper_bound", n), &batch, |b, batch| {
+            b.iter(|| {
+                for s in batch {
+                    black_box(upper_bound(s));
+                }
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("linear_relaxation", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(linear_relaxation(s));
+                    }
+                })
+            },
+        );
+    }
+    // The oracle only scales to small n.
+    for &n in &[10usize, 16] {
+        let batch = scenarios(n, ProbMethod::skewy(), 8);
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive_oracle", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(solve_optimal(s));
+                    }
+                })
+            },
+        );
+    }
+    // The pseudo-polynomial global DP: exact like the oracle, but scales.
+    for &n in &[10usize, 16, 40] {
+        let batch = scenarios(n, ProbMethod::skewy(), 8);
+        g.bench_with_input(BenchmarkId::new("global_dp", n), &batch, |b, batch| {
+            b.iter(|| {
+                for s in batch {
+                    black_box(solve_global(s).expect("integral instance"));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kp_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kp_solvers");
+    for &n in &[10usize, 25, 100] {
+        let batch = scenarios(n, ProbMethod::flat(), 64);
+        g.bench_with_input(
+            BenchmarkId::new("branch_and_bound", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(solve_kp(s));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dynamic_program", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(solve_kp_dp(s));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("greedy", n), &batch, |b, batch| {
+            b.iter(|| {
+                for s in batch {
+                    black_box(greedy_by_density(s));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_skew(c: &mut Criterion) {
+    // Search effort depends on the probability shape: flat workloads make
+    // the bound looser and the tree deeper.
+    let mut g = c.benchmark_group("skp_by_skew");
+    for (label, method) in [
+        ("skewy", ProbMethod::skewy()),
+        ("flat", ProbMethod::flat()),
+        ("zipf", ProbMethod::Zipf { s: 1.0 }),
+    ] {
+        let batch = scenarios(25, method, 64);
+        g.bench_function(BenchmarkId::new("corrected_canonical", label), |b| {
+            b.iter(|| {
+                for s in &batch {
+                    black_box(solve_exact(s));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_skp_solvers,
+    bench_kp_solvers,
+    bench_workload_skew
+);
+criterion_main!(benches);

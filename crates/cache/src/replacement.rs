@@ -1,0 +1,178 @@
+//! Victim-selection policies.
+//!
+//! The paper's family is Pr-arbitration with optional sub-arbitration
+//! (Section 5.2), delegated to `skp_core::arbitration`; the classic
+//! LRU/LFU/FIFO/Random policies are provided as ablation baselines (they
+//! ignore the next-access probabilities the model supplies).
+
+use access_model::FreqTracker;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use skp_core::arbitration::{choose_demand_victim, CacheEntry, SubArbitration};
+use skp_core::Scenario;
+
+use crate::cache::Cache;
+
+/// A victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Evict the least recently used item.
+    Lru,
+    /// Evict the least frequently used item (global frequency).
+    Lfu,
+    /// Evict the oldest inserted item.
+    Fifo,
+    /// Evict a uniformly random item.
+    Random,
+    /// The paper's Pr-arbitration: evict the minimum `P_d r_d` item, with
+    /// the given sub-arbitration for ties.
+    Pr(SubArbitration),
+}
+
+impl Replacement {
+    /// Short display name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Replacement::Lru => "LRU",
+            Replacement::Lfu => "LFU",
+            Replacement::Fifo => "FIFO",
+            Replacement::Random => "Random",
+            Replacement::Pr(SubArbitration::None) => "Pr",
+            Replacement::Pr(SubArbitration::Lfu) => "Pr+LFU",
+            Replacement::Pr(SubArbitration::DelaySaving) => "Pr+DS",
+        }
+    }
+
+    /// Chooses a victim from the cache. Returns `None` when empty.
+    ///
+    /// `scenario` supplies the `P` and `r` vectors for the `Pr` family;
+    /// `freq` supplies frequencies for LFU and the sub-arbitrations.
+    pub fn choose(
+        &self,
+        cache: &Cache,
+        scenario: &Scenario,
+        freq: &FreqTracker,
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        let items = cache.items();
+        if items.is_empty() {
+            return None;
+        }
+        match self {
+            Replacement::Lru => items.iter().copied().min_by_key(|&i| cache.last_used(i)),
+            Replacement::Fifo => items.iter().copied().min_by_key(|&i| cache.inserted_at(i)),
+            Replacement::Lfu => items.iter().copied().min_by_key(|&i| freq.freq(i)),
+            Replacement::Random => items.choose(rng).copied(),
+            Replacement::Pr(sub) => {
+                let entries: Vec<CacheEntry> = items
+                    .iter()
+                    .map(|&id| CacheEntry {
+                        id,
+                        freq: freq.freq(id),
+                    })
+                    .collect();
+                choose_demand_victim(scenario, &entries, *sub)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Cache, Scenario, FreqTracker, SmallRng) {
+        let mut cache = Cache::new(3, 5);
+        cache.insert(0);
+        cache.insert(1);
+        cache.insert(2);
+        // P r profiles: item0 = 0.5*2=1.0, item1 = 0.1*8=0.8, item2 = 0.
+        let s = Scenario::new(
+            vec![0.5, 0.1, 0.0, 0.2, 0.2],
+            vec![2.0, 8.0, 4.0, 1.0, 1.0],
+            10.0,
+        )
+        .unwrap();
+        let mut freq = FreqTracker::new(5);
+        freq.record(0);
+        freq.record(0);
+        freq.record(1);
+        (cache, s, freq, SmallRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut cache, s, freq, mut rng) = setup();
+        cache.touch(0);
+        cache.touch(1); // item 2 least recently used
+        let v = Replacement::Lru.choose(&cache, &s, &freq, &mut rng);
+        assert_eq!(v, Some(2));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let (mut cache, s, freq, mut rng) = setup();
+        cache.touch(0); // recency must not matter
+        let v = Replacement::Fifo.choose(&cache, &s, &freq, &mut rng);
+        assert_eq!(v, Some(0));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let (cache, s, freq, mut rng) = setup();
+        // freqs: 0 -> 2, 1 -> 1, 2 -> 0
+        let v = Replacement::Lfu.choose(&cache, &s, &freq, &mut rng);
+        assert_eq!(v, Some(2));
+    }
+
+    #[test]
+    fn pr_evicts_minimum_delay_profit() {
+        let (cache, s, freq, mut rng) = setup();
+        // P r: item2 = 0 is the cheapest.
+        let v = Replacement::Pr(SubArbitration::None).choose(&cache, &s, &freq, &mut rng);
+        assert_eq!(v, Some(2));
+    }
+
+    #[test]
+    fn random_picks_a_cached_item() {
+        let (cache, s, freq, mut rng) = setup();
+        for _ in 0..20 {
+            let v = Replacement::Random
+                .choose(&cache, &s, &freq, &mut rng)
+                .unwrap();
+            assert!(cache.contains(v));
+        }
+    }
+
+    #[test]
+    fn empty_cache_yields_none() {
+        let cache = Cache::new(2, 5);
+        let (_, s, freq, mut rng) = setup();
+        for pol in [
+            Replacement::Lru,
+            Replacement::Lfu,
+            Replacement::Fifo,
+            Replacement::Random,
+            Replacement::Pr(SubArbitration::DelaySaving),
+        ] {
+            assert_eq!(pol.choose(&cache, &s, &freq, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn names_distinct() {
+        let all = [
+            Replacement::Lru,
+            Replacement::Lfu,
+            Replacement::Fifo,
+            Replacement::Random,
+            Replacement::Pr(SubArbitration::None),
+            Replacement::Pr(SubArbitration::Lfu),
+            Replacement::Pr(SubArbitration::DelaySaving),
+        ];
+        let names: std::collections::HashSet<_> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

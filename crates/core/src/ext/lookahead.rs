@@ -1,0 +1,147 @@
+//! Stretch-penalised SKP: a cheap two-step lookahead.
+//!
+//! Plain SKP treats the viewing window as free and the stretch penalty as
+//! the only cost of overrunning it. But the stretch also *intrudes into
+//! the next viewing time* (Section 4.4), shrinking the window available to
+//! the next prefetch round. This extension charges each unit of stretch an
+//! extra shadow price `λ`:
+//!
+//! ```text
+//! maximise   g*(F) − λ · st(F)
+//! ```
+//!
+//! A principled `λ` is the marginal value of viewing time for the *next*
+//! round, which by Theorem 2 equals the probability `P_z̃` of the next
+//! round's critical item. [`shadow_price`] estimates it from a forecast
+//! scenario; `λ = 0` recovers plain SKP.
+
+use crate::plan::PrefetchPlan;
+use crate::policy::Prefetcher;
+use crate::scenario::Scenario;
+use crate::skp::exact::solve_generalized;
+use crate::skp::order::SortedView;
+use crate::skp::SkpSolution;
+
+/// Prefetcher maximising `g*(F) − λ·st(F)` with the corrected canonical
+/// branch-and-bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchPenalisedPolicy {
+    /// Shadow price per unit of stretch intruding into the next window.
+    pub lambda: f64,
+}
+
+impl StretchPenalisedPolicy {
+    /// Creates the policy; `lambda` must be non-negative and finite.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be a finite non-negative shadow price"
+        );
+        Self { lambda }
+    }
+
+    /// Full solution (plan + objective diagnostics) over candidates.
+    pub fn solve_candidates(&self, s: &Scenario, candidates: &[bool]) -> SkpSolution {
+        let view = SortedView::with_candidates(s, candidates);
+        let profits: Vec<f64> = (0..view.m()).map(|j| view.profit(j)).collect();
+        solve_generalized(s, &view, &profits, self.lambda)
+    }
+}
+
+impl Prefetcher for StretchPenalisedPolicy {
+    fn name(&self) -> &str {
+        "SKP stretch-penalised"
+    }
+
+    fn plan_candidates(&self, s: &Scenario, candidates: &[bool]) -> PrefetchPlan {
+        self.solve_candidates(s, candidates).plan
+    }
+}
+
+/// Estimates the shadow price of viewing time for a forecast next-round
+/// scenario: the probability of the critical (fractional) item in the
+/// Dantzig solution — zero when everything fits (spare capacity is
+/// worthless at the margin).
+pub fn shadow_price(next_round: &Scenario) -> f64 {
+    let lin = crate::skp::bound::linear_relaxation(next_round);
+    lin.critical.map_or(0.0, |id| next_round.prob(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::{gain_empty_cache, stretch_time};
+
+    const TOL: f64 = 1e-9;
+
+    fn sc() -> Scenario {
+        Scenario::new(vec![0.35, 0.3, 0.2, 0.15], vec![6.0, 7.0, 9.0, 2.0], 12.0).unwrap()
+    }
+
+    #[test]
+    fn zero_lambda_recovers_plain_skp() {
+        let s = sc();
+        let a = StretchPenalisedPolicy::new(0.0).plan(&s);
+        let b = crate::skp::solve_exact(&s).plan;
+        assert_eq!(a.items(), b.items());
+    }
+
+    #[test]
+    fn large_lambda_forbids_stretch() {
+        let s = sc();
+        let plan = StretchPenalisedPolicy::new(1e6).plan(&s);
+        assert_eq!(stretch_time(&s, plan.items()), 0.0);
+    }
+
+    #[test]
+    fn lambda_monotonically_shrinks_stretch() {
+        let s = sc();
+        let mut last_stretch = f64::INFINITY;
+        for lambda in [0.0, 0.5, 2.0, 10.0] {
+            let plan = StretchPenalisedPolicy::new(lambda).plan(&s);
+            let st = stretch_time(&s, plan.items());
+            assert!(
+                st <= last_stretch + TOL,
+                "stretch must not grow with lambda"
+            );
+            last_stretch = st.min(last_stretch);
+        }
+    }
+
+    #[test]
+    fn objective_accounts_for_penalty() {
+        let s = sc();
+        let pol = StretchPenalisedPolicy::new(0.7);
+        let sol = pol.solve_candidates(&s, &vec![true; s.n()]);
+        let st = stretch_time(&s, sol.plan.items());
+        let expected = gain_empty_cache(&s, sol.plan.items()) - 0.7 * st;
+        assert!(
+            (sol.internal_gain - expected).abs() < 1e-7,
+            "internal {} vs expected {}",
+            sol.internal_gain,
+            expected
+        );
+    }
+
+    #[test]
+    fn shadow_price_zero_when_everything_fits() {
+        let s = Scenario::new(vec![0.5, 0.5], vec![1.0, 1.0], 10.0).unwrap();
+        assert_eq!(shadow_price(&s), 0.0);
+    }
+
+    #[test]
+    fn shadow_price_is_critical_item_probability() {
+        let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0).unwrap();
+        // Dantzig splits item 1 (P = 0.3).
+        assert!((shadow_price(&s) - 0.3).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_rejected() {
+        let _ = StretchPenalisedPolicy::new(-1.0);
+    }
+}

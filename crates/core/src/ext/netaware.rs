@@ -1,0 +1,154 @@
+//! Network-usage-aware prefetching.
+//!
+//! Section 6: the SKP algorithm "will prefetch the lesser candidates if,
+//! by doing so, it can improve the expected access time even by an
+//! insignificant amount. A policy is needed to weigh the opposing goals of
+//! maximising access improvement and minimising network usage."
+//!
+//! A prefetched item that is *not* requested wastes its whole retrieval
+//! time of network capacity; the expected waste of a plan is
+//! `W(F) = Σ_{i∈F} (1 − P_i) r_i`. This policy maximises
+//!
+//! ```text
+//! g*(F) − μ · W(F)
+//! ```
+//!
+//! which is the plain SKP objective with item profit transformed to
+//! `P_i r_i − μ(1 − P_i) r_i`. The transformed profit density
+//! `P_i(1 + μ) − μ` is increasing in `P_i`, so the canonical order is also
+//! the density order and the corrected branch-and-bound applies unchanged.
+
+use crate::plan::PrefetchPlan;
+use crate::policy::Prefetcher;
+use crate::scenario::Scenario;
+use crate::skp::exact::solve_generalized;
+use crate::skp::order::SortedView;
+use crate::skp::SkpSolution;
+
+/// Prefetcher maximising `g*(F) − μ·W(F)` where `W` is expected wasted
+/// network time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkAwarePolicy {
+    /// Price per unit of expected wasted retrieval time. `μ = 0` recovers
+    /// plain SKP; large `μ` prefetches only near-certain items.
+    pub mu: f64,
+}
+
+impl NetworkAwarePolicy {
+    /// Creates the policy; `mu` must be non-negative and finite.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite `mu`.
+    pub fn new(mu: f64) -> Self {
+        assert!(
+            mu.is_finite() && mu >= 0.0,
+            "mu must be a finite non-negative price"
+        );
+        Self { mu }
+    }
+
+    /// Expected wasted network time of a plan: `Σ_{i∈F} (1 − P_i) r_i`.
+    pub fn expected_waste(s: &Scenario, plan: &[usize]) -> f64 {
+        plan.iter()
+            .map(|&i| (1.0 - s.prob(i)) * s.retrieval(i))
+            .sum()
+    }
+
+    /// Full solution over candidates.
+    pub fn solve_candidates(&self, s: &Scenario, candidates: &[bool]) -> SkpSolution {
+        let view = SortedView::with_candidates(s, candidates);
+        let profits: Vec<f64> = (0..view.m())
+            .map(|j| view.profit(j) - self.mu * (1.0 - view.p(j)) * view.r(j))
+            .collect();
+        solve_generalized(s, &view, &profits, 0.0)
+    }
+}
+
+impl Prefetcher for NetworkAwarePolicy {
+    fn name(&self) -> &str {
+        "SKP network-aware"
+    }
+
+    fn plan_candidates(&self, s: &Scenario, candidates: &[bool]) -> PrefetchPlan {
+        self.solve_candidates(s, candidates).plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::gain_empty_cache;
+
+    const TOL: f64 = 1e-9;
+
+    fn sc() -> Scenario {
+        Scenario::new(vec![0.35, 0.3, 0.2, 0.15], vec![6.0, 7.0, 9.0, 2.0], 12.0).unwrap()
+    }
+
+    #[test]
+    fn zero_mu_recovers_plain_skp() {
+        let s = sc();
+        let a = NetworkAwarePolicy::new(0.0).plan(&s);
+        let b = crate::skp::solve_exact(&s).plan;
+        assert_eq!(a.items(), b.items());
+    }
+
+    #[test]
+    fn large_mu_prefetches_nothing_uncertain() {
+        let s = sc();
+        // With a huge waste price every item (P < 1) has negative value.
+        let plan = NetworkAwarePolicy::new(1e9).plan(&s);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn certain_items_survive_any_mu() {
+        let s = Scenario::new(vec![1.0], vec![4.0], 10.0).unwrap();
+        let plan = NetworkAwarePolicy::new(1e9).plan(&s);
+        assert_eq!(plan.items(), &[0]);
+    }
+
+    #[test]
+    fn waste_shrinks_as_mu_grows() {
+        let s = sc();
+        let mut last = f64::INFINITY;
+        for mu in [0.0, 0.2, 1.0, 5.0] {
+            let plan = NetworkAwarePolicy::new(mu).plan(&s);
+            let w = NetworkAwarePolicy::expected_waste(&s, plan.items());
+            assert!(w <= last + TOL, "waste must not grow with mu");
+            last = w.min(last);
+        }
+    }
+
+    #[test]
+    fn internal_objective_matches_definition() {
+        let s = sc();
+        let pol = NetworkAwarePolicy::new(0.4);
+        let sol = pol.solve_candidates(&s, &vec![true; s.n()]);
+        let g = gain_empty_cache(&s, sol.plan.items());
+        let w = NetworkAwarePolicy::expected_waste(&s, sol.plan.items());
+        assert!(
+            (sol.internal_gain - (g - 0.4 * w)).abs() < 1e-7,
+            "internal {} vs g−μW {}",
+            sol.internal_gain,
+            g - 0.4 * w
+        );
+    }
+
+    #[test]
+    fn gain_never_negative_objective() {
+        // The solver keeps the empty plan as incumbent, so the chosen
+        // objective value is non-negative.
+        let s = sc();
+        for mu in [0.0, 0.5, 2.0] {
+            let sol = NetworkAwarePolicy::new(mu).solve_candidates(&s, &vec![true; s.n()]);
+            assert!(sol.internal_gain >= -TOL);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mu")]
+    fn negative_mu_rejected() {
+        let _ = NetworkAwarePolicy::new(-0.5);
+    }
+}

@@ -1,0 +1,210 @@
+//! Unequal item sizes — the limitation the paper says it is "currently
+//! addressing" (Section 6).
+//!
+//! With equal sizes Figure 6 pairs one newcomer with one victim. With
+//! sizes, a newcomer of size `s_f` must free at least `s_f` bytes, and the
+//! natural generalisation of Pr-arbitration compares the newcomer's delay
+//! profit against the *sum* of its victims' delay profits, choosing
+//! victims by ascending delay-profit density `P_d r_d / s_d` (evict the
+//! least valuable bytes first).
+
+use crate::scenario::{ItemId, Scenario};
+use crate::ModelError;
+
+/// A cache entry with an explicit size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizedEntry {
+    /// Item id.
+    pub id: ItemId,
+    /// Item size in bytes (must be positive).
+    pub size: f64,
+}
+
+/// Outcome of size-aware arbitration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SizedArbitration {
+    /// Admitted prefetch items, in tentative-plan order.
+    pub prefetch: Vec<ItemId>,
+    /// All ejected items.
+    pub eject: Vec<ItemId>,
+}
+
+/// Size-aware Pr-arbitration.
+///
+/// `tentative` is the solver's plan over non-cached items with their sizes;
+/// `cache` the current entries; `free_bytes` the unused capacity. Each
+/// tentative item (in descending delay profit) is admitted when the free
+/// bytes plus the cheapest sufficient victim set can host it **and** its
+/// delay profit strictly exceeds the victims' total.
+///
+/// Returns an error if any size is non-positive or NaN.
+pub fn arbitrate_sized(
+    s: &Scenario,
+    tentative: &[SizedEntry],
+    cache: &[SizedEntry],
+    free_bytes: f64,
+    capacity_bytes: f64,
+) -> Result<SizedArbitration, ModelError> {
+    for (idx, e) in tentative.iter().chain(cache.iter()).enumerate() {
+        if !e.size.is_finite() || e.size <= 0.0 {
+            return Err(ModelError::BadSize {
+                index: idx,
+                value: e.size,
+            });
+        }
+    }
+
+    // Victims in ascending delay-profit density: cheapest bytes first.
+    let mut live: Vec<SizedEntry> = cache.to_vec();
+    live.sort_by(|a, b| {
+        let da = s.delay_profit(a.id) / a.size;
+        let db = s.delay_profit(b.id) / b.size;
+        da.total_cmp(&db)
+    });
+
+    // Newcomers in descending delay profit.
+    let mut order: Vec<usize> = (0..tentative.len()).collect();
+    order.sort_by(|&a, &b| {
+        s.delay_profit(tentative[b].id)
+            .total_cmp(&s.delay_profit(tentative[a].id))
+    });
+
+    let mut free = free_bytes;
+    let mut out = SizedArbitration::default();
+
+    for idx in order {
+        let f = tentative[idx];
+        if f.size > capacity_bytes {
+            continue; // can never fit
+        }
+        if f.size <= free {
+            free -= f.size;
+            out.prefetch.push(f.id);
+            continue;
+        }
+        // Accumulate cheapest victims until the item fits.
+        let mut need = f.size - free;
+        let mut victims: Vec<usize> = Vec::new();
+        let mut victim_profit = 0.0;
+        for (vi, v) in live.iter().enumerate() {
+            if need <= 0.0 {
+                break;
+            }
+            victims.push(vi);
+            victim_profit += s.delay_profit(v.id);
+            need -= v.size;
+        }
+        if need > 0.0 {
+            break; // cache cannot host this item even if emptied
+        }
+        // Worth test: newcomer must strictly beat the evicted set.
+        if s.delay_profit(f.id) <= victim_profit {
+            break;
+        }
+        // Commit: record victims in eviction (density) order, then remove
+        // them from `live` back-to-front so indices stay valid.
+        let freed: f64 = victims.iter().map(|&vi| live[vi].size).sum();
+        for &vi in victims.iter() {
+            out.eject.push(live[vi].id);
+        }
+        for &vi in victims.iter().rev() {
+            live.remove(vi);
+        }
+        free = free + freed - f.size;
+        out.prefetch.push(f.id);
+    }
+
+    // Preserve tentative order for the admitted items.
+    let admitted: std::collections::HashSet<ItemId> = out.prefetch.iter().copied().collect();
+    out.prefetch = tentative
+        .iter()
+        .map(|e| e.id)
+        .filter(|id| admitted.contains(id))
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> Scenario {
+        Scenario::new(
+            vec![0.4, 0.3, 0.2, 0.1, 0.0],
+            vec![10.0, 8.0, 6.0, 4.0, 5.0],
+            20.0,
+        )
+        .unwrap()
+    }
+
+    fn e(id: ItemId, size: f64) -> SizedEntry {
+        SizedEntry { id, size }
+    }
+
+    #[test]
+    fn fits_in_free_space_without_eviction() {
+        let s = sc();
+        let out = arbitrate_sized(&s, &[e(0, 3.0)], &[e(4, 5.0)], 4.0, 9.0).unwrap();
+        assert_eq!(out.prefetch, vec![0]);
+        assert!(out.eject.is_empty());
+    }
+
+    #[test]
+    fn evicts_cheapest_density_victims() {
+        let s = sc();
+        // Newcomer item 0 (profit 4.0, size 6) must evict; victims: item 4
+        // (profit 0, size 5) and item 3 (profit 0.4, size 5). Cheapest
+        // density is item 4, then item 3.
+        let out = arbitrate_sized(&s, &[e(0, 6.0)], &[e(4, 5.0), e(3, 5.0)], 0.0, 10.0).unwrap();
+        assert_eq!(out.prefetch, vec![0]);
+        assert_eq!(out.eject, vec![4, 3]);
+    }
+
+    #[test]
+    fn refuses_when_victims_worth_more() {
+        let s = sc();
+        // Newcomer item 3 (profit 0.4) against cached item 0 (profit 4.0).
+        let out = arbitrate_sized(&s, &[e(3, 5.0)], &[e(0, 5.0)], 0.0, 5.0).unwrap();
+        assert!(out.prefetch.is_empty());
+        assert!(out.eject.is_empty());
+    }
+
+    #[test]
+    fn oversized_item_skipped_not_fatal() {
+        let s = sc();
+        // Item 0 larger than the whole cache is skipped; item 2 admitted.
+        let out = arbitrate_sized(&s, &[e(0, 100.0), e(2, 2.0)], &[e(4, 5.0)], 0.0, 5.0).unwrap();
+        assert_eq!(out.prefetch, vec![2]);
+    }
+
+    #[test]
+    fn equal_sizes_reduce_to_pairwise_arbitration() {
+        let s = sc();
+        // Unit sizes: behaves like Figure 6 (one victim per newcomer).
+        let out = arbitrate_sized(
+            &s,
+            &[e(0, 1.0), e(1, 1.0)],
+            &[e(3, 1.0), e(4, 1.0)],
+            0.0,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(out.prefetch, vec![0, 1]);
+        assert_eq!(out.eject.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let s = sc();
+        assert!(arbitrate_sized(&s, &[e(0, 0.0)], &[], 1.0, 1.0).is_err());
+        assert!(arbitrate_sized(&s, &[e(0, f64::NAN)], &[], 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn preserves_tentative_order() {
+        let s = sc();
+        // Tentative ⟨2, 0⟩ (stretch order); both admitted into free space.
+        let out = arbitrate_sized(&s, &[e(2, 1.0), e(0, 1.0)], &[], 2.0, 2.0).unwrap();
+        assert_eq!(out.prefetch, vec![2, 0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dynamic-programming 0/1 knapsack for integral weights — the oracle used
+//! to cross-check the branch-and-bound on the paper's integer workloads
+//! (`r ∈ {1..30}`, `v ∈ {1..100}`).
+
+use crate::plan::PrefetchPlan;
+use crate::scenario::{ItemId, Scenario};
+
+use super::KpSolution;
+
+/// Largest capacity the DP will allocate a table for.
+pub const MAX_DP_CAPACITY: usize = 1 << 20;
+
+/// Exact 0/1 knapsack by dynamic programming over integer capacities.
+///
+/// Requires every retrieval time and the viewing time to be non-negative
+/// integers (within `1e-9`); returns `None` otherwise, or when the rounded
+/// capacity exceeds [`MAX_DP_CAPACITY`].
+pub fn solve_kp_dp(s: &Scenario) -> Option<KpSolution> {
+    let cap = to_int(s.viewing())?;
+    if cap > MAX_DP_CAPACITY {
+        return None;
+    }
+    let n = s.n();
+    let weights: Option<Vec<usize>> = s.retrievals().iter().map(|&r| to_int(r)).collect();
+    let weights = weights?;
+
+    // dp[w] = best profit using a prefix of items at weight budget w;
+    // keep[i] records the decision row for reconstruction.
+    let mut dp = vec![0.0_f64; cap + 1];
+    let mut keep = vec![false; n * (cap + 1)];
+    for i in 0..n {
+        let w_i = weights[i];
+        let p_i = s.delay_profit(i);
+        if w_i > cap {
+            continue;
+        }
+        for w in (w_i..=cap).rev() {
+            let candidate = dp[w - w_i] + p_i;
+            if candidate > dp[w] {
+                dp[w] = candidate;
+                keep[i * (cap + 1) + w] = true;
+            }
+        }
+    }
+
+    // Reconstruct the chosen set, then order it canonically.
+    let mut w = cap;
+    let mut chosen: Vec<ItemId> = Vec::new();
+    for i in (0..n).rev() {
+        if keep[i * (cap + 1) + w] {
+            chosen.push(i);
+            w -= weights[i];
+        }
+    }
+    s.sort_canonical(&mut chosen);
+    let profit = dp[cap];
+    Some(KpSolution {
+        plan: PrefetchPlan::new(chosen).expect("unique"),
+        profit,
+        nodes: 0,
+    })
+}
+
+fn to_int(x: f64) -> Option<usize> {
+    if x < 0.0 {
+        return None;
+    }
+    let r = x.round();
+    if (x - r).abs() < 1e-9 && r <= usize::MAX as f64 {
+        Some(r as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kp::solve_kp;
+
+    const TOL: f64 = 1e-9;
+
+    fn sc(p: Vec<f64>, r: Vec<f64>, v: f64) -> Scenario {
+        Scenario::new(p, r, v).unwrap()
+    }
+
+    #[test]
+    fn rejects_fractional_weights() {
+        let s = sc(vec![1.0], vec![1.5], 10.0);
+        assert!(solve_kp_dp(&s).is_none());
+    }
+
+    #[test]
+    fn rejects_fractional_capacity() {
+        let s = sc(vec![1.0], vec![1.0], 10.5);
+        assert!(solve_kp_dp(&s).is_none());
+    }
+
+    #[test]
+    fn matches_branch_and_bound_profit() {
+        let cases = [
+            sc(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0),
+            sc(
+                vec![0.3, 0.25, 0.2, 0.15, 0.1],
+                vec![7.0, 4.0, 12.0, 2.0, 9.0],
+                11.0,
+            ),
+            sc(
+                vec![0.2, 0.2, 0.2, 0.2, 0.1, 0.1],
+                vec![5.0, 4.0, 3.0, 2.0, 1.0, 6.0],
+                9.0,
+            ),
+        ];
+        for s in cases {
+            let dp = solve_kp_dp(&s).unwrap();
+            let bb = solve_kp(&s);
+            assert!(
+                (dp.profit - bb.profit).abs() < TOL,
+                "dp {} vs bb {}",
+                dp.profit,
+                bb.profit
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_profit_is_consistent() {
+        let s = sc(
+            vec![0.3, 0.25, 0.2, 0.15, 0.1],
+            vec![7.0, 4.0, 12.0, 2.0, 9.0],
+            11.0,
+        );
+        let dp = solve_kp_dp(&s).unwrap();
+        let manual: f64 = dp.plan.items().iter().map(|&i| s.delay_profit(i)).sum();
+        assert!((manual - dp.profit).abs() < TOL);
+        assert!(dp.plan.total_retrieval(&s) <= s.viewing() + TOL);
+    }
+
+    #[test]
+    fn zero_capacity_selects_nothing() {
+        let s = sc(vec![1.0], vec![1.0], 0.0);
+        let dp = solve_kp_dp(&s).unwrap();
+        assert!(dp.plan.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! # skp-core — a performance model of speculative prefetching
+//!
+//! This crate implements the analytical core of *"A Performance Model of
+//! Speculative Prefetching in Distributed Information Systems"* (N. J. Tuah,
+//! M. Kumar, S. Venkatesh, IPPS/SPDP 1999).
+//!
+//! The paper models a client that, while the user is *viewing* the current
+//! item for a duration `v`, may speculatively prefetch remote items. Item
+//! `i` takes `r_i` time units to retrieve and will be the next request with
+//! probability `P_i`. The metric is the **access improvement**
+//!
+//! ```text
+//! g = E[T(no prefetch)] − E[T(prefetch)]
+//! ```
+//!
+//! where `T` is the response time of the next actual request. Because a
+//! prefetch in progress completes before a demand fetch begins, an
+//! over-committed prefetch plan *stretches* past the viewing time and can
+//! hurt: `st(F) = max(0, Σ_{i∈F} r_i − v)`.
+//!
+//! Maximising `g` is the **stretch knapsack problem** (SKP). This crate
+//! provides:
+//!
+//! - [`Scenario`]: the model parameters `(n, P, r, v)` with validation;
+//! - [`plan::PrefetchPlan`] and the closed-form formulas of the paper
+//!   ([`gain`]): stretch time, per-outcome access time, expected access
+//!   time, `g*(F)` (Eq. 3) and `g(F, D)` (Eq. 9);
+//! - the SKP solvers ([`skp`]): the paper's Figure-3 branch-and-bound
+//!   (verbatim), a corrected exact branch-and-bound, a brute-force oracle,
+//!   and the Dantzig-style upper bound of Theorem 2;
+//! - classic 0/1 knapsack solvers used by the paper's *KP prefetch*
+//!   baseline ([`kp`]);
+//! - prefetch policies ([`policy`]) packaging the solvers;
+//! - the prefetch–cache integration of Section 5 ([`arbitration`]):
+//!   Pr-arbitration with LFU or delay-saving (DS) sub-arbitration
+//!   (Figure 6);
+//! - the paper's stated extensions ([`ext`]): stretch-penalised lookahead,
+//!   network-usage-aware objective, and unequal item sizes.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use skp_core::{Scenario, skp, gain};
+//!
+//! // Three candidate items; the user will view the current page for 10 time
+//! // units; item retrieval times and next-access probabilities are known.
+//! let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0).unwrap();
+//! let sol = skp::solve_paper(&s);
+//! assert!(sol.gain > 0.0);
+//! // ... and its gain is exactly the closed-form g*:
+//! let g = gain::gain_empty_cache(&s, sol.plan.items());
+//! assert!((g - sol.gain).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arbitration;
+pub mod error;
+pub mod ext;
+pub mod gain;
+pub mod kp;
+pub mod plan;
+pub mod policy;
+pub mod scenario;
+pub mod skp;
+pub mod theorems;
+
+pub use error::ModelError;
+pub use plan::PrefetchPlan;
+pub use scenario::{ItemId, Scenario};
+
+/// Absolute tolerance used by the crate when comparing `f64` gains.
+pub const EPS: f64 = 1e-9;

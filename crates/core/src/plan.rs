@@ -1,0 +1,206 @@
+//! Prefetch plans: the list `F = K ⧺ ⟨z⟩` of construction (1).
+
+use crate::error::ModelError;
+use crate::scenario::{ItemId, Scenario};
+
+/// An ordered list of items to prefetch during the viewing time.
+///
+/// Following construction (1) of the paper, a non-empty plan is
+/// `F = K ⧺ ⟨z⟩` where every item of the prefix `K` completes strictly
+/// within the viewing time (`Σ_{i∈K} r_i < v`) and only the *last* item `z`
+/// may stretch past it. The empty plan means "prefetch nothing".
+///
+/// A plan stores item ids in prefetch order; the order matters whenever the
+/// plan stretches (Theorem 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrefetchPlan {
+    items: Vec<ItemId>,
+}
+
+impl PrefetchPlan {
+    /// The empty plan (no prefetching).
+    pub fn empty() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    /// Builds a plan from items in prefetch order **without** checking
+    /// admissibility against a scenario. Duplicates are rejected.
+    pub fn new(items: Vec<ItemId>) -> Result<Self, ModelError> {
+        let mut seen = std::collections::HashSet::with_capacity(items.len());
+        for &i in &items {
+            if !seen.insert(i) {
+                return Err(ModelError::DuplicateItem { id: i });
+            }
+        }
+        Ok(Self { items })
+    }
+
+    /// Builds a plan and validates it against a scenario: ids in range and
+    /// the prefix `K` fits strictly within the viewing time (construction 1).
+    pub fn admissible(items: Vec<ItemId>, scenario: &Scenario) -> Result<Self, ModelError> {
+        let plan = Self::new(items)?;
+        for &i in &plan.items {
+            scenario.check_item(i)?;
+        }
+        if !plan.items.is_empty() {
+            let prefix_time: f64 = plan.items[..plan.items.len() - 1]
+                .iter()
+                .map(|&i| scenario.retrieval(i))
+                .sum();
+            if prefix_time >= scenario.viewing() && prefix_time > 0.0 {
+                return Err(ModelError::InadmissiblePlan {
+                    prefix_time,
+                    viewing: scenario.viewing(),
+                });
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Items in prefetch order.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items in the plan, `|F|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the plan prefetches nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The last item `z` — the only one allowed to stretch.
+    #[inline]
+    pub fn last(&self) -> Option<ItemId> {
+        self.items.last().copied()
+    }
+
+    /// The prefix `K = F \ ⟨z⟩` of items that complete within `v`.
+    #[inline]
+    pub fn prefix(&self) -> &[ItemId] {
+        if self.items.is_empty() {
+            &[]
+        } else {
+            &self.items[..self.items.len() - 1]
+        }
+    }
+
+    /// Whether the plan contains an item.
+    #[inline]
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.items.contains(&id)
+    }
+
+    /// Total retrieval time `Σ_{i∈F} r_i` under a scenario.
+    pub fn total_retrieval(&self, scenario: &Scenario) -> f64 {
+        self.items.iter().map(|&i| scenario.retrieval(i)).sum()
+    }
+
+    /// Consumes the plan, returning the item ids in prefetch order.
+    pub fn into_items(self) -> Vec<ItemId> {
+        self.items
+    }
+}
+
+impl From<PrefetchPlan> for Vec<ItemId> {
+    fn from(p: PrefetchPlan) -> Self {
+        p.items
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefetchPlan {
+    type Item = &'a ItemId;
+    type IntoIter = std::slice::Iter<'a, ItemId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scenario {
+        Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0).unwrap()
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = PrefetchPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.last(), None);
+        assert_eq!(p.prefix(), &[] as &[ItemId]);
+        assert_eq!(p.total_retrieval(&s()), 0.0);
+    }
+
+    #[test]
+    fn prefix_and_last() {
+        let p = PrefetchPlan::new(vec![1, 0, 2]).unwrap();
+        assert_eq!(p.prefix(), &[1, 0]);
+        assert_eq!(p.last(), Some(2));
+        assert!(p.contains(0));
+        assert!(!p.contains(7));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(matches!(
+            PrefetchPlan::new(vec![1, 2, 1]),
+            Err(ModelError::DuplicateItem { id: 1 })
+        ));
+    }
+
+    #[test]
+    fn admissible_accepts_stretching_last_item() {
+        // prefix r=8 < v=10; last item stretches (8+9 > 10) but is legal.
+        let p = PrefetchPlan::admissible(vec![0, 2], &s()).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn admissible_rejects_overlong_prefix() {
+        // prefix r = 8 + 6 = 14 >= v = 10.
+        assert!(matches!(
+            PrefetchPlan::admissible(vec![0, 1, 2], &s()),
+            Err(ModelError::InadmissiblePlan { .. })
+        ));
+    }
+
+    #[test]
+    fn admissible_rejects_unknown_item() {
+        assert!(matches!(
+            PrefetchPlan::admissible(vec![5], &s()),
+            Err(ModelError::UnknownItem { .. })
+        ));
+    }
+
+    #[test]
+    fn single_item_always_admissible_prefixwise() {
+        // A single item has an empty prefix: always admissible even if it
+        // stretches arbitrarily far.
+        let tiny = Scenario::new(vec![1.0], vec![100.0], 0.5).unwrap();
+        assert!(PrefetchPlan::admissible(vec![0], &tiny).is_ok());
+    }
+
+    #[test]
+    fn total_retrieval_sums() {
+        let p = PrefetchPlan::new(vec![0, 1]).unwrap();
+        assert!((p.total_retrieval(&s()) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_and_conversion() {
+        let p = PrefetchPlan::new(vec![2, 0]).unwrap();
+        let ids: Vec<ItemId> = (&p).into_iter().copied().collect();
+        assert_eq!(ids, vec![2, 0]);
+        let v: Vec<ItemId> = p.into();
+        assert_eq!(v, vec![2, 0]);
+    }
+}

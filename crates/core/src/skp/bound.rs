@@ -1,0 +1,180 @@
+//! Linear relaxation of SKP (Theorem 2) and the upper bound `U_g` (Eq. 7).
+//!
+//! Allowing items to be *partially* prefetched yields the linear SKP. By
+//! Theorem 2 its optimum is the classic Dantzig solution of the relaxed
+//! knapsack: stretch never pays off in the relaxation, so items are taken
+//! whole in canonical order until the first item `z̃` that does not fit,
+//! which is taken fractionally.
+
+use crate::scenario::Scenario;
+use crate::skp::order::SortedView;
+
+/// The solution of the linear (fractional) relaxation of SKP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSolution {
+    /// Fraction `x_i ∈ [0, 1]` of each item prefetched, indexed by
+    /// **original scenario id**.
+    pub fractions: Vec<f64>,
+    /// Objective value `g̃(x)`, the upper bound `U_g` of Eq. 7.
+    pub objective: f64,
+    /// Original id of the critical (fractionally prefetched) item `z̃`,
+    /// if any item had to be split.
+    pub critical: Option<usize>,
+}
+
+/// Dantzig-style bound for the residual subproblem starting at sorted
+/// position `start` with remaining capacity `capacity` (Figure 3, step 2):
+///
+/// `U = Σ_{i=start}^{z̃−1} P_i r_i + (capacity − Σ_{i=start}^{z̃−1} r_i) · P_{z̃}`
+///
+/// with `z̃` the first item that no longer fits. A non-positive capacity
+/// yields zero.
+pub fn dantzig_residual(view: &SortedView, start: usize, capacity: f64) -> f64 {
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    let mut cap = capacity;
+    let mut u = 0.0;
+    let mut j = start;
+    while j < view.m() {
+        if view.r(j) > cap {
+            // Fractional share of the critical item (P_{m} treated as 0
+            // beyond the end, matching the paper's r_{n+1} = ∞ sentinel).
+            return u + cap * view.p(j);
+        }
+        u += view.profit(j);
+        cap -= view.r(j);
+        j += 1;
+    }
+    u
+}
+
+/// Solves the linear relaxation of SKP for a whole scenario (Theorem 2)
+/// and returns the fractional solution together with the bound.
+pub fn linear_relaxation(s: &Scenario) -> LinearSolution {
+    let view = SortedView::new(s);
+    let mut fractions = vec![0.0; s.n()];
+    let mut cap = s.viewing();
+    let mut objective = 0.0;
+    let mut critical = None;
+    for j in 0..view.m() {
+        if view.r(j) <= cap {
+            fractions[view.id(j)] = 1.0;
+            objective += view.profit(j);
+            cap -= view.r(j);
+        } else {
+            let frac = cap / view.r(j);
+            if frac > 0.0 {
+                fractions[view.id(j)] = frac;
+                objective += view.profit(j) * frac;
+                critical = Some(view.id(j));
+            }
+            break;
+        }
+    }
+    LinearSolution {
+        fractions,
+        objective,
+        critical,
+    }
+}
+
+/// The tight upper bound `U_g` on the SKP optimum (Eq. 7).
+pub fn upper_bound(s: &Scenario) -> f64 {
+    let view = SortedView::new(s);
+    dantzig_residual(&view, 0, s.viewing())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    fn s() -> Scenario {
+        // canonical order: 0 (0.5, 8), 1 (0.3, 6), 2 (0.2, 9); v = 10
+        Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0).unwrap()
+    }
+
+    #[test]
+    fn relaxation_takes_items_in_order() {
+        let lin = linear_relaxation(&s());
+        assert!((lin.fractions[0] - 1.0).abs() < TOL);
+        // item 1 is critical: capacity left = 2 of r = 6
+        assert!((lin.fractions[1] - 2.0 / 6.0).abs() < TOL);
+        assert_eq!(lin.fractions[2], 0.0);
+        assert_eq!(lin.critical, Some(1));
+        let expect = 0.5 * 8.0 + 2.0 * 0.3;
+        assert!((lin.objective - expect).abs() < TOL);
+    }
+
+    #[test]
+    fn bound_equals_relaxation_objective() {
+        let sc = s();
+        assert!((upper_bound(&sc) - linear_relaxation(&sc).objective).abs() < TOL);
+    }
+
+    #[test]
+    fn all_items_fit_no_critical() {
+        let sc = Scenario::new(vec![0.5, 0.5], vec![2.0, 3.0], 10.0).unwrap();
+        let lin = linear_relaxation(&sc);
+        assert_eq!(lin.critical, None);
+        assert!((lin.objective - (0.5 * 2.0 + 0.5 * 3.0)).abs() < TOL);
+    }
+
+    #[test]
+    fn zero_viewing_gives_zero_bound() {
+        let sc = s().with_viewing(0.0).unwrap();
+        assert_eq!(upper_bound(&sc), 0.0);
+        let lin = linear_relaxation(&sc);
+        assert_eq!(lin.objective, 0.0);
+        assert!(lin.fractions.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn residual_bound_negative_capacity_is_zero() {
+        let view = SortedView::new(&s());
+        assert_eq!(dantzig_residual(&view, 0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn residual_bound_from_middle() {
+        let view = SortedView::new(&s());
+        // Starting at sorted position 1 (item 1: P=.3, r=6) with cap 7:
+        // take item 1 whole (1.8), then 1 unit of item 2 at density 0.2.
+        let u = dantzig_residual(&view, 1, 7.0);
+        assert!((u - (1.8 + 0.2)).abs() < TOL);
+    }
+
+    #[test]
+    fn bound_dominates_any_integral_plan() {
+        // Spot-check Theorem 2 / Eq. 7: U_g >= g*(F) for a handful of plans.
+        let sc = s();
+        let u = upper_bound(&sc);
+        for plan in [
+            vec![],
+            vec![0usize],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![1, 0],
+        ] {
+            let g = crate::gain::gain_empty_cache(&sc, &plan);
+            assert!(
+                u + TOL >= g,
+                "bound {u} must dominate g {g} for plan {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_within_unit_interval() {
+        let lin = linear_relaxation(&s());
+        assert!(lin
+            .fractions
+            .iter()
+            .all(|&x| (0.0..=1.0 + TOL).contains(&x)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Canonical ordering (Theorem 1) and the sorted working view shared by
+//! all SKP solvers.
+
+use crate::scenario::{ItemId, Scenario};
+
+/// A scenario's candidate items sorted into the canonical order of Eq. 5
+/// (probability descending, ties broken by retrieval ascending), with the
+/// prefix/suffix sums the solvers need.
+///
+/// Theorem 1 proves that among plans with positive stretch, an optimal one
+/// lists items in this order (minimum-probability item last), so the
+/// branch-and-bound solvers enumerate subsets of this permutation only.
+#[derive(Debug, Clone)]
+pub struct SortedView {
+    ids: Vec<ItemId>,
+    p: Vec<f64>,
+    r: Vec<f64>,
+    /// `suffix_p[j] = Σ_{i≥j} p[i]`; length `m + 1` with `suffix_p[m] = 0`.
+    suffix_p: Vec<f64>,
+}
+
+impl SortedView {
+    /// Sorted view over every item of the scenario.
+    pub fn new(s: &Scenario) -> Self {
+        Self::with_candidates_fn(s, |_| true)
+    }
+
+    /// Sorted view over the items for which `candidates[i]` is true.
+    ///
+    /// # Panics
+    /// Panics when `candidates.len() != s.n()`.
+    pub fn with_candidates(s: &Scenario, candidates: &[bool]) -> Self {
+        assert_eq!(
+            candidates.len(),
+            s.n(),
+            "candidate mask length must equal the number of items"
+        );
+        Self::with_candidates_fn(s, |i| candidates[i])
+    }
+
+    /// Sorted view over the items selected by a predicate.
+    pub fn with_candidates_fn(s: &Scenario, keep: impl Fn(ItemId) -> bool) -> Self {
+        let mut ids: Vec<ItemId> = (0..s.n()).filter(|&i| keep(i)).collect();
+        s.sort_canonical(&mut ids);
+        let p: Vec<f64> = ids.iter().map(|&i| s.prob(i)).collect();
+        let r: Vec<f64> = ids.iter().map(|&i| s.retrieval(i)).collect();
+        let m = ids.len();
+        let mut suffix_p = vec![0.0; m + 1];
+        for j in (0..m).rev() {
+            suffix_p[j] = suffix_p[j + 1] + p[j];
+        }
+        Self {
+            ids,
+            p,
+            r,
+            suffix_p,
+        }
+    }
+
+    /// Number of candidate items in the view.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Original scenario id of the item at sorted position `j`.
+    #[inline]
+    pub fn id(&self, j: usize) -> ItemId {
+        self.ids[j]
+    }
+
+    /// Probability of the item at sorted position `j`.
+    #[inline]
+    pub fn p(&self, j: usize) -> f64 {
+        self.p[j]
+    }
+
+    /// Retrieval time of the item at sorted position `j`.
+    #[inline]
+    pub fn r(&self, j: usize) -> f64 {
+        self.r[j]
+    }
+
+    /// Delay profit `P·r` of the item at sorted position `j`.
+    #[inline]
+    pub fn profit(&self, j: usize) -> f64 {
+        self.p[j] * self.r[j]
+    }
+
+    /// `Σ_{i≥j} P_i` over candidates, the paper's stretch-penalty mass for
+    /// position `j` (Figure 3, step 3). `suffix_p(0)` is the total
+    /// candidate mass; `suffix_p(m) = 0`.
+    #[inline]
+    pub fn suffix_p(&self, j: usize) -> f64 {
+        self.suffix_p[j]
+    }
+
+    /// Converts a selector vector over sorted positions into a plan's item
+    /// list in canonical prefetch order.
+    pub fn selectors_to_items(&self, selected: &[bool]) -> Vec<ItemId> {
+        selected
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &sel)| sel.then_some(self.ids[j]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scenario {
+        Scenario::new(vec![0.1, 0.4, 0.2, 0.3], vec![3.0, 7.0, 5.0, 2.0], 10.0).unwrap()
+    }
+
+    #[test]
+    fn sorts_descending_probability() {
+        let v = SortedView::new(&s());
+        assert_eq!(v.m(), 4);
+        assert_eq!(v.id(0), 1);
+        assert_eq!(v.id(1), 3);
+        assert_eq!(v.id(2), 2);
+        assert_eq!(v.id(3), 0);
+        assert!(v.p(0) >= v.p(1) && v.p(1) >= v.p(2) && v.p(2) >= v.p(3));
+    }
+
+    #[test]
+    fn ties_sorted_by_retrieval_ascending() {
+        let s = Scenario::new(vec![0.25, 0.25, 0.25, 0.25], vec![9.0, 1.0, 5.0, 3.0], 4.0).unwrap();
+        let v = SortedView::new(&s);
+        let rs: Vec<f64> = (0..4).map(|j| v.r(j)).collect();
+        assert_eq!(rs, vec![1.0, 3.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn suffix_sums() {
+        let v = SortedView::new(&s());
+        assert!((v.suffix_p(0) - 1.0).abs() < 1e-12);
+        assert!((v.suffix_p(1) - 0.6).abs() < 1e-12);
+        assert!((v.suffix_p(4) - 0.0).abs() < 1e-12);
+        // suffix is decreasing
+        for j in 0..4 {
+            assert!(v.suffix_p(j) >= v.suffix_p(j + 1));
+        }
+    }
+
+    #[test]
+    fn candidate_masking() {
+        let sc = s();
+        let v = SortedView::with_candidates(&sc, &[true, false, true, false]);
+        assert_eq!(v.m(), 2);
+        assert_eq!(v.id(0), 2); // P=0.2 before P=0.1
+        assert_eq!(v.id(1), 0);
+        assert!((v.suffix_p(0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate mask length")]
+    fn wrong_mask_length_panics() {
+        let _ = SortedView::with_candidates(&s(), &[true]);
+    }
+
+    #[test]
+    fn selectors_roundtrip() {
+        let v = SortedView::new(&s());
+        let items = v.selectors_to_items(&[true, false, true, false]);
+        assert_eq!(items, vec![1, 2]);
+    }
+
+    #[test]
+    fn profit_accessor() {
+        let v = SortedView::new(&s());
+        assert!((v.profit(0) - 0.4 * 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Executable statements of the paper's theorems, used by the unit and
+//! property tests to keep the implementation honest.
+
+use crate::gain::{gain_empty_cache, stretch_time, theorem3_delta};
+use crate::scenario::{ItemId, Scenario};
+use crate::skp::bound::upper_bound;
+use crate::EPS;
+
+/// **Theorem 1** (swap argument): for a *stretching* plan whose last item
+/// does not have the minimum probability, moving a minimum-probability
+/// member to the end never decreases the gain — provided the swapped order
+/// is admissible. Returns the improved (or equal) ordering, or `None` when
+/// the plan does not stretch, is already canonical at the tail, or the
+/// swap is inadmissible.
+pub fn theorem1_swap(s: &Scenario, plan: &[ItemId]) -> Option<Vec<ItemId>> {
+    if plan.len() < 2 || stretch_time(s, plan) <= 0.0 {
+        return None;
+    }
+    let z = *plan.last().expect("non-empty");
+    let (&f_min, _) = plan
+        .iter()
+        .zip(plan.iter().map(|&i| s.prob(i)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))?;
+    if f_min == z || s.prob(f_min) >= s.prob(z) {
+        return None;
+    }
+    let mut swapped: Vec<ItemId> = plan.iter().copied().filter(|&i| i != f_min).collect();
+    swapped.push(f_min);
+    // Feasibility of the swapped order (the paper's proof omits this check;
+    // see skp::brute for the consequences).
+    let prefix: f64 = swapped[..swapped.len() - 1]
+        .iter()
+        .map(|&i| s.retrieval(i))
+        .sum();
+    if prefix >= s.viewing() {
+        return None;
+    }
+    Some(swapped)
+}
+
+/// Checks the Theorem-1 inequality for a plan: the swapped ordering (when
+/// it exists) has gain ≥ the original's.
+pub fn theorem1_holds(s: &Scenario, plan: &[ItemId]) -> bool {
+    match theorem1_swap(s, plan) {
+        None => true,
+        Some(swapped) => gain_empty_cache(s, &swapped) + EPS >= gain_empty_cache(s, plan),
+    }
+}
+
+/// **Theorem 2 / Eq. 7**: the Dantzig bound dominates the gain of a plan.
+pub fn theorem2_holds(s: &Scenario, plan: &[ItemId]) -> bool {
+    upper_bound(s) + EPS >= gain_empty_cache(s, plan)
+}
+
+/// **Theorem 3**: the incremental formula agrees with the direct gain
+/// difference when appending `z` to prefix `K`.
+pub fn theorem3_holds(s: &Scenario, prefix: &[ItemId], z: ItemId) -> bool {
+    let mut full = prefix.to_vec();
+    full.push(z);
+    let delta = theorem3_delta(s, prefix, z);
+    let direct = gain_empty_cache(s, &full) - gain_empty_cache(s, prefix);
+    (delta - direct).abs() < 1e-7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> Scenario {
+        Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0).unwrap()
+    }
+
+    #[test]
+    fn swap_improves_bad_ordering() {
+        let s = sc();
+        // Plan ⟨2, 0⟩ stretches (9+8 > 10) and ends on the *higher*
+        // probability item 0: Theorem 1 says ⟨0, 2⟩ (or better) exists.
+        let swapped = theorem1_swap(&s, &[2, 0]).expect("swap applies");
+        assert_eq!(*swapped.last().unwrap(), 2);
+        assert!(theorem1_holds(&s, &[2, 0]));
+    }
+
+    #[test]
+    fn swap_skips_non_stretching_plans() {
+        let s = sc();
+        assert!(theorem1_swap(&s, &[1]).is_none()); // fits: no stretch
+        assert!(theorem1_holds(&s, &[1]));
+    }
+
+    #[test]
+    fn swap_skips_canonical_tails() {
+        let s = sc();
+        // ⟨0, 2⟩ already ends on the lowest-probability member.
+        assert!(theorem1_swap(&s, &[0, 2]).is_none());
+    }
+
+    #[test]
+    fn theorem2_on_sample_plans() {
+        let s = sc();
+        for plan in [vec![], vec![0], vec![0, 2], vec![1, 0], vec![1, 2]] {
+            assert!(theorem2_holds(&s, &plan), "plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn theorem3_on_sample_prefixes() {
+        let s = sc();
+        assert!(theorem3_holds(&s, &[], 0));
+        assert!(theorem3_holds(&s, &[1], 0));
+        assert!(theorem3_holds(&s, &[0], 2));
+        assert!(theorem3_holds(&s, &[1], 2));
+    }
+}

@@ -1,0 +1,341 @@
+//! Property-based tests for the model formulas, theorems and solvers.
+//!
+//! Scenarios are drawn to match the paper's workload ranges (`r ∈ [1,30]`,
+//! `v ∈ [0,50]`, `n ≤ 10`) so that the brute-force oracle stays cheap.
+
+use proptest::prelude::*;
+use skp_core::gain::{
+    expected_access_time_cached, expected_access_time_empty, expected_no_prefetch_cached,
+    gain_empty_cache, gain_with_cache, stretch_time,
+};
+use skp_core::kp::{solve_kp, solve_kp_dp};
+use skp_core::skp::{solve_exact, solve_global, solve_optimal, solve_paper, upper_bound};
+use skp_core::theorems::{theorem1_holds, theorem2_holds, theorem3_holds};
+use skp_core::{PrefetchPlan, Scenario};
+
+const TOL: f64 = 1e-7;
+
+/// Random scenario with n in [1, 10], integer retrievals in [1, 30],
+/// integer viewing in [0, 50], probabilities normalised random weights.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (1usize..=10)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1u32..=100, n),
+                proptest::collection::vec(1u32..=30, n),
+                0u32..=50,
+            )
+        })
+        .prop_map(|(weights, retrievals, v)| {
+            let w: Vec<f64> = weights.iter().map(|&x| x as f64).collect();
+            let r: Vec<f64> = retrievals.iter().map(|&x| x as f64).collect();
+            Scenario::from_weights(w, r, v as f64).expect("valid scenario")
+        })
+}
+
+/// A random admissible plan for a scenario: take a random subset in a
+/// random order, then truncate at the first item that overruns (that item
+/// becomes the stretching tail).
+fn random_plan(s: &Scenario, picks: &[usize]) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut plan = Vec::new();
+    let mut used = 0.0;
+    for &p in picks {
+        let id = p % s.n();
+        if !seen.insert(id) {
+            continue;
+        }
+        plan.push(id);
+        used += s.retrieval(id);
+        if used >= s.viewing() {
+            break; // this item stretches (or exactly fills): stop here
+        }
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Eq. 3 is the definition g* = E[T(no prefetch)] − E[T(prefetch)].
+    #[test]
+    fn gain_formula_matches_definition(s in scenario_strategy(), picks in proptest::collection::vec(0usize..32, 0..8)) {
+        let plan = random_plan(&s, &picks);
+        let g = gain_empty_cache(&s, &plan);
+        let direct = s.expected_no_prefetch() - expected_access_time_empty(&s, &plan);
+        prop_assert!((g - direct).abs() < TOL, "g {} vs direct {}", g, direct);
+    }
+
+    /// Theorem 1: swapping a minimum-probability member to the tail never
+    /// hurts (when admissible).
+    #[test]
+    fn theorem1(s in scenario_strategy(), picks in proptest::collection::vec(0usize..32, 0..8)) {
+        let plan = random_plan(&s, &picks);
+        prop_assert!(theorem1_holds(&s, &plan));
+    }
+
+    /// Theorem 2 / Eq. 7: the Dantzig bound dominates every plan's gain.
+    #[test]
+    fn theorem2(s in scenario_strategy(), picks in proptest::collection::vec(0usize..32, 0..8)) {
+        let plan = random_plan(&s, &picks);
+        prop_assert!(theorem2_holds(&s, &plan));
+    }
+
+    /// Theorem 3: incremental gain equals the direct difference.
+    #[test]
+    fn theorem3(s in scenario_strategy(), picks in proptest::collection::vec(0usize..32, 0..8), z in 0usize..32) {
+        let plan = random_plan(&s, &picks);
+        let z = z % s.n();
+        // Use the plan as prefix K only when it does not stretch and does
+        // not contain z (construction 1).
+        if !plan.contains(&z) && stretch_time(&s, &plan) == 0.0 {
+            let prefix_r: f64 = plan.iter().map(|&i| s.retrieval(i)).sum();
+            if prefix_r < s.viewing() {
+                prop_assert!(theorem3_holds(&s, &plan, z));
+            }
+        }
+    }
+
+    /// Solver hierarchy: optimal ≥ exact ≥ paper (in true gain), all within
+    /// the Eq. 7 bound and non-negative for the oracle; the global DP
+    /// equals the exhaustive oracle on these integral instances.
+    #[test]
+    fn solver_hierarchy(s in scenario_strategy()) {
+        let paper = solve_paper(&s);
+        let exact = solve_exact(&s);
+        let optimal = solve_optimal(&s);
+        let global = solve_global(&s).expect("integral instance");
+        prop_assert!(exact.gain >= paper.gain - TOL, "exact {} < paper {}", exact.gain, paper.gain);
+        prop_assert!(optimal.gain >= exact.gain - TOL, "optimal {} < exact {}", optimal.gain, exact.gain);
+        prop_assert!((global.gain - optimal.gain).abs() < TOL,
+            "global {} != brute {}", global.gain, optimal.gain);
+        prop_assert!(optimal.gain >= -TOL);
+        let ub = upper_bound(&s);
+        prop_assert!(optimal.gain <= ub + TOL, "optimal {} exceeds bound {}", optimal.gain, ub);
+        // Internal accounting of the exact solver is honest.
+        prop_assert!((exact.internal_gain - exact.gain).abs() < TOL);
+    }
+
+    /// Every solver returns an admissible plan (construction 1).
+    #[test]
+    fn solver_plans_admissible(s in scenario_strategy()) {
+        for sol in [solve_paper(&s), solve_exact(&s), solve_optimal(&s)] {
+            prop_assert!(PrefetchPlan::admissible(sol.plan.items().to_vec(), &s).is_ok(),
+                "inadmissible plan {:?}", sol.plan);
+        }
+    }
+
+    /// SKP (exact) dominates KP: the knapsack solution is feasible for SKP.
+    #[test]
+    fn skp_dominates_kp(s in scenario_strategy()) {
+        let kp = solve_kp(&s);
+        let skp = solve_exact(&s);
+        prop_assert!(skp.gain >= kp.profit - TOL, "skp {} < kp {}", skp.gain, kp.profit);
+    }
+
+    /// KP branch-and-bound equals the DP oracle on integral instances.
+    #[test]
+    fn kp_bb_equals_dp(s in scenario_strategy()) {
+        let bb = solve_kp(&s);
+        let dp = solve_kp_dp(&s).expect("integral instance");
+        prop_assert!((bb.profit - dp.profit).abs() < TOL, "bb {} vs dp {}", bb.profit, dp.profit);
+    }
+
+    /// Both KP solvers equal a brute-force subset enumeration.
+    #[test]
+    fn kp_equals_subset_enumeration(s in scenario_strategy()) {
+        let n = s.n();
+        let mut best = 0.0_f64;
+        for mask in 0u32..(1 << n) {
+            let mut weight = 0.0;
+            let mut profit = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    weight += s.retrieval(i);
+                    profit += s.delay_profit(i);
+                }
+            }
+            if weight <= s.viewing() && profit > best {
+                best = profit;
+            }
+        }
+        let bb = solve_kp(&s);
+        prop_assert!((bb.profit - best).abs() < TOL, "bb {} vs brute {}", bb.profit, best);
+    }
+
+    /// KP plans never stretch.
+    #[test]
+    fn kp_respects_capacity(s in scenario_strategy()) {
+        let kp = solve_kp(&s);
+        prop_assert!(kp.plan.total_retrieval(&s) <= s.viewing() + TOL);
+    }
+
+    /// Eq. 9 identity: g(F, D) = E[T(np)] − E[T(F ejects D)], with the
+    /// cache and ejections drawn at random.
+    #[test]
+    fn cache_gain_matches_definition(
+        s in scenario_strategy(),
+        cache_picks in proptest::collection::vec(0usize..32, 0..6),
+        eject_sel in proptest::collection::vec(proptest::bool::ANY, 6),
+        plan_picks in proptest::collection::vec(0usize..32, 0..6),
+    ) {
+        // Build a cache (unique ids) and an ejection subset of it.
+        let mut cache: Vec<usize> = Vec::new();
+        for &p in &cache_picks {
+            let id = p % s.n();
+            if !cache.contains(&id) {
+                cache.push(id);
+            }
+        }
+        let eject: Vec<usize> = cache
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| eject_sel.get(*k).copied().unwrap_or(false))
+            .map(|(_, &id)| id)
+            .collect();
+        // Plan over non-cached items only.
+        let raw = random_plan(&s, &plan_picks);
+        let plan: Vec<usize> = raw.into_iter().filter(|i| !cache.contains(i)).collect();
+
+        let g = gain_with_cache(&s, &plan, &cache, &eject);
+        let direct = expected_no_prefetch_cached(&s, &cache)
+            - expected_access_time_cached(&s, &plan, &cache, &eject);
+        prop_assert!((g - direct).abs() < TOL, "g {} vs direct {}", g, direct);
+    }
+
+    /// The linear relaxation bound is tight for instances where everything
+    /// fits: bound equals the full-inclusion gain.
+    #[test]
+    fn bound_tight_when_all_fit(s in scenario_strategy()) {
+        let total_r: f64 = (0..s.n()).map(|i| s.retrieval(i)).sum();
+        if total_r <= s.viewing() {
+            let all: Vec<usize> = (0..s.n()).collect();
+            let g = gain_empty_cache(&s, &all);
+            prop_assert!((upper_bound(&s) - g).abs() < TOL);
+        }
+    }
+}
+
+/// Reduced-mass scenarios (Σ P < 1, the Section-5 situation where some
+/// probability rests on cached items) and candidate-restricted solving.
+mod reduced_mass_props {
+    use super::*;
+    use skp_core::skp::brute::solve_optimal_candidates;
+    use skp_core::skp::{solve_exact_candidates, solve_paper_candidates};
+
+    /// Scenario with total mass scaled to ~0.6.
+    fn reduced_scenario() -> impl Strategy<Value = Scenario> {
+        (2usize..=8)
+            .prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(1u32..=100, n),
+                    proptest::collection::vec(1u32..=30, n),
+                    0u32..=50,
+                )
+            })
+            .prop_map(|(weights, retrievals, v)| {
+                let sum: f64 = weights.iter().map(|&x| x as f64).sum();
+                let probs: Vec<f64> = weights.iter().map(|&x| 0.6 * x as f64 / sum).collect();
+                let r: Vec<f64> = retrievals.iter().map(|&x| x as f64).collect();
+                Scenario::new(probs, r, v as f64).expect("valid scenario")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The solver hierarchy and the global DP's exactness survive
+        /// reduced probability mass (the uncovered mass pays the stretch).
+        #[test]
+        fn hierarchy_under_reduced_mass(s in reduced_scenario()) {
+            let paper = solve_paper(&s);
+            let exact = solve_exact(&s);
+            let brute = solve_optimal(&s);
+            let global = solve_global(&s).expect("integral instance");
+            prop_assert!(exact.gain >= paper.gain - TOL);
+            prop_assert!(brute.gain >= exact.gain - TOL);
+            prop_assert!((global.gain - brute.gain).abs() < TOL,
+                "global {} vs brute {}", global.gain, brute.gain);
+            prop_assert!(brute.gain >= -TOL);
+        }
+
+        /// Candidate-restricted branch-and-bound against the restricted
+        /// brute oracle, with the full scenario's mass paying penalties.
+        #[test]
+        fn candidate_restriction_hierarchy(
+            s in reduced_scenario(),
+            mask_bits in proptest::collection::vec(proptest::bool::ANY, 8),
+        ) {
+            let mask: Vec<bool> = (0..s.n())
+                .map(|i| mask_bits.get(i).copied().unwrap_or(true))
+                .collect();
+            if !mask.iter().any(|&b| b) {
+                return Ok(()); // no candidates: nothing to test
+            }
+            let paper = solve_paper_candidates(&s, &mask);
+            let exact = solve_exact_candidates(&s, &mask);
+            let brute = solve_optimal_candidates(&s, &mask);
+            for sol in [&paper, &exact, &brute] {
+                for &i in sol.plan.items() {
+                    prop_assert!(mask[i], "mask violated by item {}", i);
+                }
+            }
+            prop_assert!(exact.gain >= paper.gain - TOL);
+            prop_assert!(brute.gain >= exact.gain - TOL);
+        }
+    }
+}
+
+/// Arbitration invariants under random caches.
+mod arbitration_props {
+    use super::*;
+    use skp_core::arbitration::{arbitrate, CacheEntry, SubArbitration};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn arbitration_invariants(
+            s in scenario_strategy(),
+            cache_picks in proptest::collection::vec((0usize..32, 0u64..20), 0..6),
+            free in 0usize..3,
+            sub_pick in 0u8..3,
+        ) {
+            let sub = match sub_pick {
+                0 => SubArbitration::None,
+                1 => SubArbitration::Lfu,
+                _ => SubArbitration::DelaySaving,
+            };
+            let mut cache: Vec<CacheEntry> = Vec::new();
+            for &(p, f) in &cache_picks {
+                let id = p % s.n();
+                if !cache.iter().any(|e| e.id == id) {
+                    cache.push(CacheEntry { id, freq: f });
+                }
+            }
+            let candidates: Vec<bool> =
+                (0..s.n()).map(|i| !cache.iter().any(|e| e.id == i)).collect();
+            let tentative = skp_core::skp::solve_paper_candidates(&s, &candidates).plan;
+            let a = arbitrate(&s, &tentative, &cache, free, sub);
+
+            // Ejections pair with prefetches beyond the free slots.
+            prop_assert!(a.eject.len() <= a.prefetch.len());
+            prop_assert!(a.prefetch.len() <= tentative.len());
+            prop_assert!(a.eject.len() + free >= a.prefetch.len().min(a.eject.len() + free));
+            // Every ejected item was cached; every prefetched item was in
+            // the tentative plan and not cached.
+            for d in &a.eject {
+                prop_assert!(cache.iter().any(|e| e.id == *d));
+            }
+            for f_id in &a.prefetch {
+                prop_assert!(tentative.contains(*f_id));
+                prop_assert!(!cache.iter().any(|e| e.id == *f_id));
+            }
+            // No duplicates anywhere.
+            let mut e = a.eject.clone();
+            e.sort_unstable();
+            e.dedup();
+            prop_assert_eq!(e.len(), a.eject.len());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Golden-value regression tests: hand-computed optima for concrete
+//! instances, pinned so solver refactors cannot silently change
+//! behaviour. Every expected value below was derived by hand from the
+//! paper's formulas (and double-checked against the exhaustive oracle).
+
+use skp_core::gain::{expected_access_time_empty, gain_empty_cache, gain_with_cache, stretch_time};
+use skp_core::kp::{greedy_by_density, solve_kp};
+use skp_core::skp::{
+    linear_relaxation, solve_exact, solve_global, solve_optimal, solve_paper, upper_bound,
+};
+use skp_core::Scenario;
+
+const TOL: f64 = 1e-9;
+
+/// The running example of this repository:
+/// P = (0.5, 0.3, 0.2), r = (8, 6, 9), v = 10.
+fn running_example() -> Scenario {
+    Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0).unwrap()
+}
+
+#[test]
+fn running_example_closed_forms() {
+    let s = running_example();
+    // E[T no prefetch] = 0.5·8 + 0.3·6 + 0.2·9 = 7.6.
+    assert!((s.expected_no_prefetch() - 7.6).abs() < TOL);
+    // Dantzig: item0 whole (4.0) + 2 units of item1 at density 0.3.
+    assert!((upper_bound(&s) - 4.6).abs() < TOL);
+    let lin = linear_relaxation(&s);
+    assert_eq!(lin.critical, Some(1));
+    assert!((lin.fractions[1] - 1.0 / 3.0).abs() < TOL);
+
+    // Plan ⟨0, 2⟩: st = 7, g = (4.0 + 1.8) − (1 − 0.5)·7 = 2.3.
+    assert!((stretch_time(&s, &[0, 2]) - 7.0).abs() < TOL);
+    assert!((gain_empty_cache(&s, &[0, 2]) - 2.3).abs() < TOL);
+    // E[T] = 7.6 − 2.3 = 5.3.
+    assert!((expected_access_time_empty(&s, &[0, 2]) - 5.3).abs() < TOL);
+}
+
+#[test]
+fn running_example_solvers() {
+    let s = running_example();
+    // KP: {0} at profit 4.0 (0+1 weighs 14 > 10).
+    let kp = solve_kp(&s);
+    assert_eq!(kp.plan.items(), &[0]);
+    assert!((kp.profit - 4.0).abs() < TOL);
+    // Greedy agrees here.
+    assert_eq!(greedy_by_density(&s).plan.items(), &[0]);
+    // Verbatim Figure-3: picks {0, 2} with internal 4.4 but true 2.3.
+    let paper = solve_paper(&s);
+    assert_eq!(paper.plan.items(), &[0, 2]);
+    assert!((paper.internal_gain - 4.4).abs() < TOL);
+    assert!((paper.gain - 2.3).abs() < TOL);
+    // Corrected / global / oracle: {0} at 4.0.
+    for sol in [
+        solve_exact(&s),
+        solve_global(&s).unwrap(),
+        solve_optimal(&s),
+    ] {
+        assert_eq!(sol.plan.items(), &[0]);
+        assert!((sol.gain - 4.0).abs() < TOL);
+    }
+}
+
+/// The Theorem-1 feasibility-gap instance:
+/// P = (0.5, 0.3, 0.2), r = (10, 2, 50), v = 5.
+#[test]
+fn feasibility_gap_instance() {
+    let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![10.0, 2.0, 50.0], 5.0).unwrap();
+    // Canonical-space optimum: {1} at 0.6.
+    let exact = solve_exact(&s);
+    assert_eq!(exact.plan.items(), &[1]);
+    assert!((exact.gain - 0.6).abs() < TOL);
+    // Global optimum: ⟨1, 0⟩ at g = 5.6 − 0.7·7 = 0.7.
+    for sol in [solve_optimal(&s), solve_global(&s).unwrap()] {
+        assert_eq!(sol.plan.items(), &[1, 0]);
+        assert!((sol.gain - 0.7).abs() < TOL);
+    }
+}
+
+/// Eq. 9 with a concrete cache: C = {1}, F = ⟨0⟩, D = ∅ and D = {1}.
+#[test]
+fn cache_gain_golden_values() {
+    let s = running_example();
+    // g(⟨0⟩, ∅ | C = {1}): g*(⟨0⟩) = 4.0, no stretch, no ejection: 4.0.
+    assert!((gain_with_cache(&s, &[0], &[1], &[]) - 4.0).abs() < TOL);
+    // Ejecting item 1 costs its delay profit 1.8: g = 4.0 − 1.8 = 2.2.
+    assert!((gain_with_cache(&s, &[0], &[1], &[1]) - 2.2).abs() < TOL);
+    // Stretching plan ⟨0, 2⟩ with C = {1} kept: kept mass discounts the
+    // penalty: g = g*(F) + P_1·st = 2.3 + 0.3·7 = 4.4.
+    assert!((gain_with_cache(&s, &[0, 2], &[1], &[]) - 4.4).abs() < TOL);
+}
+
+/// A deterministic request (P = 1) with v = 5, r = 8: stretching is
+/// always right and worth exactly v.
+#[test]
+fn deterministic_request_gains_v() {
+    let s = Scenario::new(vec![1.0], vec![8.0], 5.0).unwrap();
+    for sol in [
+        solve_paper(&s),
+        solve_exact(&s),
+        solve_optimal(&s),
+        solve_global(&s).unwrap(),
+    ] {
+        assert_eq!(sol.plan.items(), &[0]);
+        assert!((sol.gain - 5.0).abs() < TOL);
+    }
+}
+
+/// Everything fits: every solver takes everything, gain = E[T(np)].
+#[test]
+fn ample_capacity_takes_all() {
+    let s = Scenario::new(vec![0.4, 0.35, 0.25], vec![3.0, 4.0, 5.0], 50.0).unwrap();
+    let expect = s.expected_no_prefetch();
+    for sol in [
+        solve_paper(&s),
+        solve_exact(&s),
+        solve_optimal(&s),
+        solve_global(&s).unwrap(),
+    ] {
+        assert_eq!(sol.plan.len(), 3);
+        assert!((sol.gain - expect).abs() < TOL);
+    }
+    let kp = solve_kp(&s);
+    assert!((kp.profit - expect).abs() < TOL);
+}
+
+/// Mass below one (cache case): the uncovered mass pays the stretch.
+/// P = (0.4, 0.2) with 0.4 resting elsewhere; plan ⟨0⟩ with r = 8, v = 5:
+/// st = 3, g = 3.2 − 1.0·3 = 0.2.
+#[test]
+fn reduced_mass_penalty() {
+    let s = Scenario::new(vec![0.4, 0.2], vec![8.0, 4.0], 5.0).unwrap();
+    assert!((gain_empty_cache(&s, &[0]) - 0.2).abs() < TOL);
+}

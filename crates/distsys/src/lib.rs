@@ -1,0 +1,35 @@
+//! # distsys — distributed-information-system substrate
+//!
+//! The paper's model abstracts a client fetching items from remote
+//! servers over a network where **a prefetch in progress completes before
+//! a demand fetch begins** (a single non-preemptive FIFO channel). This
+//! crate builds that system mechanistically:
+//!
+//! - [`engine`] — a deterministic discrete-event queue;
+//! - [`network`] — links (latency + bandwidth) and item catalogs mapping
+//!   items to retrieval times, including the paper's `r ∈ [1, 30]`
+//!   uniform catalog;
+//! - [`session`] — the client session of Figure 1/2: prefetches issued at
+//!   the start of the viewing time, the request arriving at its end, and
+//!   the access time measured event-by-event rather than by formula.
+//!
+//! The closed-form access times of `skp-core` are *derived* from this
+//! timing model; the workspace integration tests replay sessions here and
+//! assert the two agree exactly, which is the strongest check that the
+//! formulas (and hence the solvers) model the system the paper describes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod multiclient;
+pub mod network;
+pub mod session;
+pub mod shared;
+pub mod trace;
+
+pub use engine::EventQueue;
+pub use network::{Catalog, Link, RetrievalModel};
+pub use session::{run_session, SessionConfig, SessionOutcome};
+pub use shared::{access_time_shared, run_session_shared};
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,493 @@
+//! Multi-client distributed information system.
+//!
+//! The paper analyses a single client on a private channel. In the
+//! *distributed information system* of its title, many clients share a
+//! server: every speculative prefetch one client issues queues ahead of
+//! other clients' traffic. This module builds that system as a
+//! discrete-event simulation — a single FIFO server channel (matching
+//! the paper's "prefetch completes before demand fetch" discipline,
+//! extended across clients) serving a population of independent
+//! Markov-browsing clients, each running its own prefetch policy.
+//!
+//! What it measures is exactly the tension Section 6 raises: "the SKP
+//! algorithm with arbitration maximises access improvement without
+//! regard to the increase in network usage" — with shared capacity,
+//! aggressive prefetching saturates the server and *raises* everyone's
+//! access time, while the network-aware objective backs off.
+
+use crate::engine::EventQueue;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// What a queued transfer is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Speculative prefetch.
+    Prefetch,
+    /// Demand fetch for a waiting user.
+    Demand,
+}
+
+/// A transfer job on the server channel.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    client: usize,
+    item: usize,
+    kind: JobKind,
+    duration: f64,
+    /// Round in which the job was issued (stale prefetches of older
+    /// rounds still occupy the channel but no longer satisfy requests).
+    round: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Client finished viewing and requests its next item.
+    Request(usize),
+    /// The server finished the job at the head of the channel.
+    JobDone,
+}
+
+/// Per-client driver supplied by the harness.
+pub trait ClientPolicy {
+    /// Plan the prefetch list for the coming round.
+    ///
+    /// `state` is the client's current item (Markov state); the returned
+    /// list is issued to the server in order.
+    fn plan(&mut self, client: usize, state: usize) -> Vec<usize>;
+}
+
+impl<F> ClientPolicy for F
+where
+    F: FnMut(usize, usize) -> Vec<usize>,
+{
+    fn plan(&mut self, client: usize, state: usize) -> Vec<usize> {
+        self(client, state)
+    }
+}
+
+/// The workload a client follows.
+pub trait ClientWorkload {
+    /// Viewing time in the given state.
+    fn viewing(&self, state: usize) -> f64;
+    /// Sample the next request from the given state.
+    fn next(&self, state: usize, rng: &mut SmallRng) -> usize;
+    /// Number of items.
+    fn n_items(&self) -> usize;
+}
+
+impl ClientWorkload for access_shim::Chain<'_> {
+    fn viewing(&self, state: usize) -> f64 {
+        self.0.viewing(state)
+    }
+    fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
+        self.0.next_state(state, rng)
+    }
+    fn n_items(&self) -> usize {
+        self.0.n_states()
+    }
+}
+
+/// Thin wrapper so `distsys` does not depend on `access-model` directly:
+/// the harness constructs [`access_shim::Chain`] from any Markov-like
+/// source exposing the three methods.
+pub mod access_shim {
+    /// Borrowed Markov-like workload.
+    pub struct Chain<'a>(pub &'a dyn MarkovLike);
+
+    /// The interface the multi-client simulation needs from a chain.
+    pub trait MarkovLike {
+        /// Viewing time of a state.
+        fn viewing(&self, state: usize) -> f64;
+        /// Sample the next state.
+        fn next_state(&self, state: usize, rng: &mut rand::rngs::SmallRng) -> usize;
+        /// Number of states.
+        fn n_states(&self) -> usize;
+    }
+}
+
+/// Aggregate results of a multi-client run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClientResult {
+    /// Mean access time across all served requests.
+    pub mean_access_time: f64,
+    /// Requests served.
+    pub requests: u64,
+    /// Fraction of simulated time the server channel was busy.
+    pub utilisation: f64,
+    /// Total transfer time spent on prefetches that did not serve the
+    /// round's request (wasted network usage).
+    pub wasted_transfer: f64,
+    /// Total transfer time spent overall.
+    pub total_transfer: f64,
+    /// Mean queue length sampled at job completions.
+    pub mean_queue_len: f64,
+}
+
+/// Configuration of a multi-client simulation.
+pub struct MultiClientSim<'a, W: ClientWorkload> {
+    /// Shared workload definition (per-state viewing and transitions).
+    pub workload: &'a W,
+    /// Retrieval time of each item on the shared channel.
+    pub retrievals: &'a [f64],
+    /// Number of clients.
+    pub clients: usize,
+    /// Requests to serve per client.
+    pub requests_per_client: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl<'a, W: ClientWorkload> MultiClientSim<'a, W> {
+    /// Runs the simulation with the given planning policy.
+    ///
+    /// # Panics
+    /// Panics when `clients == 0` or retrieval data does not cover the
+    /// workload's items.
+    pub fn run(&self, policy: &mut dyn ClientPolicy) -> MultiClientResult {
+        assert!(self.clients >= 1, "need at least one client");
+        assert!(
+            self.retrievals.len() >= self.workload.n_items(),
+            "retrievals must cover the item universe"
+        );
+        let n_clients = self.clients;
+        let total_requests = self.requests_per_client * n_clients as u64;
+
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut queue: VecDeque<Job> = VecDeque::new();
+        let mut in_service: Option<Job> = None;
+        let mut busy_until = 0.0_f64;
+        let mut busy_time = 0.0_f64;
+
+        // Per-client state.
+        let mut rngs: Vec<SmallRng> = (0..n_clients)
+            .map(|c| SmallRng::seed_from_u64(self.seed ^ (0xC11E * (c as u64 + 1))))
+            .collect();
+        let mut state: Vec<usize> = rngs
+            .iter_mut()
+            .map(|r| r.random_range(0..self.workload.n_items()))
+            .collect();
+        let mut round: Vec<u64> = vec![0; n_clients];
+        let mut pending_alpha: Vec<Option<(usize, f64)>> = vec![None; n_clients]; // (item, request time)
+        let mut done_this_round: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+        let mut planned_this_round: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+
+        let mut served = 0u64;
+        let mut t_sum = 0.0_f64;
+        let mut wasted_transfer = 0.0_f64;
+        let mut total_transfer = 0.0_f64;
+        let mut queue_len_sum = 0.0_f64;
+        let mut queue_samples = 0u64;
+
+        // Kick off: every client starts a round at t = 0.
+        for c in 0..n_clients {
+            let plan = policy.plan(c, state[c]);
+            planned_this_round[c] = plan.clone();
+            for item in plan {
+                queue.push_back(Job {
+                    client: c,
+                    item,
+                    kind: JobKind::Prefetch,
+                    duration: self.retrievals[item],
+                    round: round[c],
+                });
+            }
+            q.schedule(self.workload.viewing(state[c]), Ev::Request(c));
+        }
+        // Start the channel if anything is queued.
+        macro_rules! try_start {
+            ($now:expr) => {
+                if in_service.is_none() {
+                    if let Some(job) = queue.pop_front() {
+                        let start = f64::max($now, busy_until);
+                        busy_until = start + job.duration;
+                        busy_time += job.duration;
+                        total_transfer += job.duration;
+                        in_service = Some(job);
+                        q.schedule(busy_until, Ev::JobDone);
+                    }
+                }
+            };
+        }
+        try_start!(0.0);
+
+        let mut last_now = 0.0_f64;
+        while let Some((now, ev)) = q.pop() {
+            last_now = now;
+            match ev {
+                Ev::Request(c) => {
+                    let alpha = self.workload.next(state[c], &mut rngs[c]);
+                    if done_this_round[c].contains(&alpha) {
+                        // Served instantly from this round's prefetches.
+                        self.finish_request(
+                            c,
+                            alpha,
+                            now,
+                            now,
+                            policy,
+                            &mut q,
+                            &mut queue,
+                            &mut state,
+                            &mut round,
+                            &mut done_this_round,
+                            &mut planned_this_round,
+                            &mut served,
+                            &mut t_sum,
+                            &mut wasted_transfer,
+                        );
+                    } else if planned_this_round[c].contains(&alpha) {
+                        // In flight or queued: wait for its completion.
+                        pending_alpha[c] = Some((alpha, now));
+                    } else {
+                        // Demand fetch at the queue tail (FIFO channel).
+                        queue.push_back(Job {
+                            client: c,
+                            item: alpha,
+                            kind: JobKind::Demand,
+                            duration: self.retrievals[alpha],
+                            round: round[c],
+                        });
+                        pending_alpha[c] = Some((alpha, now));
+                    }
+                    try_start!(now);
+                }
+                Ev::JobDone => {
+                    queue_len_sum += queue.len() as f64;
+                    queue_samples += 1;
+                    let job = in_service.take().expect("a job was in service");
+                    if job.round == round[job.client] {
+                        done_this_round[job.client].push(job.item);
+                        if let Some((alpha, req_at)) = pending_alpha[job.client] {
+                            if alpha == job.item {
+                                pending_alpha[job.client] = None;
+                                self.finish_request(
+                                    job.client,
+                                    alpha,
+                                    now,
+                                    req_at,
+                                    policy,
+                                    &mut q,
+                                    &mut queue,
+                                    &mut state,
+                                    &mut round,
+                                    &mut done_this_round,
+                                    &mut planned_this_round,
+                                    &mut served,
+                                    &mut t_sum,
+                                    &mut wasted_transfer,
+                                );
+                            }
+                        }
+                    } else if job.kind == JobKind::Prefetch {
+                        // Stale prefetch from a previous round: pure waste.
+                        wasted_transfer += job.duration;
+                    }
+                    try_start!(now);
+                }
+            }
+            if served >= total_requests {
+                break;
+            }
+        }
+
+        MultiClientResult {
+            mean_access_time: if served == 0 {
+                0.0
+            } else {
+                t_sum / served as f64
+            },
+            requests: served,
+            utilisation: if last_now > 0.0 {
+                busy_time.min(last_now) / last_now
+            } else {
+                0.0
+            },
+            wasted_transfer,
+            total_transfer,
+            mean_queue_len: if queue_samples == 0 {
+                0.0
+            } else {
+                queue_len_sum / queue_samples as f64
+            },
+        }
+    }
+
+    /// A request was served: account for it and start the next round.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_request(
+        &self,
+        c: usize,
+        alpha: usize,
+        now: f64,
+        requested_at: f64,
+        policy: &mut dyn ClientPolicy,
+        q: &mut EventQueue<Ev>,
+        queue: &mut VecDeque<Job>,
+        state: &mut [usize],
+        round: &mut [u64],
+        done_this_round: &mut [Vec<usize>],
+        planned_this_round: &mut [Vec<usize>],
+        served: &mut u64,
+        t_sum: &mut f64,
+        wasted_transfer: &mut f64,
+    ) {
+        *t_sum += now - requested_at;
+        *served += 1;
+        // Waste accounting: completed prefetches of this round that were
+        // not the request.
+        for &item in done_this_round[c].iter() {
+            if item != alpha {
+                *wasted_transfer += self.retrievals[item];
+            }
+        }
+        // Next round.
+        state[c] = alpha;
+        round[c] += 1;
+        done_this_round[c].clear();
+        planned_this_round[c].clear();
+        let plan = policy.plan(c, state[c]);
+        planned_this_round[c] = plan.clone();
+        for item in plan {
+            queue.push_back(Job {
+                client: c,
+                item,
+                kind: JobKind::Prefetch,
+                duration: self.retrievals[item],
+                round: round[c],
+            });
+        }
+        q.schedule(now + self.workload.viewing(state[c]), Ev::Request(c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::access_shim::{Chain, MarkovLike};
+    use super::*;
+
+    /// Deterministic 2-state round-robin workload.
+    struct RoundRobin {
+        viewing: f64,
+    }
+    impl MarkovLike for RoundRobin {
+        fn viewing(&self, _state: usize) -> f64 {
+            self.viewing
+        }
+        fn next_state(&self, state: usize, _rng: &mut SmallRng) -> usize {
+            1 - state
+        }
+        fn n_states(&self) -> usize {
+            2
+        }
+    }
+
+    fn sim<'a>(
+        chain: &'a Chain<'a>,
+        retrievals: &'a [f64],
+        clients: usize,
+        requests: u64,
+    ) -> MultiClientSim<'a, Chain<'a>> {
+        MultiClientSim {
+            workload: chain,
+            retrievals,
+            clients,
+            requests_per_client: requests,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn single_client_perfect_prefetch_is_free() {
+        // The next state is deterministic; prefetching it always hits and
+        // fits in the window (r = 3 < v = 10).
+        let rr = RoundRobin { viewing: 10.0 };
+        let chain = Chain(&rr);
+        let retrievals = [3.0, 3.0];
+        let s = sim(&chain, &retrievals, 1, 50);
+        let mut policy = |_c: usize, state: usize| vec![1 - state];
+        let out = s.run(&mut policy);
+        assert_eq!(out.requests, 50);
+        assert!(out.mean_access_time < 1e-9, "mean {}", out.mean_access_time);
+        assert!(out.wasted_transfer < 1e-9);
+    }
+
+    #[test]
+    fn single_client_no_prefetch_pays_retrieval() {
+        let rr = RoundRobin { viewing: 10.0 };
+        let chain = Chain(&rr);
+        let retrievals = [4.0, 4.0];
+        let s = sim(&chain, &retrievals, 1, 40);
+        let mut policy = |_c: usize, _state: usize| Vec::new();
+        let out = s.run(&mut policy);
+        assert!((out.mean_access_time - 4.0).abs() < 1e-9);
+        assert_eq!(out.wasted_transfer, 0.0);
+    }
+
+    #[test]
+    fn wrong_prefetches_count_as_waste_and_delay() {
+        // Prefetch the *current* item (never requested next): every
+        // request is a miss that queues behind the useless prefetch.
+        let rr = RoundRobin { viewing: 1.0 };
+        let chain = Chain(&rr);
+        let retrievals = [5.0, 5.0];
+        let s = sim(&chain, &retrievals, 1, 30);
+        let mut policy = |_c: usize, state: usize| vec![state];
+        let out = s.run(&mut policy);
+        assert!(out.mean_access_time > 5.0, "mean {}", out.mean_access_time);
+        assert!(out.wasted_transfer > 0.0);
+    }
+
+    #[test]
+    fn contention_raises_access_time() {
+        // Many no-prefetch clients on one channel: service degrades
+        // relative to a single client.
+        let rr = RoundRobin { viewing: 2.0 };
+        let chain = Chain(&rr);
+        let retrievals = [4.0, 4.0];
+        let mut none = |_c: usize, _s: usize| Vec::new();
+        let solo = sim(&chain, &retrievals, 1, 40).run(&mut none);
+        let mut none2 = |_c: usize, _s: usize| Vec::new();
+        let crowd = sim(&chain, &retrievals, 8, 40).run(&mut none2);
+        assert!(
+            crowd.mean_access_time > solo.mean_access_time + 1.0,
+            "8 clients {} vs 1 client {}",
+            crowd.mean_access_time,
+            solo.mean_access_time
+        );
+        assert!(crowd.utilisation > solo.utilisation);
+    }
+
+    #[test]
+    fn utilisation_bounded_by_one() {
+        let rr = RoundRobin { viewing: 1.0 };
+        let chain = Chain(&rr);
+        let retrievals = [9.0, 9.0];
+        let mut policy = |_c: usize, state: usize| vec![1 - state];
+        let out = sim(&chain, &retrievals, 6, 25).run(&mut policy);
+        assert!(out.utilisation <= 1.0 + 1e-9);
+        assert!(out.utilisation > 0.9, "overloaded channel should be busy");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let rr = RoundRobin { viewing: 3.0 };
+        let chain = Chain(&rr);
+        let retrievals = [2.0, 7.0];
+        let mut p1 = |_c: usize, state: usize| vec![1 - state];
+        let a = sim(&chain, &retrievals, 3, 30).run(&mut p1);
+        let mut p2 = |_c: usize, state: usize| vec![1 - state];
+        let b = sim(&chain, &retrievals, 3, 30).run(&mut p2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        let rr = RoundRobin { viewing: 1.0 };
+        let chain = Chain(&rr);
+        let retrievals = [1.0, 1.0];
+        let mut p = |_c: usize, _s: usize| Vec::new();
+        let _ = sim(&chain, &retrievals, 0, 1).run(&mut p);
+    }
+}

@@ -1,0 +1,252 @@
+//! The **shared-bandwidth** channel model of the authors' companion paper
+//! (reference \[15\]: *"a model in which prefetching is neither aborted nor
+//! preempted by demand fetch but instead gets equal priority in network
+//! bandwidth utilisation"*).
+//!
+//! The main paper's model is FIFO: a demand fetch waits for every
+//! outstanding prefetch. Under bandwidth sharing, a demand fetch instead
+//! runs *concurrently* with the remaining prefetch stream, each side
+//! receiving half the channel until one finishes.
+//!
+//! Closed form for a request `α` arriving at `v` against a plan with
+//! remaining prefetch work `W` (total plan work minus `v`, floored at 0):
+//!
+//! - `α` cached or already prefetched: `T = 0`;
+//! - `α` still in the prefetch stream: the stream keeps the full channel
+//!   (there is no competing demand), so `T = max(0, C_α − v)` with `C_α`
+//!   the plan-order completion time — identical to FIFO;
+//! - `α` not planned: demand and prefetch share until one side ends:
+//!   `T = 2·r_α` if `r_α ≤ W`, else `T = r_α + W`.
+//!
+//! Sharing therefore never hurts the demand fetch and helps exactly when
+//! the miss is lighter than the outstanding prefetch work
+//! (`T_shared = min(2 r_α, r_α + W) ≤ r_α + W = T_fifo`). The fluid
+//! replay [`run_session_shared`] integrates the two streams explicitly
+//! and the tests pin it to the closed form [`access_time_shared`].
+
+use crate::network::RetrievalModel;
+use crate::session::SessionConfig;
+
+/// Closed-form access time under the shared-bandwidth channel.
+pub fn access_time_shared(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -> f64 {
+    let alpha = cfg.request;
+    if cfg.cached.contains(&alpha) {
+        return 0.0;
+    }
+    // Completion time of each planned item at full rate.
+    let mut acc = 0.0;
+    let mut completion_alpha = None;
+    for &i in cfg.plan {
+        acc += retr.retrieval_time(i);
+        if i == alpha {
+            completion_alpha = Some(acc);
+        }
+    }
+    let total_plan = acc;
+    if let Some(c) = completion_alpha {
+        return (c - cfg.viewing).max(0.0);
+    }
+    let w = (total_plan - cfg.viewing).max(0.0); // outstanding prefetch work
+    let r = retr.retrieval_time(alpha);
+    if r <= w {
+        2.0 * r
+    } else {
+        r + w
+    }
+}
+
+/// FIFO access time (the main paper's model) for the same configuration —
+/// convenience for side-by-side comparisons.
+pub fn access_time_fifo(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -> f64 {
+    crate::session::run_session(retr, cfg).access_time
+}
+
+/// Outcome of the fluid replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedOutcome {
+    /// Response time of the request.
+    pub access_time: f64,
+    /// Absolute time every planned prefetch had completed.
+    pub prefetches_done_at: f64,
+}
+
+/// Fluid (piecewise-linear) replay of the shared-bandwidth channel.
+///
+/// Integrates the prefetch stream and the demand fetch as fluid flows:
+/// full rate while alone on the channel, half rate each while both are
+/// active. Exists to *validate* [`access_time_shared`] mechanistically;
+/// prefer the closed form in simulations.
+pub fn run_session_shared(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -> SharedOutcome {
+    assert!(
+        cfg.viewing.is_finite() && cfg.viewing >= 0.0,
+        "invalid viewing time"
+    );
+    let alpha = cfg.request;
+    let total_plan: f64 = cfg.plan.iter().map(|&i| retr.retrieval_time(i)).sum();
+
+    // Phase 1: prefetch alone on the channel until the request arrives.
+    let work_done_at_v = total_plan.min(cfg.viewing);
+    let mut prefetch_left = total_plan - work_done_at_v;
+
+    // Cache hit: served instantly; prefetches finish at full rate.
+    if cfg.cached.contains(&alpha) {
+        return SharedOutcome {
+            access_time: 0.0,
+            prefetches_done_at: cfg.viewing + prefetch_left,
+        };
+    }
+
+    // Request for a planned item: the stream continues at full rate until
+    // that item completes (no competing demand exists).
+    if cfg.plan.contains(&alpha) {
+        let mut acc = 0.0;
+        for &i in cfg.plan {
+            acc += retr.retrieval_time(i);
+            if i == alpha {
+                break;
+            }
+        }
+        let served_at = acc.max(cfg.viewing);
+        return SharedOutcome {
+            access_time: served_at - cfg.viewing,
+            prefetches_done_at: cfg.viewing.max(total_plan),
+        };
+    }
+
+    // Demand fetch shares the channel with the remaining prefetch work.
+    let mut t = cfg.viewing;
+    let mut demand_left = retr.retrieval_time(alpha);
+    if prefetch_left > 0.0 {
+        // Both active at rate 1/2 until one side exhausts.
+        let joint = prefetch_left.min(demand_left);
+        t += 2.0 * joint;
+        prefetch_left -= joint;
+        demand_left -= joint;
+    }
+    // Whoever is left runs at full rate.
+    let served_at = t + demand_left;
+    let prefetches_done_at = if prefetch_left > 0.0 {
+        served_at.max(t) + prefetch_left
+    } else {
+        t.min(served_at)
+    };
+    SharedOutcome {
+        access_time: served_at - cfg.viewing,
+        prefetches_done_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Catalog;
+
+    const TOL: f64 = 1e-9;
+
+    fn catalog() -> Catalog {
+        Catalog::new(vec![8.0, 6.0, 9.0]) // r = [8, 6, 9]
+    }
+
+    fn cfg<'a>(
+        viewing: f64,
+        plan: &'a [usize],
+        request: usize,
+        cached: &'a [usize],
+    ) -> SessionConfig<'a> {
+        SessionConfig {
+            viewing,
+            plan,
+            request,
+            cached,
+        }
+    }
+
+    #[test]
+    fn cache_hits_and_planned_items_match_fifo() {
+        let c = catalog();
+        // Cache hit.
+        assert_eq!(access_time_shared(&c, &cfg(10.0, &[], 1, &[1])), 0.0);
+        // Fully prefetched item.
+        assert_eq!(access_time_shared(&c, &cfg(10.0, &[0], 0, &[])), 0.0);
+        // Stretching item: same as FIFO (no competing demand).
+        let shared = access_time_shared(&c, &cfg(10.0, &[0, 2], 2, &[]));
+        let fifo = access_time_fifo(&c, &cfg(10.0, &[0, 2], 2, &[]));
+        assert!((shared - fifo).abs() < TOL);
+        assert!((shared - 7.0).abs() < TOL);
+    }
+
+    #[test]
+    fn light_miss_finishes_before_prefetch_stream() {
+        let c = catalog();
+        // Plan [0, 2] leaves W = 7 at v = 10; miss on item 1 (r = 6 ≤ 7):
+        // shared T = 12 < FIFO T = 13.
+        let shared = access_time_shared(&c, &cfg(10.0, &[0, 2], 1, &[]));
+        let fifo = access_time_fifo(&c, &cfg(10.0, &[0, 2], 1, &[]));
+        assert!((shared - 12.0).abs() < TOL);
+        assert!((fifo - 13.0).abs() < TOL);
+    }
+
+    #[test]
+    fn heavy_miss_pays_outstanding_work() {
+        let c = Catalog::new(vec![2.0, 20.0, 3.0]);
+        // Plan [2] at v = 1: W = 2; miss on item 1 (r = 20 > W):
+        // T = r + W = 22 (same as FIFO).
+        let shared = access_time_shared(&c, &cfg(1.0, &[2], 1, &[]));
+        let fifo = access_time_fifo(&c, &cfg(1.0, &[2], 1, &[]));
+        assert!((shared - 22.0).abs() < TOL);
+        assert!((shared - fifo).abs() < TOL);
+    }
+
+    #[test]
+    fn sharing_never_worse_than_fifo() {
+        let c = catalog();
+        for plan in [vec![], vec![0], vec![0, 2], vec![1, 0]] {
+            for alpha in 0..3 {
+                let shared = access_time_shared(&c, &cfg(5.0, &plan, alpha, &[]));
+                let fifo = access_time_fifo(&c, &cfg(5.0, &plan, alpha, &[]));
+                assert!(
+                    shared <= fifo + TOL,
+                    "plan {plan:?}, α={alpha}: shared {shared} > fifo {fifo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fluid_replay_matches_closed_form() {
+        let c = catalog();
+        for v in [0.0, 3.0, 10.0, 25.0] {
+            for plan in [vec![], vec![0], vec![2], vec![0, 2], vec![1, 0, 2]] {
+                for alpha in 0..3 {
+                    let conf = cfg(v, &plan, alpha, &[]);
+                    let closed = access_time_shared(&c, &conf);
+                    let fluid = run_session_shared(&c, &conf).access_time;
+                    assert!(
+                        (closed - fluid).abs() < TOL,
+                        "v={v}, plan {plan:?}, α={alpha}: closed {closed} vs fluid {fluid}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fluid_replay_tracks_prefetch_completion() {
+        let c = catalog();
+        // Plan [0, 2] (17 work), v = 10, miss on 1 (6 work).
+        // Shared until t = 10 + 12 = 22: demand done, prefetch got 6 of
+        // its 7 remaining -> finishes at 23.
+        let out = run_session_shared(&c, &cfg(10.0, &[0, 2], 1, &[]));
+        assert!((out.access_time - 12.0).abs() < TOL);
+        assert!((out.prefetches_done_at - 23.0).abs() < TOL);
+    }
+
+    #[test]
+    fn no_plan_is_plain_retrieval_in_both_models() {
+        let c = catalog();
+        let shared = access_time_shared(&c, &cfg(4.0, &[], 2, &[]));
+        let fifo = access_time_fifo(&c, &cfg(4.0, &[], 2, &[]));
+        assert!((shared - 9.0).abs() < TOL);
+        assert!((shared - fifo).abs() < TOL);
+    }
+}

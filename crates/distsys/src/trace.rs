@@ -1,0 +1,193 @@
+//! Request traces: record a simulated (or real) access stream, save it to
+//! a simple line-oriented text format, and replay it later.
+//!
+//! The paper's experiments are fully synthetic, but any production
+//! deployment of this library would be driven by logged traces; this
+//! module is the interchange point. Format (one record per line):
+//!
+//! ```text
+//! # comment
+//! <item> <viewing-time>
+//! ```
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// One trace record: the requested item and the viewing time that
+/// preceded the *next* request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Requested item id.
+    pub item: usize,
+    /// Viewing time after this request was served.
+    pub viewing: f64,
+}
+
+/// An ordered access trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from records.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, item: usize, viewing: f64) {
+        self.records.push(TraceRecord { item, viewing });
+    }
+
+    /// The records in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Largest item id in the trace plus one (the implied universe size);
+    /// zero for an empty trace.
+    pub fn universe(&self) -> usize {
+        self.records.iter().map(|r| r.item + 1).max().unwrap_or(0)
+    }
+
+    /// Serialises to the line format.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "# speculative-prefetch trace v1: <item> <viewing>")?;
+        for r in &self.records {
+            writeln!(f, "{} {}", r.item, r.viewing)?;
+        }
+        Ok(())
+    }
+
+    /// Parses the line format; `#` lines and blanks are skipped.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut records = Vec::new();
+        for (lineno, line) in f.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let bad = || {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: expected '<item> <viewing>'", lineno + 1),
+                )
+            };
+            let item: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let viewing: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            if !viewing.is_finite() || viewing < 0.0 || parts.next().is_some() {
+                return Err(bad());
+            }
+            records.push(TraceRecord { item, viewing });
+        }
+        Ok(Self { records })
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        Self {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(3, 10.0);
+        t.push(1, 5.5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.universe(), 4);
+        assert_eq!(
+            t.records()[1],
+            TraceRecord {
+                item: 1,
+                viewing: 5.5
+            }
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("skp_trace_test");
+        let path = dir.join("t.trace");
+        let mut t = Trace::new();
+        t.push(0, 1.0);
+        t.push(7, 42.25);
+        t.push(2, 0.0);
+        t.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(loaded, t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_skips_comments_and_blanks() {
+        let dir = std::env::temp_dir().join("skp_trace_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.trace");
+        std::fs::write(&path, "# header\n\n1 2.5\n# mid\n3 4\n").unwrap();
+        let t = Trace::load(&path).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[0].item, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("skp_trace_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, body) in [
+            ("a", "x y\n"),
+            ("b", "1\n"),
+            ("c", "1 2 3\n"),
+            ("d", "1 -5\n"),
+            ("e", "1 nan\n"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            assert!(Trace::load(&path).is_err(), "{body:?} should fail");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Trace = (0..3)
+            .map(|i| TraceRecord {
+                item: i,
+                viewing: i as f64,
+            })
+            .collect();
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the discrete-event substrate: ordering laws of the
+//! event queue and structural properties of session replays.
+
+use distsys::shared::{access_time_fifo, access_time_shared, run_session_shared};
+use distsys::{run_session, Catalog, EventQueue, SessionConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events pop in non-decreasing time order with FIFO tie-breaks.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0.0f64..1000.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut popped = 0;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_t);
+            if t == last_t {
+                // FIFO: insertion ids at equal times must be increasing.
+                prop_assert!(seen_at_time.last().is_none_or(|&prev| id > prev));
+                seen_at_time.push(id);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(id);
+            }
+            last_t = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Session laws for random catalogs/plans:
+    /// - T ≥ 0;
+    /// - T = 0 iff served instantly;
+    /// - monotonicity in v: more viewing time never hurts;
+    /// - the miss penalty equals total plan overrun + own retrieval.
+    #[test]
+    fn session_laws(
+        retrievals in proptest::collection::vec(1.0f64..30.0, 2..8),
+        plan_picks in proptest::collection::vec(0usize..8, 0..5),
+        request in 0usize..8,
+        viewing in 0.0f64..60.0,
+    ) {
+        let n = retrievals.len();
+        let catalog = Catalog::new(retrievals.clone());
+        let mut plan: Vec<usize> = Vec::new();
+        for p in plan_picks {
+            let id = p % n;
+            if !plan.contains(&id) {
+                plan.push(id);
+            }
+        }
+        let request = request % n;
+        let cfg = SessionConfig { viewing, plan: &plan, request, cached: &[] };
+        let out = run_session(&catalog, &cfg);
+
+        prop_assert!(out.access_time >= 0.0);
+
+        // Monotonicity in viewing time.
+        let cfg2 = SessionConfig { viewing: viewing + 5.0, plan: &plan, request, cached: &[] };
+        let out2 = run_session(&catalog, &cfg2);
+        prop_assert!(
+            out2.access_time <= out.access_time + 1e-9,
+            "more viewing time must not hurt: {} vs {}",
+            out2.access_time,
+            out.access_time
+        );
+
+        // Misses: T = max(plan total, v) − v + r.
+        if !plan.contains(&request) {
+            let total: f64 = plan.iter().map(|&i| retrievals[i]).sum();
+            let expected = total.max(viewing) - viewing + retrievals[request];
+            prop_assert!((out.access_time - expected).abs() < 1e-9);
+        }
+
+        // Cached requests are always free.
+        let cached = [request];
+        let cfg3 = SessionConfig { viewing, plan: &plan, request, cached: &cached };
+        prop_assert_eq!(run_session(&catalog, &cfg3).access_time, 0.0);
+    }
+
+    /// The shared-bandwidth channel never loses to FIFO, agrees with FIFO
+    /// for planned/cached requests, and its fluid replay matches its
+    /// closed form.
+    #[test]
+    fn shared_channel_laws(
+        retrievals in proptest::collection::vec(1.0f64..30.0, 2..8),
+        plan_picks in proptest::collection::vec(0usize..8, 0..5),
+        request in 0usize..8,
+        viewing in 0.0f64..60.0,
+    ) {
+        let n = retrievals.len();
+        let catalog = Catalog::new(retrievals.clone());
+        let mut plan: Vec<usize> = Vec::new();
+        for p in plan_picks {
+            let id = p % n;
+            if !plan.contains(&id) {
+                plan.push(id);
+            }
+        }
+        let request = request % n;
+        let cfg = SessionConfig { viewing, plan: &plan, request, cached: &[] };
+
+        let fifo = access_time_fifo(&catalog, &cfg);
+        let shared = access_time_shared(&catalog, &cfg);
+        let fluid = run_session_shared(&catalog, &cfg).access_time;
+
+        prop_assert!(shared <= fifo + 1e-9, "sharing must not hurt");
+        prop_assert!((shared - fluid).abs() < 1e-9, "closed form vs fluid");
+        if plan.contains(&request) {
+            prop_assert!((shared - fifo).abs() < 1e-9, "planned items identical");
+        }
+        // Sharing can at most halve... no: it saves at most the
+        // outstanding work W − r (when r ≤ W), i.e. shared ≥ fifo − r...
+        // check the closed bound shared ≥ r for misses.
+        if !plan.contains(&request) {
+            prop_assert!(shared >= retrievals[request] - 1e-9);
+        }
+    }
+}

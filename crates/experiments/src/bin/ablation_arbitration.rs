@@ -1,0 +1,160 @@
+//! Arbitration ablation on the Figure-7 workload.
+//!
+//! Two questions the paper leaves open:
+//!
+//! 1. How much of the prefetch-cache win comes from the **Pr-arbitration**
+//!    itself? We compare demand-only caching under Pr against classic
+//!    LRU/LFU/FIFO/Random replacement.
+//! 2. How sensitive is the sub-arbitration ranking (`DS ≤ LFU ≤ none`) to
+//!    the Markov fan-out (more successors = flatter rows = more Pr ties)?
+
+use access_model::FreqTracker;
+use cache_sim::{Cache, Replacement};
+use experiments::{print_table, Args};
+use montecarlo::output::write_csv;
+use montecarlo::prefetch_cache::PrefetchCacheSim;
+use montecarlo::stats::RunningStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skp_core::arbitration::SubArbitration;
+use skp_core::Scenario;
+
+/// Demand-only caching under an arbitrary replacement policy: the
+/// baseline loop behind question 1.
+fn run_demand_only(
+    sim: &PrefetchCacheSim,
+    capacity: usize,
+    repl: Replacement,
+    point_seed: u64,
+) -> f64 {
+    let (chain, catalog) = sim.workload();
+    let n = chain.n_states();
+    let retrievals: Vec<f64> = (0..n)
+        .map(|i| distsys::RetrievalModel::retrieval_time(&catalog, i))
+        .collect();
+    let mut cache = Cache::new(capacity, n);
+    let mut freq = FreqTracker::new(n);
+    let mut rng = SmallRng::seed_from_u64(point_seed);
+    let mut state = rng.random_range(0..n);
+    let mut acc = RunningStats::new();
+
+    for _ in 0..sim.requests {
+        let s = Scenario::new(
+            chain.row_probs(state),
+            retrievals.clone(),
+            chain.viewing(state),
+        )
+        .expect("valid scenario");
+        let alpha = chain.next_state(state, &mut rng);
+        let t = if cache.contains(alpha) {
+            0.0
+        } else {
+            if cache.free_slots() == 0 {
+                let v = repl
+                    .choose(&cache, &s, &freq, &mut rng)
+                    .expect("non-empty cache");
+                cache.evict(v);
+            }
+            cache.insert(alpha);
+            s.retrieval(alpha)
+        };
+        freq.record(alpha);
+        cache.touch(alpha);
+        acc.push(t);
+        state = alpha;
+    }
+    acc.mean()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let requests = args.get_u64("requests", if quick { 5_000 } else { 50_000 });
+    let capacity = args.get_usize("capacity", 30);
+    let seed = args.get_u64("seed", 1999);
+    let out = args.out_dir();
+
+    println!("== Ablation 1: replacement policy for demand-only caching ==");
+    println!("   Figure-7 workload, capacity {capacity}, {requests} requests, seed {seed}\n");
+
+    let sim = PrefetchCacheSim::paper(requests, seed);
+    let baselines = [
+        Replacement::Pr(SubArbitration::None),
+        Replacement::Pr(SubArbitration::DelaySaving),
+        Replacement::Lru,
+        Replacement::Lfu,
+        Replacement::Fifo,
+        Replacement::Random,
+    ];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (i, repl) in baselines.iter().enumerate() {
+        let t = run_demand_only(&sim, capacity, *repl, seed ^ 0xABCD);
+        rows.push(vec![repl.name().to_string(), format!("{t:.3}")]);
+        csv_rows.push(vec![i as f64, t]);
+    }
+    print_table(&["replacement", "mean T"], &rows);
+    let path = out.join("ablation_replacement.csv");
+    write_csv(&path, &["policy_id", "mean_T"], &csv_rows).expect("write csv");
+    println!("\n   wrote {}\n", path.display());
+
+    println!("== Ablation 2: sub-arbitration ranking vs Markov fan-out ==");
+    println!("   SKP+Pr variants at capacity {capacity}, {requests} requests\n");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (min_f, max_f) in [(3usize, 6usize), (10, 20), (30, 50)] {
+        let sim = PrefetchCacheSim {
+            min_fanout: min_f,
+            max_fanout: max_f,
+            ..PrefetchCacheSim::paper(requests, seed)
+        };
+        let pts = sim.sweep(&[capacity]);
+        let mean = |name: &str| {
+            pts.iter()
+                .find(|p| p.policy == name)
+                .expect("policy swept")
+                .access
+                .mean()
+        };
+        let plain = mean("SKP+Pr");
+        let lfu = mean("SKP+Pr+LFU");
+        let ds = mean("SKP+Pr+DS");
+        rows.push(vec![
+            format!("{min_f}-{max_f}"),
+            format!("{plain:.3}"),
+            format!("{lfu:.3}"),
+            format!("{ds:.3}"),
+            if ds <= lfu + 1e-9 && lfu <= plain + 0.3 {
+                "yes".into()
+            } else {
+                "mixed".into()
+            },
+        ]);
+        csv_rows.push(vec![min_f as f64, max_f as f64, plain, lfu, ds]);
+    }
+    print_table(
+        &[
+            "fan-out",
+            "SKP+Pr",
+            "SKP+Pr+LFU",
+            "SKP+Pr+DS",
+            "DS<=LFU<=Pr",
+        ],
+        &rows,
+    );
+    let path = out.join("ablation_arbitration.csv");
+    write_csv(
+        &path,
+        &[
+            "min_fanout",
+            "max_fanout",
+            "skp_pr",
+            "skp_pr_lfu",
+            "skp_pr_ds",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\n   wrote {}", path.display());
+}

@@ -1,0 +1,122 @@
+//! Extension ablations: the future-work policies of Section 6.
+//!
+//! - **Stretch-penalised lookahead** (`λ` sweep): how much stretch does a
+//!   shadow price remove, and what does it cost in immediate gain?
+//! - **Network-aware prefetching** (`μ` sweep): the trade-off curve
+//!   between mean access time and wasted network transfer the paper calls
+//!   for ("a policy is needed to weigh the opposing goals").
+
+use experiments::{print_table, Args};
+use montecarlo::output::write_csv;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use montecarlo::stats::RunningStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy};
+use skp_core::gain::{access_time_empty, stretch_time};
+use skp_core::policy::Prefetcher;
+
+struct SweepRow {
+    label: String,
+    mean_t: f64,
+    mean_stretch: f64,
+    mean_waste: f64,
+}
+
+fn sweep<P: Prefetcher>(
+    gen: &ScenarioGen,
+    iterations: u64,
+    seed: u64,
+    label: String,
+    policy: &P,
+) -> SweepRow {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = RunningStats::new();
+    let mut st = RunningStats::new();
+    let mut waste = RunningStats::new();
+    for _ in 0..iterations {
+        let s = gen.generate(&mut rng);
+        let alpha = ScenarioGen::draw_request(&s, &mut rng);
+        let plan = policy.plan(&s);
+        t.push(access_time_empty(&s, plan.items(), alpha));
+        st.push(stretch_time(&s, plan.items()));
+        waste.push(
+            plan.items()
+                .iter()
+                .filter(|&&i| i != alpha)
+                .map(|&i| s.retrieval(i))
+                .sum(),
+        );
+    }
+    SweepRow {
+        label,
+        mean_t: t.mean(),
+        mean_stretch: st.mean(),
+        mean_waste: waste.mean(),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let iterations = args.get_u64("iters", if quick { 4_000 } else { 30_000 });
+    let seed = args.get_u64("seed", 1999);
+    let out = args.out_dir();
+    let gen = ScenarioGen::paper(10, ProbMethod::skewy());
+
+    println!("== Ablation: stretch-penalised lookahead (lambda sweep) ==");
+    println!("   skewy workload, n = 10, {iterations} iterations, seed {seed}\n");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for lambda in [0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0] {
+        let pol = StretchPenalisedPolicy::new(lambda);
+        let r = sweep(&gen, iterations, seed, format!("λ = {lambda}"), &pol);
+        rows.push(vec![
+            r.label.clone(),
+            format!("{:.3}", r.mean_t),
+            format!("{:.3}", r.mean_stretch),
+            format!("{:.3}", r.mean_waste),
+        ]);
+        csv_rows.push(vec![lambda, r.mean_t, r.mean_stretch, r.mean_waste]);
+    }
+    print_table(&["lambda", "mean T", "mean stretch", "mean waste"], &rows);
+    let path = out.join("ablation_lookahead.csv");
+    write_csv(
+        &path,
+        &["lambda", "mean_T", "mean_stretch", "mean_waste"],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\n   wrote {}\n", path.display());
+
+    println!("== Ablation: network-aware prefetching (mu sweep) ==");
+    println!("   skewy workload, n = 10, {iterations} iterations, seed {seed}\n");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for mu in [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let pol = NetworkAwarePolicy::new(mu);
+        let r = sweep(&gen, iterations, seed, format!("μ = {mu}"), &pol);
+        rows.push(vec![
+            r.label.clone(),
+            format!("{:.3}", r.mean_t),
+            format!("{:.3}", r.mean_stretch),
+            format!("{:.3}", r.mean_waste),
+        ]);
+        csv_rows.push(vec![mu, r.mean_t, r.mean_stretch, r.mean_waste]);
+    }
+    print_table(&["mu", "mean T", "mean stretch", "mean waste"], &rows);
+    let path = out.join("ablation_netaware.csv");
+    write_csv(
+        &path,
+        &["mu", "mean_T", "mean_stretch", "mean_waste"],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\n   wrote {}", path.display());
+
+    println!("\nReading: stretch and waste should fall monotonically as λ/μ grow,");
+    println!("with mean T rising gently — the knob the paper's Section 6 asks for.");
+}

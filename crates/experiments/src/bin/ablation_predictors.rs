@@ -1,0 +1,188 @@
+//! Predictor-quality ablation: how much of SKP's theoretical gain
+//! survives when the probabilities come from a *learned* model instead of
+//! the true Markov row?
+//!
+//! Compares, on one Markov stream: the true transition row (the paper's
+//! assumption), an online order-1 and order-2 n-gram model, the
+//! dependency graph, and a uniform straw man. For each: forecast quality
+//! (hit@1/3, log-loss, mass on truth via `access_model::eval`) and the
+//! mean access time when SKP prefetches from its forecasts.
+
+use access_model::{DependencyGraph, MarkovChain, MarkovEstimator, NgramPredictor, PredictorEval};
+use experiments::{print_table, Args};
+use montecarlo::output::write_csv;
+use montecarlo::stats::RunningStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skp_core::gain::access_time_empty;
+use skp_core::policy::{PolicyKind, Prefetcher};
+use skp_core::Scenario;
+
+const N: usize = 50;
+
+trait Forecaster {
+    fn forecast(&self, state: usize) -> Vec<f64>;
+    fn learn(&mut self, item: usize);
+}
+
+struct TrueModel<'a>(&'a MarkovChain);
+impl Forecaster for TrueModel<'_> {
+    fn forecast(&self, state: usize) -> Vec<f64> {
+        self.0.row_probs(state)
+    }
+    fn learn(&mut self, _: usize) {}
+}
+
+struct Ngram(NgramPredictor);
+impl Forecaster for Ngram {
+    fn forecast(&self, _state: usize) -> Vec<f64> {
+        self.0.predict(2)
+    }
+    fn learn(&mut self, item: usize) {
+        self.0.observe(item);
+    }
+}
+
+struct DepGraph(DependencyGraph);
+impl Forecaster for DepGraph {
+    fn forecast(&self, state: usize) -> Vec<f64> {
+        self.0.predict(state)
+    }
+    fn learn(&mut self, item: usize) {
+        self.0.observe(item);
+    }
+}
+
+struct Learned(MarkovEstimator);
+impl Forecaster for Learned {
+    fn forecast(&self, state: usize) -> Vec<f64> {
+        self.0.predict_row(state)
+    }
+    fn learn(&mut self, item: usize) {
+        self.0.observe(item);
+    }
+}
+
+struct Uniform;
+impl Forecaster for Uniform {
+    fn forecast(&self, _: usize) -> Vec<f64> {
+        vec![1.0 / N as f64; N]
+    }
+    fn learn(&mut self, _: usize) {}
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let requests = args.get_u64("requests", if quick { 5_000 } else { 40_000 });
+    let seed = args.get_u64("seed", 1999);
+    let out = args.out_dir();
+
+    let chain = MarkovChain::random(N, 4, 8, 5, 50, seed ^ 0xF0E1).expect("valid chain");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let retrievals: Vec<f64> = (0..N).map(|_| rng.random_range(1u32..=30) as f64).collect();
+
+    // Shared request stream.
+    let mut stream = Vec::with_capacity(requests as usize + 1);
+    let mut state = rng.random_range(0..N);
+    stream.push(state);
+    for _ in 0..requests {
+        state = chain.next_state(state, &mut rng);
+        stream.push(state);
+    }
+
+    println!("== Ablation: forecast quality -> prefetch gain ==");
+    println!("   {N}-state Markov stream, {requests} requests, SKP (corrected) planning\n");
+
+    let mut models: Vec<(&str, Box<dyn Forecaster>)> = vec![
+        ("true markov row", Box::new(TrueModel(&chain))),
+        ("ngram order 1", Box::new(Ngram(NgramPredictor::new(N, 1)))),
+        ("ngram order 2", Box::new(Ngram(NgramPredictor::new(N, 2)))),
+        (
+            "dependency graph",
+            Box::new(DepGraph(DependencyGraph::new(N, 1))),
+        ),
+        (
+            "learned markov",
+            Box::new(Learned(MarkovEstimator::new(N, 0.05))),
+        ),
+        ("uniform", Box::new(Uniform)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (mi, (name, model)) in models.iter_mut().enumerate() {
+        let mut eval = PredictorEval::new();
+        let mut access = RunningStats::new();
+        model.learn(stream[0]);
+        for w in stream.windows(2) {
+            let (here, next) = (w[0], w[1]);
+            let forecast = model.forecast(here);
+            eval.observe(&forecast, next);
+            let scenario = Scenario::new(
+                normalise_cap(&forecast),
+                retrievals.clone(),
+                chain.viewing(here),
+            )
+            .expect("forecast is a valid probability vector");
+            let plan = PolicyKind::SkpExact.plan(&scenario);
+            access.push(access_time_empty(&scenario, plan.items(), next));
+            model.learn(next);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", eval.hit_at_1() * 100.0),
+            format!("{:.1}%", eval.hit_at_3() * 100.0),
+            format!("{:.3}", eval.log_loss()),
+            format!("{:.3}", eval.mean_truth_mass()),
+            format!("{:.3}", access.mean()),
+        ]);
+        csv_rows.push(vec![
+            mi as f64,
+            eval.hit_at_1(),
+            eval.hit_at_3(),
+            eval.log_loss(),
+            eval.mean_truth_mass(),
+            access.mean(),
+        ]);
+    }
+
+    print_table(
+        &[
+            "model",
+            "hit@1",
+            "hit@3",
+            "log-loss",
+            "mass on truth",
+            "SKP mean T",
+        ],
+        &rows,
+    );
+    let path = out.join("ablation_predictors.csv");
+    write_csv(
+        &path,
+        &[
+            "model_id",
+            "hit1",
+            "hit3",
+            "log_loss",
+            "truth_mass",
+            "skp_T",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\n   wrote {}", path.display());
+    println!("\nReading: mean T should fall as 'mass on truth' rises; the learned");
+    println!("models should land between the uniform straw man and the true row.");
+}
+
+/// Clamp a forecast into a legal probability vector (sum ≤ 1).
+fn normalise_cap(forecast: &[f64]) -> Vec<f64> {
+    let sum: f64 = forecast.iter().sum();
+    if sum > 1.0 {
+        forecast.iter().map(|p| p / sum).collect()
+    } else {
+        forecast.to_vec()
+    }
+}

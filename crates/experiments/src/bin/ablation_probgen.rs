@@ -1,0 +1,121 @@
+//! Probability-generator sensitivity ablation.
+//!
+//! The paper never defines its *skewy* and *flat* methods precisely
+//! (DESIGN.md §4.1), so this ablation re-runs the Figure-5 comparison
+//! under a family of generators — skew exponents, Zipf and Dirichlet —
+//! and reports whether the paper's qualitative claims survive each
+//! interpretation:
+//!
+//! 1. perfect < SKP < no-prefetch in mean access time;
+//! 2. SKP beats KP when the workload is predictable;
+//! 3. SKP ≈ KP when it is not.
+
+use experiments::{print_table, Args};
+use montecarlo::output::write_csv;
+use montecarlo::prefetch_only::PrefetchOnlySim;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use skp_core::policy::PolicyKind;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let iterations = args.get_u64("iters", if quick { 4_000 } else { 30_000 });
+    let seed = args.get_u64("seed", 1999);
+    let out = args.out_dir();
+
+    let generators = [
+        ProbMethod::Skewy { exponent: 4.0 },
+        ProbMethod::Skewy { exponent: 8.0 },
+        ProbMethod::Skewy { exponent: 16.0 },
+        ProbMethod::Skewy { exponent: 32.0 },
+        ProbMethod::Flat,
+        ProbMethod::Zipf { s: 1.0 },
+        ProbMethod::Zipf { s: 2.0 },
+        ProbMethod::Dirichlet { alpha: 0.2 },
+        ProbMethod::Dirichlet { alpha: 2.0 },
+    ];
+    let policies = [
+        PolicyKind::NoPrefetch,
+        PolicyKind::Kp,
+        PolicyKind::SkpExact,
+        PolicyKind::Perfect,
+    ];
+
+    println!("== Ablation: probability-generator sensitivity (n = 10) ==");
+    println!("   {iterations} iterations per generator, seed {seed}\n");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv_rows: Vec<Vec<f64>> = Vec::new();
+
+    for (gi, method) in generators.iter().enumerate() {
+        let sim = PrefetchOnlySim {
+            gen: ScenarioGen::paper(10, *method),
+            iterations,
+            seed,
+            threads: 0,
+            chunks: 0,
+        };
+        let results = sim.run(&policies, 0);
+        let mean = |k: PolicyKind| {
+            results
+                .iter()
+                .find(|r| r.policy == k)
+                .expect("policy present")
+                .overall
+                .mean()
+        };
+        let no = mean(PolicyKind::NoPrefetch);
+        let kp = mean(PolicyKind::Kp);
+        let skp = mean(PolicyKind::SkpExact);
+        let perfect = mean(PolicyKind::Perfect);
+        let ordering_ok = perfect <= skp + 1e-9 && skp <= no + 1e-9;
+        let skp_vs_kp = kp - skp; // positive = SKP wins
+
+        rows.push(vec![
+            method.name(),
+            format!("{no:.2}"),
+            format!("{kp:.2}"),
+            format!("{skp:.2}"),
+            format!("{perfect:.2}"),
+            format!("{skp_vs_kp:+.3}"),
+            if ordering_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+        csv_rows.push(vec![gi as f64, no, kp, skp, perfect, skp_vs_kp]);
+    }
+
+    print_table(
+        &[
+            "generator",
+            "no prefetch",
+            "KP",
+            "SKP exact",
+            "perfect",
+            "KP−SKP",
+            "ordering holds",
+        ],
+        &rows,
+    );
+
+    let path = out.join("ablation_probgen.csv");
+    write_csv(
+        &path,
+        &[
+            "generator_id",
+            "no_prefetch",
+            "kp",
+            "skp_exact",
+            "perfect",
+            "kp_minus_skp",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\n   wrote {}", path.display());
+    println!("\nReading: KP−SKP > 0 means SKP wins; the gap should grow with skew");
+    println!("and shrink towards zero for flat/low-skew generators.");
+}

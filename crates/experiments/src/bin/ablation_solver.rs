@@ -1,0 +1,145 @@
+//! Solver ablation: the verbatim Figure-3 algorithm vs the corrected
+//! canonical branch-and-bound vs the exhaustive oracle.
+//!
+//! Quantifies, over random paper-range scenarios:
+//! - how often each branch-and-bound misses the true optimum and by how
+//!   much (mean/max relative regret);
+//! - how often the *canonical space itself* (Theorem 1) misses the global
+//!   optimum (the feasibility gap in the theorem's swap argument);
+//! - search effort (nodes visited).
+
+use experiments::{print_table, Args};
+use montecarlo::output::write_csv;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use montecarlo::stats::RunningStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use skp_core::skp::{solve_exact, solve_optimal, solve_paper};
+
+struct SolverStats {
+    name: &'static str,
+    regret: RunningStats,
+    suboptimal: u64,
+    nodes: RunningStats,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let trials = args.get_u64("iters", if quick { 2_000 } else { 20_000 });
+    let n = args.get_usize("n", 12);
+    let seed = args.get_u64("seed", 1999);
+    let out = args.out_dir();
+
+    println!("== Ablation: SKP solver variants vs the exhaustive oracle ==");
+    println!("   n = {n}, v ~ U[1,100], r ~ U[1,30], {trials} trials per method\n");
+
+    let mut csv_rows: Vec<Vec<f64>> = Vec::new();
+
+    for method in [ProbMethod::skewy(), ProbMethod::flat()] {
+        let gen = ScenarioGen::paper(n, method);
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        let mut stats = [
+            SolverStats {
+                name: "Figure-3 (verbatim)",
+                regret: RunningStats::new(),
+                suboptimal: 0,
+                nodes: RunningStats::new(),
+            },
+            SolverStats {
+                name: "corrected canonical",
+                regret: RunningStats::new(),
+                suboptimal: 0,
+                nodes: RunningStats::new(),
+            },
+        ];
+        let mut canonical_gap = 0u64; // oracle beats the canonical space
+        let mut gap_size = RunningStats::new();
+
+        for _ in 0..trials {
+            let s = gen.generate(&mut rng);
+            let oracle = solve_optimal(&s);
+            let paper = solve_paper(&s);
+            let exact = solve_exact(&s);
+
+            // Absolute regret in time units (relative regret is unstable:
+            // the oracle's gain can be arbitrarily close to zero).
+            for (st, sol) in stats.iter_mut().zip([&paper, &exact]) {
+                let regret = oracle.gain - sol.gain;
+                st.regret.push(regret);
+                if regret > 1e-9 {
+                    st.suboptimal += 1;
+                }
+                st.nodes.push(sol.nodes as f64);
+            }
+            let gap = oracle.gain - exact.gain;
+            if gap > 1e-9 {
+                canonical_gap += 1;
+                gap_size.push(gap);
+            }
+        }
+
+        println!("-- {} workload --", method.name());
+        let rows: Vec<Vec<String>> = stats
+            .iter()
+            .map(|st| {
+                vec![
+                    st.name.to_string(),
+                    format!("{:.2}%", 100.0 * st.suboptimal as f64 / trials as f64),
+                    format!("{:.4}", st.regret.mean()),
+                    format!("{:.4}", st.regret.max()),
+                    format!("{:.1}", st.nodes.mean()),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "solver",
+                "suboptimal",
+                "mean regret (time)",
+                "max regret",
+                "avg nodes",
+            ],
+            &rows,
+        );
+        println!(
+            "   canonical-space gap (Theorem 1 feasibility): {:.3}% of trials, mean size {:.4} time units\n",
+            100.0 * canonical_gap as f64 / trials as f64,
+            gap_size.mean()
+        );
+
+        let method_id = if matches!(method, ProbMethod::Flat) {
+            1.0
+        } else {
+            0.0
+        };
+        for (i, st) in stats.iter().enumerate() {
+            csv_rows.push(vec![
+                method_id,
+                i as f64,
+                st.suboptimal as f64 / trials as f64,
+                st.regret.mean(),
+                st.regret.max(),
+                st.nodes.mean(),
+            ]);
+        }
+    }
+
+    let path = out.join("ablation_solver.csv");
+    write_csv(
+        &path,
+        &[
+            "method_flat",
+            "solver_id",
+            "frac_suboptimal",
+            "mean_abs_regret",
+            "max_abs_regret",
+            "avg_nodes",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("   wrote {}", path.display());
+}

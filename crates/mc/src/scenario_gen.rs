@@ -1,0 +1,135 @@
+//! Random scenario generation with the paper's parameter ranges.
+//!
+//! The 'prefetch only' simulation (Section 4.4) draws, per iteration:
+//! `n` fixed (10 or 25), `v` uniform integer in `[1, 100]`, `r_i` uniform
+//! integers in `[1, 30]`, and `P` from the skewy or flat method.
+
+use rand::Rng;
+use skp_core::Scenario;
+
+use crate::probgen::ProbMethod;
+
+/// Generator of random prefetching scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioGen {
+    /// Number of candidate items `n`.
+    pub n: usize,
+    /// Viewing-time range (inclusive, integers).
+    pub v_range: (u32, u32),
+    /// Retrieval-time range (inclusive, integers).
+    pub r_range: (u32, u32),
+    /// Probability generator.
+    pub method: ProbMethod,
+}
+
+impl ScenarioGen {
+    /// The paper's Figure-4/5 configuration for a given `n` and method.
+    pub fn paper(n: usize, method: ProbMethod) -> Self {
+        Self {
+            n,
+            v_range: (1, 100),
+            r_range: (1, 30),
+            method,
+        }
+    }
+
+    /// Draws one scenario.
+    ///
+    /// # Panics
+    /// Panics on an empty or inverted range.
+    pub fn generate(&self, rng: &mut impl Rng) -> Scenario {
+        let (v_lo, v_hi) = self.v_range;
+        let (r_lo, r_hi) = self.r_range;
+        assert!(v_lo <= v_hi, "inverted viewing range");
+        assert!(r_lo >= 1 && r_lo <= r_hi, "invalid retrieval range");
+        let probs = self.method.generate(self.n, rng);
+        let retrievals: Vec<f64> = (0..self.n)
+            .map(|_| rng.random_range(r_lo..=r_hi) as f64)
+            .collect();
+        let v = rng.random_range(v_lo..=v_hi) as f64;
+        Scenario::new(probs, retrievals, v).expect("generated scenario is valid")
+    }
+
+    /// Draws the requested item `α ~ P` for a scenario.
+    pub fn draw_request(s: &Scenario, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for i in 0..s.n() {
+            acc += s.prob(i);
+            if x < acc {
+                return i;
+            }
+        }
+        s.n() - 1 // floating-point slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_scenarios_match_ranges() {
+        let g = ScenarioGen::paper(10, ProbMethod::flat());
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.n(), 10);
+            assert!((1.0..=100.0).contains(&s.viewing()));
+            assert_eq!(s.viewing().fract(), 0.0);
+            for i in 0..10 {
+                let r = s.retrieval(i);
+                assert!((1.0..=30.0).contains(&r));
+                assert_eq!(r.fract(), 0.0);
+            }
+            assert!((s.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn request_distribution_follows_p() {
+        let g = ScenarioGen {
+            n: 3,
+            v_range: (1, 1),
+            r_range: (1, 1),
+            method: ProbMethod::flat(),
+        };
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s = g.generate(&mut rng);
+        let mut counts = [0u32; 3];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[ScenarioGen::draw_request(&s, &mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let f = count as f64 / trials as f64;
+            assert!(
+                (f - s.prob(i)).abs() < 0.02,
+                "item {i}: empirical {f} vs P {}",
+                s.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = ScenarioGen::paper(5, ProbMethod::skewy());
+        let a = g.generate(&mut SmallRng::seed_from_u64(77));
+        let b = g.generate(&mut SmallRng::seed_from_u64(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid retrieval range")]
+    fn zero_retrieval_rejected() {
+        let g = ScenarioGen {
+            n: 2,
+            v_range: (1, 10),
+            r_range: (0, 5),
+            method: ProbMethod::flat(),
+        };
+        let _ = g.generate(&mut SmallRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,78 @@
+//! The adaptive stopping rule applied to the *actual* 'prefetch only'
+//! simulation — checks that the paper's fixed 50,000-iteration budget is
+//! comfortably past the precision knee, and that adaptive runs agree
+//! with fixed-budget runs.
+
+use montecarlo::convergence::Convergence;
+use montecarlo::prefetch_only::PrefetchOnlySim;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use montecarlo::stats::RunningStats;
+use skp_core::policy::PolicyKind;
+
+fn batch(seed: u64, iters: u64) -> RunningStats {
+    let sim = PrefetchOnlySim {
+        gen: ScenarioGen::paper(10, ProbMethod::skewy()),
+        iterations: iters,
+        seed,
+        threads: 1,
+        chunks: 1,
+    };
+    sim.run(&[PolicyKind::SkpExact], 0)[0].overall
+}
+
+#[test]
+fn adaptive_run_converges_to_the_fixed_budget_mean() {
+    let cfg = Convergence {
+        target_se: 0.1,
+        batch: 1_000,
+        max_iterations: 200_000,
+        min_iterations: 2_000,
+    };
+    let adaptive = cfg.run(99, batch);
+    assert!(adaptive.converged, "did not reach se 0.1");
+
+    // A large fixed-budget run gives the reference mean.
+    let reference = batch(1234, 30_000);
+    let diff = (adaptive.stats.mean() - reference.mean()).abs();
+    let budget = 4.0 * (adaptive.stats.std_err() + reference.std_err());
+    assert!(
+        diff <= budget,
+        "adaptive {} vs reference {} (allowance {budget})",
+        adaptive.stats.mean(),
+        reference.mean()
+    );
+}
+
+#[test]
+fn the_papers_budget_is_past_the_knee() {
+    // At the paper's 50,000 iterations the standard error of the mean
+    // access time is far below any visible plot feature (< 0.05 time
+    // units on a 0..25 axis).
+    let stats = batch(7, 50_000);
+    assert!(
+        stats.std_err() < 0.05,
+        "se at 50k iterations: {}",
+        stats.std_err()
+    );
+}
+
+#[test]
+fn tighter_targets_need_more_iterations() {
+    let loose = Convergence {
+        target_se: 0.5,
+        batch: 500,
+        max_iterations: 500_000,
+        min_iterations: 1_000,
+    }
+    .run(5, batch);
+    let tight = Convergence {
+        target_se: 0.1,
+        batch: 500,
+        max_iterations: 500_000,
+        min_iterations: 1_000,
+    }
+    .run(5, batch);
+    assert!(loose.converged && tight.converged);
+    assert!(tight.stats.count() > loose.stats.count());
+}

@@ -1,0 +1,130 @@
+//! `skp-plan` — command-line prefetch planner.
+//!
+//! Reads a scenario file (see `speculative_prefetch::scenario_file`) and
+//! prints what each solver would prefetch, with gains, the Eq. 7 bound
+//! and per-item access times.
+//!
+//! ```text
+//! skp-plan scenario.txt [--solver paper|exact|global|kp|optimal|all]
+//! ```
+
+use speculative_prefetch::core::gain::{
+    access_time_empty, expected_access_time_empty, stretch_time,
+};
+use speculative_prefetch::core::kp::solve_kp;
+use speculative_prefetch::core::skp::{
+    solve_exact, solve_global, solve_optimal, solve_paper, upper_bound, SkpSolution,
+};
+use speculative_prefetch::scenario_file;
+use speculative_prefetch::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: skp-plan <scenario-file> [--solver paper|exact|global|kp|optimal|all]");
+        eprintln!();
+        eprintln!("scenario file format:");
+        eprintln!("  v 10");
+        eprintln!("  item 0.5 8 front-page");
+        eprintln!("  item 0.3 6");
+        std::process::exit(2);
+    };
+    let solver = args
+        .iter()
+        .position(|a| a == "--solver")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("skp-plan: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let parsed = match scenario_file::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("skp-plan: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let s = parsed.scenario;
+    let labels = parsed.labels;
+
+    println!("scenario: {} items, v = {}", s.n(), s.viewing());
+    println!(
+        "expected access time with no prefetch: {:.4}",
+        s.expected_no_prefetch()
+    );
+    println!("upper bound on any gain (Eq. 7): {:.4}\n", upper_bound(&s));
+
+    let mut solvers: Vec<(&str, Option<SkpSolution>)> = Vec::new();
+    let push_kp = |list: &mut Vec<(&str, Option<SkpSolution>)>| {
+        let kp = solve_kp(&s);
+        list.push((
+            "kp",
+            Some(SkpSolution {
+                gain: kp.profit,
+                internal_gain: kp.profit,
+                nodes: kp.nodes,
+                plan: kp.plan,
+            }),
+        ));
+    };
+    match solver.as_str() {
+        "paper" => solvers.push(("paper", Some(solve_paper(&s)))),
+        "exact" => solvers.push(("exact", Some(solve_exact(&s)))),
+        "global" => solvers.push(("global", solve_global(&s))),
+        "optimal" => solvers.push(("optimal", Some(solve_optimal(&s)))),
+        "kp" => push_kp(&mut solvers),
+        "all" => {
+            push_kp(&mut solvers);
+            solvers.push(("paper", Some(solve_paper(&s))));
+            solvers.push(("exact", Some(solve_exact(&s))));
+            solvers.push(("global", solve_global(&s)));
+            if s.n() <= 20 {
+                solvers.push(("optimal", Some(solve_optimal(&s))));
+            }
+        }
+        other => {
+            eprintln!("skp-plan: unknown solver '{other}'");
+            std::process::exit(2);
+        }
+    }
+
+    for (name, sol) in solvers {
+        match sol {
+            None => println!("[{name}] not applicable (needs integral r and v)"),
+            Some(sol) => describe(name, &s, &labels, &sol),
+        }
+        println!();
+    }
+}
+
+fn describe(name: &str, s: &Scenario, labels: &[String], sol: &SkpSolution) {
+    let items: Vec<&str> = sol
+        .plan
+        .items()
+        .iter()
+        .map(|&i| labels[i].as_str())
+        .collect();
+    println!("[{name}] prefetch {items:?}");
+    println!(
+        "  gain {:.4}  stretch {:.4}  expected T {:.4}",
+        sol.gain,
+        stretch_time(s, sol.plan.items()),
+        expected_access_time_empty(s, sol.plan.items()),
+    );
+    print!("  per-request T:");
+    for (alpha, label) in labels.iter().enumerate().take(s.n()) {
+        print!(
+            " {}={:.2}",
+            label,
+            access_time_empty(s, sol.plan.items(), alpha)
+        );
+    }
+    println!();
+}

@@ -1,0 +1,28 @@
+//! # speculative-prefetch — facade crate
+//!
+//! One-stop re-export of the whole workspace reproducing *"A Performance
+//! Model of Speculative Prefetching in Distributed Information Systems"*
+//! (Tuah, Kumar & Venkatesh, IPPS/SPDP 1999):
+//!
+//! - [`core`] (`skp-core`) — the performance model, stretch knapsack
+//!   solvers and prefetch–cache arbitration;
+//! - [`access`] (`access-model`) — Markov request sources and online
+//!   predictors;
+//! - [`distsys`] — the distributed-information-system discrete-event
+//!   substrate;
+//! - [`cache`] (`cache-sim`) — the client cache with replacement policies;
+//! - [`mc`] (`montecarlo`) — the paper's simulations and the parallel
+//!   Monte-Carlo runner.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub mod scenario_file;
+
+pub use access_model as access;
+pub use cache_sim as cache;
+pub use distsys;
+pub use montecarlo as mc;
+pub use skp_core as core;
+
+pub use skp_core::{PrefetchPlan, Scenario};

@@ -1,0 +1,233 @@
+//! A tiny text format for prefetching scenarios, so the CLI (and users'
+//! scripts) can describe decision problems without writing Rust:
+//!
+//! ```text
+//! # comment
+//! v 10
+//! item 0.5 8 front-page
+//! item 0.3 6
+//! item 0.2 9 video
+//! ```
+//!
+//! One `v <viewing>` line (anywhere) and one `item <P> <r> [label]` line
+//! per candidate. Labels are optional and default to `item<k>`.
+
+use skp_core::{ModelError, Scenario};
+use std::fmt;
+
+/// A parsed scenario plus the item labels from the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFile {
+    /// The validated scenario.
+    pub scenario: Scenario,
+    /// One label per item, file order.
+    pub labels: Vec<String>,
+}
+
+/// Parse errors for the scenario file format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line could not be interpreted.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The `v` line is missing.
+    MissingViewing,
+    /// No `item` lines present.
+    NoItems,
+    /// The numbers parsed but the model rejected them.
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::MissingViewing => write!(f, "missing 'v <viewing>' line"),
+            ParseError::NoItems => write!(f, "no 'item <P> <r>' lines"),
+            ParseError::Model(e) => write!(f, "invalid scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+/// Parses the scenario file format from a string.
+pub fn parse(text: &str) -> Result<ScenarioFile, ParseError> {
+    let mut viewing: Option<f64> = None;
+    let mut probs = Vec::new();
+    let mut retrievals = Vec::new();
+    let mut labels = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |reason: &str| ParseError::BadLine {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        match parts.next() {
+            Some("v") => {
+                let value: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad("'v' needs a value"))?
+                    .parse()
+                    .map_err(|_| bad("'v' value is not a number"))?;
+                if viewing.replace(value).is_some() {
+                    return Err(bad("duplicate 'v' line"));
+                }
+                if parts.next().is_some() {
+                    return Err(bad("trailing tokens after 'v <viewing>'"));
+                }
+            }
+            Some("item") => {
+                let p: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad("'item' needs <P> <r>"))?
+                    .parse()
+                    .map_err(|_| bad("item probability is not a number"))?;
+                let r: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad("'item' needs <P> <r>"))?
+                    .parse()
+                    .map_err(|_| bad("item retrieval is not a number"))?;
+                let label = parts
+                    .next()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("item{}", probs.len()));
+                if parts.next().is_some() {
+                    return Err(bad("trailing tokens after item label"));
+                }
+                probs.push(p);
+                retrievals.push(r);
+                labels.push(label);
+            }
+            Some(other) => {
+                return Err(bad(&format!(
+                    "unknown directive '{other}' (expected 'v' or 'item')"
+                )))
+            }
+            None => unreachable!("blank lines filtered"),
+        }
+    }
+
+    let viewing = viewing.ok_or(ParseError::MissingViewing)?;
+    if probs.is_empty() {
+        return Err(ParseError::NoItems);
+    }
+    let scenario = Scenario::new(probs, retrievals, viewing)?;
+    Ok(ScenarioFile { scenario, labels })
+}
+
+/// Renders a scenario back into the file format (inverse of [`parse`]).
+pub fn render(s: &Scenario, labels: &[String]) -> String {
+    let mut out = String::from("# speculative-prefetch scenario\n");
+    out.push_str(&format!("v {}\n", s.viewing()));
+    for i in 0..s.n() {
+        let label = labels.get(i).cloned().unwrap_or_else(|| format!("item{i}"));
+        out.push_str(&format!(
+            "item {} {} {}\n",
+            s.prob(i),
+            s.retrieval(i),
+            label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# demo\nv 10\nitem 0.5 8 front\nitem 0.3 6\nitem 0.2 9 video\n";
+
+    #[test]
+    fn parses_the_sample() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.scenario.n(), 3);
+        assert_eq!(f.scenario.viewing(), 10.0);
+        assert_eq!(f.scenario.prob(0), 0.5);
+        assert_eq!(f.scenario.retrieval(2), 9.0);
+        assert_eq!(f.labels, vec!["front", "item1", "video"]);
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let f = parse(SAMPLE).unwrap();
+        let text = render(&f.scenario, &f.labels);
+        let again = parse(&text).unwrap();
+        assert_eq!(again.scenario, f.scenario);
+        assert_eq!(again.labels, f.labels);
+    }
+
+    #[test]
+    fn missing_viewing_rejected() {
+        assert_eq!(
+            parse("item 1.0 2\n").unwrap_err(),
+            ParseError::MissingViewing
+        );
+    }
+
+    #[test]
+    fn no_items_rejected() {
+        assert_eq!(parse("v 5\n").unwrap_err(), ParseError::NoItems);
+    }
+
+    #[test]
+    fn duplicate_viewing_rejected() {
+        let e = parse("v 5\nv 6\nitem 1 1\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = parse("v 5\nfoo 1 2\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(matches!(
+            parse("v ten\nitem 1 1\n").unwrap_err(),
+            ParseError::BadLine { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("v 5\nitem half 1\n").unwrap_err(),
+            ParseError::BadLine { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn model_validation_propagates() {
+        // Probabilities exceeding mass one reach the model layer.
+        let e = parse("v 5\nitem 0.9 1\nitem 0.9 1\n").unwrap_err();
+        assert!(matches!(e, ParseError::Model(_)));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(matches!(
+            parse("v 5 extra\nitem 1 1\n").unwrap_err(),
+            ParseError::BadLine { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("v 5\nitem 1 1 label extra\n").unwrap_err(),
+            ParseError::BadLine { line: 2, .. }
+        ));
+    }
+}

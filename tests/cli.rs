@@ -1,0 +1,85 @@
+//! End-to-end test of the `skp-plan` CLI binary.
+
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_skp-plan"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_scenario(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("skp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn plans_the_demo_scenario_with_all_solvers() {
+    let path = write_scenario(
+        "demo.scn",
+        "# demo\nv 10\nitem 0.5 8 front\nitem 0.3 6 sports\nitem 0.2 9 video\n",
+    );
+    let (stdout, stderr, ok) = run_cli(&[path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    // Header facts.
+    assert!(stdout.contains("3 items, v = 10"));
+    assert!(stdout.contains("7.6000")); // E[T no prefetch]
+    assert!(stdout.contains("4.6000")); // Eq. 7 bound
+                                        // Every solver section appears.
+    for solver in ["[kp]", "[paper]", "[exact]", "[global]", "[optimal]"] {
+        assert!(stdout.contains(solver), "missing {solver}:\n{stdout}");
+    }
+    // The famous divergence: paper picks front+video, exact picks front.
+    assert!(stdout.contains(r#"[paper] prefetch ["front", "video"]"#));
+    assert!(stdout.contains(r#"[exact] prefetch ["front"]"#));
+}
+
+#[test]
+fn single_solver_selection() {
+    let path = write_scenario("one.scn", "v 5\nitem 1.0 8 only\n");
+    let (stdout, _, ok) = run_cli(&[path.to_str().unwrap(), "--solver", "exact"]);
+    assert!(ok);
+    assert!(stdout.contains("[exact]"));
+    assert!(!stdout.contains("[paper]"));
+    // Deterministic request: gain = v = 5.
+    assert!(stdout.contains("gain 5.0000"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, stderr, ok) = run_cli(&["/nonexistent/path.scn"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn malformed_file_reports_line() {
+    let path = write_scenario("bad.scn", "v 5\nitem nope 3\n");
+    let (_, stderr, ok) = run_cli(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (_, stderr, ok) = run_cli(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn unknown_solver_rejected() {
+    let path = write_scenario("s.scn", "v 5\nitem 1.0 2\n");
+    let (_, stderr, ok) = run_cli(&[path.to_str().unwrap(), "--solver", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown solver"));
+}

@@ -1,0 +1,96 @@
+//! Reproducibility guarantees: every randomised component of the
+//! workspace is a pure function of its seed, and parallel execution is
+//! bit-identical to sequential execution.
+
+use montecarlo::prefetch_cache::PrefetchCacheSim;
+use montecarlo::prefetch_only::PrefetchOnlySim;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use speculative_prefetch::access::MarkovChain;
+use speculative_prefetch::core::policy::PolicyKind;
+use speculative_prefetch::distsys::Catalog;
+
+fn prefetch_only(threads: usize, chunks: usize) -> PrefetchOnlySim {
+    PrefetchOnlySim {
+        gen: ScenarioGen::paper(10, ProbMethod::skewy()),
+        iterations: 2_000,
+        seed: 77,
+        threads,
+        chunks,
+    }
+}
+
+#[test]
+fn prefetch_only_bitwise_stable_across_threads() {
+    // The chunk count defines the RNG streams and must stay fixed; the
+    // thread count must not matter at all.
+    let runs: Vec<_> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|t| prefetch_only(t, 8).run(&[PolicyKind::SkpPaper, PolicyKind::Kp], 200))
+        .collect();
+    let reference = &runs[0];
+    for run in &runs[1..] {
+        for (a, b) in reference.iter().zip(run) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.overall.count(), b.overall.count());
+            assert_eq!(a.overall.mean().to_bits(), b.overall.mean().to_bits());
+            assert_eq!(a.scatter.len(), b.scatter.len());
+            for (x, y) in a.scatter.iter().zip(&b.scatter) {
+                assert_eq!(x.v.to_bits(), y.v.to_bits());
+                assert_eq!(x.t.to_bits(), y.t.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_cache_sweep_stable_across_threads() {
+    let sim = |threads| PrefetchCacheSim {
+        n_states: 25,
+        min_fanout: 3,
+        max_fanout: 6,
+        requests: 800,
+        threads,
+        ..PrefetchCacheSim::paper(800, 5)
+    };
+    let a = sim(1).sweep(&[4, 12]);
+    let b = sim(6).sweep(&[4, 12]);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.policy, y.policy);
+        assert_eq!(x.capacity, y.capacity);
+        assert_eq!(x.access.mean().to_bits(), y.access.mean().to_bits());
+        assert_eq!(x.hit_rate.to_bits(), y.hit_rate.to_bits());
+    }
+}
+
+#[test]
+fn workload_generators_pure_in_seed() {
+    let a = MarkovChain::random(30, 3, 6, 1, 50, 99).unwrap();
+    let b = MarkovChain::random(30, 3, 6, 1, 50, 99).unwrap();
+    for i in 0..30 {
+        assert_eq!(a.successors(i), b.successors(i));
+    }
+    assert_eq!(
+        Catalog::uniform(100, 1, 30, 4),
+        Catalog::uniform(100, 1, 30, 4)
+    );
+    assert_ne!(
+        Catalog::uniform(100, 1, 30, 4),
+        Catalog::uniform(100, 1, 30, 5)
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = prefetch_only(2, 4);
+    let mut b = a;
+    b.seed = 78;
+    let ra = a.run(&[PolicyKind::SkpPaper], 0);
+    let rb = b.run(&[PolicyKind::SkpPaper], 0);
+    assert_ne!(
+        ra[0].overall.mean().to_bits(),
+        rb[0].overall.mean().to_bits(),
+        "different seeds must explore different scenarios"
+    );
+}

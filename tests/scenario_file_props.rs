@@ -1,0 +1,63 @@
+//! Property tests for the scenario-file format: parse/render roundtrips
+//! and robustness against arbitrary text.
+
+use proptest::prelude::*;
+use speculative_prefetch::scenario_file::{parse, render};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// render ∘ parse is the identity on well-formed scenarios.
+    #[test]
+    fn roundtrip(
+        weights in proptest::collection::vec(1u32..1000, 1..12),
+        retrievals in proptest::collection::vec(1u32..100, 12),
+        viewing in 0u32..200,
+    ) {
+        let n = weights.len();
+        let sum: f64 = weights.iter().map(|&w| w as f64).sum();
+        let mut text = format!("v {viewing}\n");
+        for i in 0..n {
+            text.push_str(&format!(
+                "item {} {} it{}\n",
+                weights[i] as f64 / sum,
+                retrievals[i],
+                i
+            ));
+        }
+        let parsed = parse(&text).expect("well-formed");
+        prop_assert_eq!(parsed.scenario.n(), n);
+        let rendered = render(&parsed.scenario, &parsed.labels);
+        let again = parse(&rendered).expect("render emits valid files");
+        prop_assert_eq!(&again.scenario, &parsed.scenario);
+        prop_assert_eq!(&again.labels, &parsed.labels);
+    }
+
+    /// Arbitrary junk never panics — it parses or returns an error.
+    #[test]
+    fn junk_never_panics(text in ".{0,300}") {
+        let _ = parse(&text);
+    }
+
+    /// Line-oriented junk built from plausible tokens never panics either
+    /// (this exercises the token paths much harder than raw junk).
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("v".to_string()),
+                Just("item".to_string()),
+                Just("#".to_string()),
+                Just("\n".to_string()),
+                Just("0.5".to_string()),
+                Just("-3".to_string()),
+                Just("nan".to_string()),
+                Just("label".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let text = tokens.join(" ");
+        let _ = parse(&text);
+    }
+}
