@@ -27,7 +27,7 @@ use skp_core::arbitration::{
     arbitrate, choose_demand_victim, CacheEntry, PlanSolver, SubArbitration,
 };
 use skp_core::gain::stretch_time;
-use skp_core::Scenario;
+use skp_core::{PrefetchPlan, Scenario};
 
 use crate::cache::Cache;
 
@@ -161,13 +161,42 @@ impl PrefetchCache {
             self.cache.n_items(),
             "scenario and cache must share the item universe"
         );
+        // Tentative plan over non-cached candidates with the configured
+        // solver, then the shared cycle.
+        let tentative = self.cfg.solver.solve(scenario, &self.candidate_mask()).plan;
+        self.step_with_plan(scenario, alpha, tentative)
+    }
+
+    /// Candidate mask for planning: `true` for every non-cached item.
+    pub fn candidate_mask(&self) -> Vec<bool> {
+        (0..self.cache.n_items())
+            .map(|i| !self.cache.contains(i))
+            .collect()
+    }
+
+    /// Runs one request cycle with an externally produced tentative plan
+    /// (any [`skp_core::policy::Prefetcher`], not just the built-in
+    /// [`PlanSolver`] kinds). The plan must cover only non-cached items;
+    /// cached entries in it are ignored by arbitration pairing but waste
+    /// no slots.
+    ///
+    /// # Panics
+    /// Panics when `scenario.n()` differs from the item universe or
+    /// `alpha` is out of range.
+    pub fn step_with_plan(
+        &mut self,
+        scenario: &Scenario,
+        alpha: usize,
+        tentative: PrefetchPlan,
+    ) -> StepOutcome {
+        assert_eq!(
+            scenario.n(),
+            self.cache.n_items(),
+            "scenario and cache must share the item universe"
+        );
         assert!(alpha < scenario.n(), "request out of range");
 
-        // 1. Tentative plan over non-cached candidates.
-        let candidates: Vec<bool> = (0..scenario.n()).map(|i| !self.cache.contains(i)).collect();
-        let tentative = self.cfg.solver.solve(scenario, &candidates).plan;
-
-        // 2. Figure-6 arbitration against the cache.
+        // Figure-6 arbitration against the cache.
         let entries: Vec<CacheEntry> = self
             .cache
             .items()
@@ -185,8 +214,8 @@ impl PrefetchCache {
             self.cfg.sub,
         );
 
-        // 3. Access time from the pre-application cache state (Section 5
-        //    case analysis).
+        // Access time from the pre-application cache state (Section 5
+        // case analysis).
         let st = stretch_time(scenario, &arb.prefetch);
         let in_kept_cache = self.cache.contains(alpha) && !arb.eject.contains(&alpha);
         let (access_time, hit, demand_fetch) = if in_kept_cache {
@@ -201,7 +230,7 @@ impl PrefetchCache {
             (st + scenario.retrieval(alpha), false, true)
         };
 
-        // 4. Apply ejections and insertions.
+        // Apply ejections and insertions.
         for &d in &arb.eject {
             self.cache.evict(d);
         }
@@ -209,8 +238,8 @@ impl PrefetchCache {
             self.cache.insert(f);
         }
 
-        // 5. Demand fetch brings `alpha` into the cache, evicting a
-        //    minimum-Pr victim when full (it "must have a victim").
+        // Demand fetch brings `alpha` into the cache, evicting a
+        // minimum-Pr victim when full (it "must have a victim").
         let mut demand_victim = None;
         if demand_fetch && !self.cache.contains(alpha) {
             if self.cache.free_slots() == 0 {
@@ -231,7 +260,7 @@ impl PrefetchCache {
             self.cache.insert(alpha);
         }
 
-        // 6. Statistics.
+        // Statistics.
         self.freq.record(alpha);
         self.cache.touch(alpha);
 

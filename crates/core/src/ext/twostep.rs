@@ -127,7 +127,7 @@ where
 
 impl<F> Prefetcher for TwoStepPolicy<F>
 where
-    F: Fn(ItemId) -> Scenario,
+    F: Fn(ItemId) -> Scenario + Send + Sync,
 {
     fn name(&self) -> &str {
         "SKP two-step"

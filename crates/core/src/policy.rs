@@ -10,7 +10,11 @@ use crate::skp;
 /// A prefetch decision procedure: given the current scenario (and
 /// optionally a candidate mask), produce the plan to prefetch during the
 /// viewing time.
-pub trait Prefetcher {
+///
+/// `Send + Sync` so boxed policies can be driven from parallel
+/// simulation backends (the Monte-Carlo runner fans one policy out
+/// across worker threads).
+pub trait Prefetcher: Send + Sync {
     /// Short display name used in experiment output.
     fn name(&self) -> &str;
 
@@ -21,6 +25,14 @@ pub trait Prefetcher {
     /// Plan over all items.
     fn plan(&self, s: &Scenario) -> PrefetchPlan {
         self.plan_candidates(s, &vec![true; s.n()])
+    }
+
+    /// True for oracle policies whose plan depends on the *realised*
+    /// request: their [`plan_candidates`](Prefetcher::plan_candidates)
+    /// returns the empty plan, and drivers that know the request must
+    /// consult [`PolicyKind::plan_oracle`] instead.
+    fn is_oracle(&self) -> bool {
+        false
     }
 }
 
@@ -100,6 +112,10 @@ impl Prefetcher for PolicyKind {
             PolicyKind::SkpExact => skp::solve_exact_candidates(s, candidates).plan,
             PolicyKind::SkpOptimal => skp::brute::solve_optimal_candidates(s, candidates).plan,
         }
+    }
+
+    fn is_oracle(&self) -> bool {
+        matches!(self, PolicyKind::Perfect)
     }
 }
 

@@ -84,10 +84,32 @@ impl ParetoFront {
 /// One DP layer: a front per exact prefix weight.
 type Layer = Vec<Option<ParetoFront>>;
 
+/// Cheap applicability check for [`solve_global`]: `true` exactly when
+/// the instance passes the integrality and size guards (the DP itself
+/// is not run, so this is `O(n)`).
+pub fn global_applicable(s: &Scenario) -> bool {
+    if s.n() == 0 {
+        return true;
+    }
+    if s.n() > MAX_GLOBAL_ITEMS {
+        return false;
+    }
+    let Some(v_int) = to_int(s.viewing()) else {
+        return false;
+    };
+    if v_int > MAX_GLOBAL_CAPACITY {
+        return false;
+    }
+    s.retrievals()
+        .iter()
+        .all(|&r| matches!(to_int(r), Some(w) if w > 0))
+}
+
 /// Exact global SKP optimum for integral instances.
 ///
 /// Returns `None` when a retrieval time or the viewing time is not an
-/// integer (within `1e-9`), or when the instance exceeds the size guards.
+/// integer (within `1e-9`), or when the instance exceeds the size guards
+/// (i.e. exactly when [`global_applicable`] is false).
 /// The result's gain equals [`crate::skp::brute::solve_optimal`]'s on any
 /// instance both can solve, at a fraction of the cost for larger `n`.
 pub fn solve_global(s: &Scenario) -> Option<SkpSolution> {

@@ -48,7 +48,7 @@ pub mod paper;
 pub use bound::{linear_relaxation, upper_bound, LinearSolution};
 pub use brute::solve_optimal;
 pub use exact::solve_exact;
-pub use global::solve_global;
+pub use global::{global_applicable, solve_global};
 pub use order::SortedView;
 pub use paper::solve_paper;
 

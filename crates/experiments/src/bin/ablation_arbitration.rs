@@ -7,17 +7,13 @@
 //!    LRU/LFU/FIFO/Random replacement.
 //! 2. How sensitive is the sub-arbitration ranking (`DS ≤ LFU ≤ none`) to
 //!    the Markov fan-out (more successors = flatter rows = more Pr ties)?
-
-use access_model::FreqTracker;
-use cache_sim::{Cache, Replacement};
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::prefetch_cache::PrefetchCacheSim;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use skp_core::arbitration::SubArbitration;
-use skp_core::Scenario;
+use speculative_prefetch::{
+    write_csv, Cache, FreqTracker, PrefetchCacheSim, Replacement, RunningStats, Scenario,
+    SubArbitration,
+};
 
 /// Demand-only caching under an arbitrary replacement policy: the
 /// baseline loop behind question 1.
@@ -30,7 +26,7 @@ fn run_demand_only(
     let (chain, catalog) = sim.workload();
     let n = chain.n_states();
     let retrievals: Vec<f64> = (0..n)
-        .map(|i| distsys::RetrievalModel::retrieval_time(&catalog, i))
+        .map(|i| speculative_prefetch::RetrievalModel::retrieval_time(&catalog, i))
         .collect();
     let mut cache = Cache::new(capacity, n);
     let mut freq = FreqTracker::new(n);

@@ -5,17 +5,13 @@
 //! - **Network-aware prefetching** (`μ` sweep): the trade-off curve
 //!   between mean access time and wasted network transfer the paper calls
 //!   for ("a policy is needed to weigh the opposing goals").
-
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy};
-use skp_core::gain::{access_time_empty, stretch_time};
-use skp_core::policy::Prefetcher;
+use speculative_prefetch::{
+    access_time_empty, stretch_time, write_csv, NetworkAwarePolicy, Prefetcher, ProbMethod,
+    RunningStats, ScenarioGen, StretchPenalisedPolicy,
+};
 
 struct SweepRow {
     label: String,

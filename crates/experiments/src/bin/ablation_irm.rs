@@ -9,17 +9,13 @@
 //! best forecast is the same popularity vector every round, so
 //! prefetching adds little beyond popularity caching; under the Markov
 //! source the per-state rows are sharp and prefetching pays.
-
-use access_model::IrmSource;
-use cache_sim::{PrefetchCache, PrefetchCacheConfig};
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::prefetch_cache::PrefetchCacheSim;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use skp_core::arbitration::{PlanSolver, SubArbitration};
-use skp_core::Scenario;
+use speculative_prefetch::{
+    write_csv, IrmSource, PlanSolver, PrefetchCache, PrefetchCacheConfig, PrefetchCacheSim,
+    RunningStats, Scenario, SubArbitration,
+};
 
 fn run_irm(
     irm: &IrmSource,
@@ -73,7 +69,7 @@ fn main() {
     };
     let (chain, catalog) = sim.workload();
     let retrievals: Vec<f64> = (0..60)
-        .map(|i| distsys::RetrievalModel::retrieval_time(&catalog, i))
+        .map(|i| speculative_prefetch::RetrievalModel::retrieval_time(&catalog, i))
         .collect();
 
     // IRM with the chain's stationary popularity and its mean viewing time.

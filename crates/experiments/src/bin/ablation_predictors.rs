@@ -7,16 +7,13 @@
 //! dependency graph, and a uniform straw man. For each: forecast quality
 //! (hit@1/3, log-loss, mass on truth via `access_model::eval`) and the
 //! mean access time when SKP prefetches from its forecasts.
-
-use access_model::{DependencyGraph, MarkovChain, MarkovEstimator, NgramPredictor, PredictorEval};
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use skp_core::gain::access_time_empty;
-use skp_core::policy::{PolicyKind, Prefetcher};
-use skp_core::Scenario;
+use speculative_prefetch::{
+    access_time_empty, write_csv, DependencyGraph, MarkovChain, MarkovEstimator, NgramPredictor,
+    PolicyKind, PredictorEval, Prefetcher, RunningStats, Scenario,
+};
 
 const N: usize = 50;
 

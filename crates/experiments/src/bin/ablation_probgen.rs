@@ -9,13 +9,8 @@
 //! 1. perfect < SKP < no-prefetch in mean access time;
 //! 2. SKP beats KP when the workload is predictable;
 //! 3. SKP ≈ KP when it is not.
-
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::prefetch_only::PrefetchOnlySim;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use skp_core::policy::PolicyKind;
+use speculative_prefetch::{write_csv, PolicyKind, PrefetchOnlySim, ProbMethod, ScenarioGen};
 
 fn main() {
     let args = Args::from_env();

@@ -9,16 +9,12 @@
 //! - `skp`  — SKP planning + size-aware arbitration,
 //!
 //! across byte budgets, reporting mean access time and hit rate.
-
-use access_model::MarkovChain;
-use cache_sim::SizedPrefetchCache;
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use skp_core::arbitration::PlanSolver;
-use skp_core::Scenario;
+use speculative_prefetch::{
+    write_csv, MarkovChain, PlanSolver, RunningStats, Scenario, SizedPrefetchCache,
+};
 
 const N: usize = 60;
 

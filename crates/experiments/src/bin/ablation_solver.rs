@@ -7,15 +7,12 @@
 //! - how often the *canonical space itself* (Theorem 1) misses the global
 //!   optimum (the feasibility gap in the theorem's swap argument);
 //! - search effort (nodes visited).
-
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use skp_core::skp::{solve_exact, solve_optimal, solve_paper};
+use speculative_prefetch::{
+    solve_exact, solve_optimal, solve_paper, write_csv, ProbMethod, RunningStats, ScenarioGen,
+};
 
 struct SolverStats {
     name: &'static str,

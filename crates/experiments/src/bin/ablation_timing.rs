@@ -7,17 +7,13 @@
 //! of `r_α + W`), so it softens exactly the failure mode that makes the
 //! verbatim Figure-3 solver over-stretch. This ablation quantifies that:
 //! per policy and workload, the mean access time under both channels.
-
-use distsys::shared::{access_time_fifo, access_time_shared};
-use distsys::{Catalog, SessionConfig};
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use skp_core::policy::{PolicyKind, Prefetcher};
+use speculative_prefetch::{
+    access_time_fifo, access_time_shared, write_csv, Catalog, PolicyKind, Prefetcher, ProbMethod,
+    RunningStats, ScenarioGen, SessionConfig,
+};
 
 fn main() {
     let args = Args::from_env();

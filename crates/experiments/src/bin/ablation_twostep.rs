@@ -9,17 +9,13 @@
 //!   *average* next round,
 //! - the full two-step policy (parametric-frontier search against the
 //!   true Markov forecast).
-
-use access_model::MarkovChain;
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
-use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use skp_core::ext::{StretchPenalisedPolicy, TwoStepPolicy};
-use skp_core::gain::{access_time_empty, stretch_time};
-use skp_core::policy::{PolicyKind, Prefetcher};
-use skp_core::Scenario;
+use speculative_prefetch::{
+    access_time_empty, stretch_time, write_csv, MarkovChain, PolicyKind, Prefetcher, RunningStats,
+    Scenario, StretchPenalisedPolicy, TwoStepPolicy,
+};
 
 const N: usize = 30;
 
@@ -28,7 +24,7 @@ fn run_chained(
     retrievals: &[f64],
     requests: u64,
     seed: u64,
-    mut plan_for: impl FnMut(&Scenario, usize) -> skp_core::PrefetchPlan,
+    mut plan_for: impl FnMut(&Scenario, usize) -> speculative_prefetch::PrefetchPlan,
 ) -> (f64, f64) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut state = rng.random_range(0..N);

@@ -12,13 +12,10 @@
 //!   small `v` (highly probable items whose retrieval exceeds `v` cannot
 //!   be prefetched at all);
 //! - (b), (d): with flat probabilities the two look almost identical.
-
 use experiments::Args;
-use montecarlo::output::{ascii_plot, write_csv};
-use montecarlo::prefetch_only::PrefetchOnlySim;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use skp_core::policy::{PolicyKind, Prefetcher};
+use speculative_prefetch::{
+    ascii_plot, write_csv, PolicyKind, PrefetchOnlySim, Prefetcher, ProbMethod, ScenarioGen,
+};
 
 fn main() {
     let args = Args::from_env();

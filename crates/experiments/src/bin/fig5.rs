@@ -11,13 +11,10 @@
 //!
 //! Paper parameters: 50,000 iterations per panel, `v ∼ U[1,100]` (plot
 //! clipped at `v = 50`), `r ∼ U[1,30]`.
-
 use experiments::{print_table, Args};
-use montecarlo::output::{ascii_plot, write_csv};
-use montecarlo::prefetch_only::PrefetchOnlySim;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use skp_core::policy::{PolicyKind, Prefetcher};
+use speculative_prefetch::{
+    ascii_plot, write_csv, PolicyKind, PrefetchOnlySim, Prefetcher, ProbMethod, ScenarioGen,
+};
 
 const POLICIES: [PolicyKind; 5] = [
     PolicyKind::NoPrefetch,

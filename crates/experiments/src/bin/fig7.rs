@@ -9,10 +9,8 @@
 //! Expected shape: all curves decrease with cache size;
 //! `SKP+Pr+DS ≤ SKP+Pr+LFU ≤ SKP+Pr ≤ KP+Pr ≤ No+Pr`, with sub-arbitration
 //! clearly improving the result.
-
 use experiments::{print_table, Args};
-use montecarlo::output::{ascii_plot, write_csv};
-use montecarlo::prefetch_cache::PrefetchCacheSim;
+use speculative_prefetch::{ascii_plot, write_csv, PrefetchCacheSim};
 
 const POLICY_ORDER: [&str; 5] = ["No+Pr", "KP+Pr", "SKP+Pr", "SKP+Pr+LFU", "SKP+Pr+DS"];
 
@@ -32,7 +30,7 @@ fn main() {
     if args.has("paper-solver") {
         println!("   (SKP policies backed by the verbatim Figure-3 solver)");
     } else {
-        sim.skp_solver = skp_core::arbitration::PlanSolver::SkpExact;
+        sim.skp_solver = speculative_prefetch::PlanSolver::SkpExact;
         println!("   (SKP policies backed by the corrected canonical solver; --paper-solver for verbatim)");
     }
     let capacities: Vec<usize> = (1..=100).step_by(step).collect();

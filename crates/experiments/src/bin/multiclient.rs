@@ -1,5 +1,5 @@
 //! Multi-client contention experiment — the Section-6 concern at system
-//! scale.
+//! scale, driven through the facade's multi-client backend.
 //!
 //! A population of Markov-browsing clients shares one FIFO server
 //! channel. Every speculative prefetch queues ahead of other clients'
@@ -8,37 +8,18 @@
 //! grows, aggressive SKP prefetching saturates the channel while the
 //! network-aware objective (μ > 0) backs off and keeps latency lower.
 //!
-//! Reported per (policy × population): mean access time, channel
-//! utilisation, and wasted transfer share.
+//! Each (policy × population) cell is one `SessionBuilder` line: the
+//! policy comes from the registry, the population from the backend.
+//!
+//! Reported per cell: mean access time, channel utilisation, and wasted
+//! transfer share.
 
-use access_model::MarkovChain;
-use distsys::multiclient::access_shim::{Chain, MarkovLike};
-use distsys::multiclient::MultiClientSim;
 use experiments::{print_table, Args};
-use montecarlo::output::write_csv;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use skp_core::ext::NetworkAwarePolicy;
-use skp_core::policy::{PolicyKind, Prefetcher};
-use skp_core::Scenario;
+use speculative_prefetch::{write_csv, Backend, Engine, MarkovChain};
 
 const N: usize = 40;
-
-/// A boxed per-client planner: `(client, state) -> prefetch list`.
-type Planner<'a> = Box<dyn FnMut(usize, usize) -> Vec<usize> + 'a>;
-
-struct ChainAdapter<'a>(&'a MarkovChain);
-impl MarkovLike for ChainAdapter<'_> {
-    fn viewing(&self, state: usize) -> f64 {
-        self.0.viewing(state)
-    }
-    fn next_state(&self, state: usize, rng: &mut SmallRng) -> usize {
-        self.0.next_state(state, rng)
-    }
-    fn n_states(&self) -> usize {
-        self.0.n_states()
-    }
-}
 
 fn main() {
     let args = Args::from_env();
@@ -50,54 +31,31 @@ fn main() {
     let chain = MarkovChain::random(N, 4, 8, 10, 60, seed ^ 0x3C).expect("valid chain");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x3D);
     let retrievals: Vec<f64> = (0..N).map(|_| rng.random_range(1u32..=30) as f64).collect();
-    let adapter = ChainAdapter(&chain);
-    let shim = Chain(&adapter);
 
     println!("== Multi-client contention: shared FIFO channel ==");
     println!("   {N} items, v in [10,60], r in [1,30], {requests} requests/client\n");
 
-    let mk_scenario = |state: usize| {
-        Scenario::new(
-            chain.row_probs(state),
-            retrievals.clone(),
-            chain.viewing(state),
-        )
-        .expect("valid scenario")
-    };
+    let policies = [
+        ("none", "no-prefetch"),
+        ("KP", "kp"),
+        ("SKP", "skp-exact"),
+        ("SKP μ=0.25", "network-aware:0.25"),
+        ("SKP μ=1.0", "network-aware:1.0"),
+    ];
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for clients in [1usize, 2, 4, 8, 16] {
-        let sim = MultiClientSim {
-            workload: &shim,
-            retrievals: &retrievals,
-            clients,
-            requests_per_client: requests,
-            seed,
-        };
-        let policies: Vec<(&str, Planner)> = vec![
-            ("none", Box::new(|_c, _s| Vec::new())),
-            ("KP", {
-                let mk = &mk_scenario;
-                Box::new(move |_c, s| PolicyKind::Kp.plan(&mk(s)).into_items())
-            }),
-            ("SKP", {
-                let mk = &mk_scenario;
-                Box::new(move |_c, s| PolicyKind::SkpExact.plan(&mk(s)).into_items())
-            }),
-            ("SKP μ=0.25", {
-                let mk = &mk_scenario;
-                let pol = NetworkAwarePolicy::new(0.25);
-                Box::new(move |_c, s| pol.plan(&mk(s)).into_items())
-            }),
-            ("SKP μ=1.0", {
-                let mk = &mk_scenario;
-                let pol = NetworkAwarePolicy::new(1.0);
-                Box::new(move |_c, s| pol.plan(&mk(s)).into_items())
-            }),
-        ];
-        for (pi, (name, mut policy)) in policies.into_iter().enumerate() {
-            let r = sim.run(&mut policy);
+        for (pi, (name, spec)) in policies.iter().enumerate() {
+            let engine = Engine::builder()
+                .policy(spec)
+                .backend(Backend::MultiClient { clients })
+                .catalog(retrievals.clone())
+                .build()
+                .expect("valid session");
+            let r = engine
+                .multi_client(&chain, requests, seed)
+                .expect("backend configured");
             let waste_share = if r.total_transfer > 0.0 {
                 r.wasted_transfer / r.total_transfer
             } else {

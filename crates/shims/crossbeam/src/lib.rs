@@ -1,0 +1,105 @@
+//! Offline shim of the `crossbeam` API subset used by this workspace:
+//! [`thread::scope`] (scoped spawning with borrow-from-stack closures)
+//! and [`channel::unbounded`] (MPSC streaming of worker results).
+//!
+//! Built entirely on `std::thread::scope` and `std::sync::mpsc`; the
+//! semantics the `montecarlo` parallel runner relies on — workers may
+//! borrow the caller's stack, the scope joins every worker before
+//! returning, a worker panic surfaces as `Err` — are preserved.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer single-consumer channels (std-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// An unbounded MPSC channel: `Sender` is `Clone + Send`, the
+    /// `Receiver` iterates until every sender is dropped.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle through which workers are spawned inside a scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; the closure receives the scope again so it
+        /// can spawn nested workers (unused by this workspace, kept for
+        /// API fidelity).
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: for<'s> FnOnce(&Scope<'s, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            });
+        }
+    }
+
+    /// Runs `f` with a scope handle; every spawned worker is joined
+    /// before this returns. A worker panic yields `Err` with the panic
+    /// payload, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'s> FnOnce(&Scope<'s, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(move || {
+            std::thread::scope(move |s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn scope_joins_and_streams_results() {
+        let data: Vec<u64> = (0..100).collect();
+        let mut out = vec![0u64; 100];
+        super::thread::scope(|scope| {
+            let (tx, rx) = channel::unbounded::<(usize, u64)>();
+            for t in 0..4usize {
+                let tx = tx.clone();
+                let data = &data;
+                scope.spawn(move |_| {
+                    let mut i = t;
+                    while i < data.len() {
+                        tx.send((i, data[i] * 2)).expect("receiver alive");
+                        i += 4;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                out[i] = r;
+            }
+        })
+        .expect("no worker panicked");
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_an_error() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,5 +1,5 @@
 //! Prefetching on a low-bandwidth mobile link (reference [15] of the
-//! paper) and the cost of stretch intrusion.
+//! paper) and the cost of stretch intrusion, through the facade.
 //!
 //! On a slow link, retrieval times are long relative to viewing times, so
 //! plain SKP stretches aggressively — and every unit of stretch *intrudes
@@ -7,34 +7,28 @@
 //! next prefetch round (Section 4.4). The stretch-penalised lookahead
 //! extension prices that intrusion; this example chains sessions
 //! mechanistically (next window = viewing − previous stretch) and sweeps
-//! the shadow price λ.
+//! the shadow price λ as a registry parameter.
 //!
 //! Run with: `cargo run --release --example mobile_network`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::access::MarkovChain;
-use speculative_prefetch::core::ext::StretchPenalisedPolicy;
-use speculative_prefetch::core::gain::{access_time_empty, stretch_time};
-use speculative_prefetch::core::policy::Prefetcher;
-use speculative_prefetch::distsys::{Catalog, Link};
-use speculative_prefetch::Scenario;
+use speculative_prefetch::{
+    access_time_empty, stretch_time, Catalog, Engine, Error, Link, MarkovChain, RetrievalModel,
+    Scenario,
+};
 
 const ITEMS: usize = 40;
 const REQUESTS: usize = 6_000;
 
-fn main() {
-    let _rng = SmallRng::seed_from_u64(314);
-
+fn main() -> Result<(), Error> {
     // A 2G-ish link: high latency, thin bandwidth; item sizes 4..90 KB.
     let link = Link::new(2.0, 6.0);
     let sizes: Vec<f64> = (0..ITEMS)
         .map(|i| 4.0 + 86.0 * ((i * 37 % ITEMS) as f64 / ITEMS as f64))
         .collect();
     let catalog = Catalog::from_link(link, &sizes);
-    let retrievals: Vec<f64> = (0..ITEMS)
-        .map(|i| speculative_prefetch::distsys::RetrievalModel::retrieval_time(&catalog, i))
-        .collect();
+    let retrievals: Vec<f64> = (0..ITEMS).map(|i| catalog.retrieval_time(i)).collect();
 
     // User behaviour: Markov browsing with short viewing times (the link
     // is slower than the user).
@@ -50,7 +44,10 @@ fn main() {
 
     let mut best: (f64, f64) = (f64::INFINITY, -1.0);
     for lambda in [0.0, 0.1, 0.3, 0.6, 1.0, 2.0, 4.0] {
-        let policy = StretchPenalisedPolicy::new(lambda);
+        // λ is just a policy parameter in the registry spec.
+        let engine = Engine::builder()
+            .policy(&format!("stretch-penalised:{lambda}"))
+            .build()?;
         let mut rng_run = SmallRng::seed_from_u64(8899);
         let mut state = rng_run.random_range(0..ITEMS);
         let mut carry_over = 0.0_f64; // stretch intruding into this window
@@ -61,12 +58,11 @@ fn main() {
         for _ in 0..REQUESTS {
             // The stretch of the previous round eats into this window.
             let window = (chain.viewing(state) - carry_over).max(0.0);
-            let scenario = Scenario::new(chain.row_probs(state), retrievals.clone(), window)
-                .expect("valid scenario");
-            let plan = policy.plan(&scenario);
+            let scenario = Scenario::new(chain.row_probs(state), retrievals.clone(), window)?;
+            let plan = engine.plan(&scenario);
             let alpha = chain.next_state(state, &mut rng_run);
-            total_t += access_time_empty(&scenario, plan.items(), alpha);
             let st = stretch_time(&scenario, plan.items());
+            total_t += access_time_empty(&scenario, plan.items(), alpha);
             total_st += st;
             total_lost += carry_over;
             carry_over = st;
@@ -91,4 +87,5 @@ fn main() {
     println!("λ = 0 is plain SKP: it wins each round on paper but donates its");
     println!("stretch to the next window; a positive λ internalises that cost,");
     println!("which is exactly the deeper-lookahead direction of Section 6.");
+    Ok(())
 }

@@ -1,20 +1,18 @@
-//! An ETEL-style electronic newspaper (reference [1] of the paper).
+//! An ETEL-style electronic newspaper (reference [1] of the paper),
+//! through the facade.
 //!
 //! Readers front-load a session: front page → section page → articles,
 //! with habits (most readers hit the same sections in the same order).
-//! An order-2 n-gram predictor (Vitter-flavoured) learns those paths and
-//! feeds the SKP prefetcher; the network-aware extension then shows how a
-//! metered link changes the plan.
+//! An order-2 n-gram predictor learns those paths; three registry
+//! policies — no prefetching, plain SKP, and the network-aware
+//! extension priced for a metered link — are compared on the same
+//! forecasts.
 //!
 //! Run with: `cargo run --release --example newspaper`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::access::NgramPredictor;
-use speculative_prefetch::core::ext::NetworkAwarePolicy;
-use speculative_prefetch::core::gain::access_time_empty;
-use speculative_prefetch::core::policy::{PolicyKind, Prefetcher};
-use speculative_prefetch::Scenario;
+use speculative_prefetch::{access_time_empty, build_policy, Engine, Error};
 
 // Item layout: 0 = front page; 1..=4 section pages; 5..=24 articles
 // (five per section).
@@ -48,7 +46,7 @@ fn session(rng: &mut SmallRng, favourites: &[usize]) -> Vec<usize> {
     path
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     let mut rng = SmallRng::seed_from_u64(77);
 
     // Retrieval times: front/section pages are light, articles heavy.
@@ -58,18 +56,27 @@ fn main() {
     }
     let viewing = 8.0; // reading time between clicks
 
-    let mut predictor = NgramPredictor::new(N_ITEMS, 2);
+    // One engine owns the learned model; the policies are resolved from
+    // the registry and compared on identical forecasts.
+    let mut engine = Engine::builder()
+        .predictor("ngram:2")
+        .catalog(retrievals)
+        .build()?;
+    let policies = [
+        build_policy("no-prefetch")?,
+        build_policy("skp-exact")?,
+        build_policy("network-aware:0.4")?,
+    ];
     let favourites = [0usize, 2, 3]; // this reader's morning routine
 
     // Train on 300 mornings.
     for _ in 0..300 {
         for &item in &session(&mut rng, &favourites) {
-            predictor.observe(item);
+            engine.observe(item);
         }
     }
 
-    // Evaluate one fresh morning with three prefetchers.
-    let metered = NetworkAwarePolicy::new(0.4);
+    // Evaluate fresh mornings under the three policies.
     let mut totals = [0.0_f64; 3];
     let mut waste = [0.0_f64; 3];
     let eval_sessions = 200;
@@ -77,15 +84,10 @@ fn main() {
         let path = session(&mut rng, &favourites);
         for w in path.windows(2) {
             let (here, next) = (w[0], w[1]);
-            predictor.observe(here);
-            let probs = predictor.predict(3);
-            let scenario = Scenario::new(probs, retrievals.clone(), viewing)
-                .expect("predicted probabilities are valid");
-            for (slot, plan) in [
-                (0, PolicyKind::NoPrefetch.plan(&scenario)),
-                (1, PolicyKind::SkpExact.plan(&scenario)),
-                (2, metered.plan(&scenario)),
-            ] {
+            engine.observe(here);
+            let scenario = engine.scenario(here, viewing)?;
+            for (slot, policy) in policies.iter().enumerate() {
+                let plan = policy.plan(&scenario);
                 totals[slot] += access_time_empty(&scenario, plan.items(), next);
                 waste[slot] += plan
                     .items()
@@ -95,7 +97,7 @@ fn main() {
                     .sum::<f64>();
             }
         }
-        predictor.observe(*path.last().expect("non-empty session"));
+        engine.observe(*path.last().expect("non-empty session"));
     }
 
     let clicks = (eval_sessions * session(&mut rng, &favourites).len().saturating_sub(1)) as f64; // approx
@@ -125,4 +127,5 @@ fn main() {
         waste[2] < waste[1],
         "network-aware should waste less transfer"
     );
+    Ok(())
 }

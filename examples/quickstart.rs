@@ -1,25 +1,22 @@
-//! Quickstart: model one prefetching decision end to end.
+//! Quickstart: model one prefetching decision end to end through the
+//! facade.
 //!
 //! A client shows the user a page for `v = 10` time units. Five follow-up
 //! items could be requested next, with known probabilities and retrieval
-//! times. We ask every solver what to prefetch, check the Theorem-2 bound,
-//! and replay the decision mechanistically on the discrete-event substrate
-//! to confirm the closed-form access times.
+//! times. We ask every registered solver what to prefetch, check the
+//! Theorem-2 bound, and let the engine verify its closed forms against an
+//! event-by-event replay of the discrete-event substrate.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use speculative_prefetch::core::gain::{access_time_empty, gain_empty_cache, stretch_time};
-use speculative_prefetch::core::kp::solve_kp;
-use speculative_prefetch::core::skp::{solve_exact, solve_optimal, solve_paper, upper_bound};
-use speculative_prefetch::distsys::{run_session, Catalog, SessionConfig};
-use speculative_prefetch::Scenario;
+use speculative_prefetch::{Engine, Error, Scenario};
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Next-access probabilities and retrieval times for five items.
     let probs = vec![0.40, 0.25, 0.15, 0.15, 0.05];
     let retrievals = vec![6.0, 5.0, 9.0, 2.0, 14.0];
     let viewing = 10.0;
-    let s = Scenario::new(probs, retrievals, viewing).expect("valid scenario");
+    let s = Scenario::new(probs, retrievals, viewing)?;
 
     println!("Scenario: v = {}, items (P, r):", s.viewing());
     for i in 0..s.n() {
@@ -33,68 +30,52 @@ fn main() {
         "\nExpected access time with no prefetch: {:.3}",
         s.expected_no_prefetch()
     );
-    println!(
-        "Theorem-2 upper bound on any gain:     {:.3}",
-        upper_bound(&s)
-    );
 
-    println!("\nSolver comparison:");
-    for (name, sol) in [
-        ("KP (never stretches)  ", {
-            let kp = solve_kp(&s);
-            speculative_prefetch::core::skp::SkpSolution {
-                gain: kp.profit,
-                internal_gain: kp.profit,
-                nodes: kp.nodes,
-                plan: kp.plan,
-            }
-        }),
-        ("SKP Figure-3 verbatim ", solve_paper(&s)),
-        ("SKP corrected         ", solve_exact(&s)),
-        ("SKP exhaustive oracle ", solve_optimal(&s)),
+    println!("\nSolver comparison (policies resolved from the registry):");
+    for (label, spec) in [
+        ("KP (never stretches)  ", "kp"),
+        ("SKP Figure-3 verbatim ", "skp-paper"),
+        ("SKP corrected         ", "skp-exact"),
+        ("SKP exhaustive oracle ", "skp-optimal"),
     ] {
+        let engine = Engine::builder().policy(spec).build()?;
+        let report = engine.report(&s);
         println!(
-            "  {name} plan {:?}  gain {:.3}  stretch {:.1}",
-            sol.plan.items(),
-            sol.gain,
-            stretch_time(&s, sol.plan.items()),
+            "  {label} plan {:?}  gain {:.3}  stretch {:.1}",
+            report.plan.items(),
+            report.gain,
+            report.stretch,
         );
+        assert!(report.gain <= report.upper_bound + 1e-9);
     }
 
-    // Take the corrected solver's plan and replay it event by event.
-    let plan = solve_exact(&s).plan;
-    let catalog = Catalog::new(s.retrievals().to_vec());
+    // Take the corrected solver and let the engine verify every closed
+    // form against the mechanistic replay — `verified_report` errors on
+    // the slightest disagreement.
+    let engine = Engine::builder().policy("skp-exact").build()?;
+    let report = engine.verified_report(&s)?;
+    println!(
+        "\nTheorem-2 upper bound on any gain:     {:.3}",
+        report.upper_bound
+    );
     println!(
         "\nMechanistic replay of plan {:?} (g* = {:.3}):",
-        plan.items(),
-        gain_empty_cache(&s, plan.items())
+        report.plan.items(),
+        report.gain
     );
     println!("  request | closed-form T | event-replay T");
     let mut expected = 0.0;
     for alpha in 0..s.n() {
-        let formula = access_time_empty(&s, plan.items(), alpha);
-        let replay = run_session(
-            &catalog,
-            &SessionConfig {
-                viewing: s.viewing(),
-                plan: plan.items(),
-                request: alpha,
-                cached: &[],
-            },
-        );
-        expected += s.prob(alpha) * replay.access_time;
-        println!(
-            "     {alpha}    |     {formula:>6.2}    |     {:>6.2}",
-            replay.access_time
-        );
-        assert!(
-            (formula - replay.access_time).abs() < 1e-9,
-            "model mismatch!"
-        );
+        let formula = report.per_request[alpha];
+        let replayed = engine.replay(&s, &report.plan, alpha);
+        expected += s.prob(alpha) * replayed;
+        println!("     {alpha}    |     {formula:>6.2}    |     {replayed:>6.2}");
     }
     println!(
         "\nExpected access time with this plan: {expected:.3} \
          (improvement {:.3} — matches g*)",
         s.expected_no_prefetch() - expected
     );
+    assert!((s.expected_no_prefetch() - expected - report.gain).abs() < 1e-9);
+    Ok(())
 }

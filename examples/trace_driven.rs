@@ -1,22 +1,18 @@
 //! Trace-driven policy comparison — the offline workflow a production
 //! user would run: record an access trace, persist it, then replay the
 //! *same sequence* under different prefetch-cache policies with an
-//! online-learned access model.
+//! online-learned access model, all through `Engine::run_trace`.
 //!
 //! Run with: `cargo run --release --example trace_driven`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::access::{MarkovChain, NgramPredictor};
-use speculative_prefetch::cache::PrefetchCacheConfig;
-use speculative_prefetch::core::arbitration::{PlanSolver, SubArbitration};
-use speculative_prefetch::distsys::{Catalog, RetrievalModel, Trace};
-use speculative_prefetch::mc::trace_replay::replay;
+use speculative_prefetch::{Catalog, Engine, Error, MarkovChain, RetrievalModel, Trace};
 
 const ITEMS: usize = 40;
 const REQUESTS: usize = 8_000;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. "Production": a session recorder walking a Markov site.
     let chain = MarkovChain::random(ITEMS, 3, 7, 5, 40, 424).expect("valid chain");
     let catalog = Catalog::uniform(ITEMS, 1, 30, 17);
@@ -30,8 +26,8 @@ fn main() {
 
     // 2. Persist and reload (the file is the hand-off artefact).
     let path = std::env::temp_dir().join("speculative_prefetch_demo.trace");
-    trace.save(&path).expect("write trace");
-    let loaded = Trace::load(&path).expect("read trace");
+    trace.save(&path)?;
+    let loaded = Trace::load(&path)?;
     assert_eq!(loaded, trace);
     println!(
         "Recorded {} requests over {} items -> {}\n",
@@ -40,32 +36,28 @@ fn main() {
         path.display()
     );
 
-    // 3. Replay the identical sequence under competing policies.
-    let retrievals = catalog.retrieval_vector();
+    // 3. Replay the identical sequence under competing registry
+    //    policies: one builder line per client configuration.
     let policies = [
-        ("No prefetch + Pr cache", PlanSolver::None),
-        ("KP + Pr cache", PlanSolver::Kp),
-        ("SKP + Pr/DS cache", PlanSolver::SkpExact),
+        ("No prefetch + Pr cache", "no-prefetch"),
+        ("KP + Pr cache", "kp"),
+        ("SKP + Pr/DS cache", "skp-exact"),
     ];
     println!("Replay with an online order-2 n-gram model, cache of 8 slots:\n");
     println!("  policy                   mean T    hits    wasted/req");
-    for (name, solver) in policies {
-        let mut model = NgramPredictor::new(ITEMS, 2);
-        let result = replay(
-            &loaded,
-            &retrievals,
-            &mut model,
-            PrefetchCacheConfig {
-                solver,
-                sub: SubArbitration::DelaySaving,
-                capacity: 8,
-            },
-        );
+    for (name, spec) in policies {
+        let mut engine = Engine::builder()
+            .policy(spec)
+            .predictor("ngram:2")
+            .catalog(catalog.retrieval_vector())
+            .cache(8)
+            .build()?;
+        let report = engine.run_trace(&loaded)?;
         println!(
             "  {name:<24} {:>6.2}   {:>5.1}%   {:>7.2}",
-            result.access.mean(),
-            result.hit_rate * 100.0,
-            result.wasted_per_request
+            report.mean_access_time,
+            report.hit_rate * 100.0,
+            report.wasted_per_request
         );
     }
     std::fs::remove_file(&path).ok();
@@ -73,4 +65,5 @@ fn main() {
     println!("\nBecause every policy sees the identical request sequence, the");
     println!("differences are pure policy effects — the fair comparison the");
     println!("paper's Monte-Carlo design approximates with shared seeds.");
+    Ok(())
 }

@@ -1,67 +1,57 @@
-//! Web browsing with a *learned* access model.
+//! Web browsing with a *learned* access model, through the facade.
 //!
 //! The paper's model presupposes next-access probabilities; in a real web
-//! client they must be learned. This example wires the Padmanabhan–Mogul
-//! dependency-graph predictor (`access-model`) to the SKP prefetcher and
-//! the Figure-6 prefetch–cache client, browsing a synthetic 60-page site
-//! whose true structure is a Markov chain the predictor never sees
+//! client they must be learned. This example composes one
+//! `SessionBuilder` session — dependency-graph predictor, SKP policy,
+//! Figure-6 prefetch–cache client — and browses a synthetic 60-page site
+//! whose true structure is a Markov chain the engine never sees
 //! directly.
 //!
 //! Run with: `cargo run --release --example web_browsing`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::access::{DependencyGraph, MarkovChain};
-use speculative_prefetch::cache::{PrefetchCache, PrefetchCacheConfig};
-use speculative_prefetch::core::arbitration::{PlanSolver, SubArbitration};
-use speculative_prefetch::distsys::{Catalog, RetrievalModel};
-use speculative_prefetch::Scenario;
+use speculative_prefetch::{Catalog, Engine, Error, MarkovChain, RetrievalModel};
 
 const PAGES: usize = 60;
 const SESSIONS: usize = 400;
 const CLICKS_PER_SESSION: usize = 25;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let mut rng = SmallRng::seed_from_u64(2026);
 
     // Ground truth the client cannot see: site structure as a Markov
-    // chain (each page links to 3..8 others), page weights 2..40 KB over
-    // a 56 kbit/s-ish link giving r in roughly [1, 30] time units.
+    // chain (each page links to 3..8 others), page weights over a
+    // 56 kbit/s-ish link giving r in roughly [1, 30] time units.
     let site = MarkovChain::random(PAGES, 3, 8, 5, 60, 7).expect("valid site");
     let catalog = Catalog::uniform(PAGES, 1, 30, 13);
-    let retrievals = catalog.retrieval_vector();
 
-    // The client: dependency-graph predictor + SKP prefetcher + cache.
-    let mut predictor = DependencyGraph::new(PAGES, 2);
-    let mut client = PrefetchCache::new(
-        PrefetchCacheConfig {
-            solver: PlanSolver::SkpExact,
-            sub: SubArbitration::DelaySaving,
-            capacity: 12,
-        },
-        PAGES,
-    );
+    // The client, composed in one place: dependency-graph predictor
+    // (window 2) + SKP prefetcher + 12-slot Pr/DS cache.
+    let mut engine = Engine::builder()
+        .policy("skp-exact")
+        .predictor("depgraph:2")
+        .catalog(catalog.retrieval_vector())
+        .cache(12)
+        .build()?;
 
     let mut demand_total = 0.0_f64;
     let mut prefetch_total = 0.0_f64;
     let mut requests = 0u64;
     let mut hits = 0u64;
-    let mut phase_means: Vec<(usize, f64, f64)> = Vec::new();
+    let mut phase_means: Vec<(usize, f64)> = Vec::new();
     let mut phase_t = 0.0;
     let mut phase_n = 0u64;
 
     for session in 0..SESSIONS {
         let mut page = rng.random_range(0..PAGES);
-        predictor.observe(page);
+        engine.observe(page);
         for _ in 0..CLICKS_PER_SESSION {
             let next = site.next_state(page, &mut rng);
             // What the client believes about the next click:
-            let learned = predictor.predict(page);
-            let viewing = site.viewing(page);
-            let scenario = Scenario::new(learned, retrievals.clone(), viewing)
-                .expect("learned row is a valid scenario");
+            let scenario = engine.scenario(page, site.viewing(page))?;
 
-            let outcome = client.step(&scenario, next);
+            let outcome = engine.step(&scenario, next);
             prefetch_total += outcome.access_time;
             demand_total += scenario.retrieval(next); // what no-prefetch+no-cache pays
             requests += 1;
@@ -71,11 +61,11 @@ fn main() {
             phase_t += outcome.access_time;
             phase_n += 1;
 
-            predictor.observe(next);
+            engine.observe(next);
             page = next;
         }
         if (session + 1) % 80 == 0 {
-            phase_means.push((session + 1, phase_t / phase_n as f64, 0.0));
+            phase_means.push((session + 1, phase_t / phase_n as f64));
             phase_t = 0.0;
             phase_n = 0;
         }
@@ -84,7 +74,7 @@ fn main() {
     println!("Synthetic site: {PAGES} pages, {SESSIONS} sessions x {CLICKS_PER_SESSION} clicks");
     println!("Client: dependency-graph predictor (window 2) + SKP + Pr/DS cache (12 slots)\n");
     println!("Learning curve (mean access time per 80-session phase):");
-    for (upto, mean, _) in &phase_means {
+    for (upto, mean) in &phase_means {
         let bar = "#".repeat((mean * 4.0).round() as usize);
         println!("  sessions ..{upto:>4}: {mean:>6.2}  {bar}");
     }
@@ -100,4 +90,5 @@ fn main() {
     );
     println!("\nThe first phase is cold (predictor knows nothing); later phases show");
     println!("the dependency graph feeding ever better probabilities into SKP.");
+    Ok(())
 }

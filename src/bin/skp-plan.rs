@@ -1,41 +1,80 @@
-//! `skp-plan` — command-line prefetch planner.
+//! `skp-plan` — command-line prefetch planner over the facade API.
 //!
 //! Reads a scenario file (see `speculative_prefetch::scenario_file`) and
-//! prints what each solver would prefetch, with gains, the Eq. 7 bound
-//! and per-item access times.
+//! prints what each policy would prefetch, with gains, the Eq. 7 bound
+//! and per-item access times. Policies are resolved through the
+//! registry, so every registered spec works, including parameterised
+//! ones (`network-aware:0.4`).
 //!
 //! ```text
-//! skp-plan scenario.txt [--solver paper|exact|global|kp|optimal|all]
+//! skp-plan <scenario-file> [--solver <policy-spec>|all] [--format text|json]
+//! skp-plan --list
 //! ```
 
-use speculative_prefetch::core::gain::{
-    access_time_empty, expected_access_time_empty, stretch_time,
+use speculative_prefetch::{
+    global_applicable, parse_scenario_file, policy_specs, predictor_specs, Engine, Error,
+    PlanReport, Scenario,
 };
-use speculative_prefetch::core::kp::solve_kp;
-use speculative_prefetch::core::skp::{
-    solve_exact, solve_global, solve_optimal, solve_paper, upper_bound, SkpSolution,
-};
-use speculative_prefetch::scenario_file;
-use speculative_prefetch::Scenario;
+
+fn usage() -> ! {
+    eprintln!("usage: skp-plan <scenario-file> [--solver <policy>|all] [--format text|json]");
+    eprintln!("       skp-plan --list");
+    eprintln!();
+    eprintln!("scenario file format:");
+    eprintln!("  v 10");
+    eprintln!("  item 0.5 8 front-page");
+    eprintln!("  item 0.3 6");
+    eprintln!();
+    eprintln!("policies are registry specs (see --list), e.g. 'exact' or 'network-aware:0.4'");
+    std::process::exit(2);
+}
+
+fn print_registry() {
+    println!("registered policies (--solver):");
+    for spec in policy_specs() {
+        let aliases = if spec.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", spec.aliases.join(", "))
+        };
+        let param = spec
+            .param
+            .map(|p| format!("; :param = {p}"))
+            .unwrap_or_default();
+        println!("  {:<18} {}{aliases}{param}", spec.name, spec.summary);
+    }
+    println!();
+    println!("registered predictors (for the library's SessionBuilder):");
+    for spec in predictor_specs() {
+        let param = spec
+            .param
+            .map(|p| format!("; :param = {p}"))
+            .unwrap_or_default();
+        println!("  {:<18} {}{param}", spec.name, spec.summary);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print_registry();
+        return;
+    }
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: skp-plan <scenario-file> [--solver paper|exact|global|kp|optimal|all]");
-        eprintln!();
-        eprintln!("scenario file format:");
-        eprintln!("  v 10");
-        eprintln!("  item 0.5 8 front-page");
-        eprintln!("  item 0.3 6");
-        std::process::exit(2);
+        usage();
     };
-    let solver = args
-        .iter()
-        .position(|a| a == "--solver")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("all")
-        .to_string();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let solver = flag("--solver").unwrap_or("all").to_string();
+    let format = flag("--format").unwrap_or("text").to_string();
+    if format != "text" && format != "json" {
+        eprintln!("skp-plan: unknown format '{format}' (expected text or json)");
+        std::process::exit(2);
+    }
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -44,7 +83,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let parsed = match scenario_file::parse(&text) {
+    let parsed = match parse_scenario_file(&text) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("skp-plan: {path}: {e}");
@@ -54,77 +93,153 @@ fn main() {
     let s = parsed.scenario;
     let labels = parsed.labels;
 
+    // Which policies to run: one registry spec, or the CLI's classic
+    // comparison set.
+    let specs: Vec<String> = if solver == "all" {
+        let mut all = vec!["kp", "paper", "exact", "global"];
+        if s.n() <= 20 {
+            all.push("optimal");
+        }
+        all.into_iter().map(String::from).collect()
+    } else {
+        vec![solver.clone()]
+    };
+
+    // The global DP falls back to the exact branch-and-bound on
+    // non-integral instances, and oracle policies cannot plan without
+    // the realised request; keep the CLI honest about both.
+    let note_for = |spec: &str, engine: &Engine| {
+        if matches!(spec, "global" | "skp-global") && !global_applicable(&s) {
+            Some("DP needs integral r and v; used the exact branch-and-bound".to_string())
+        } else if engine.policy_is_oracle() {
+            Some(
+                "oracle plans per realised request; nothing to plan ahead of time \
+                 (drive it via the library's Engine::step / monte_carlo)"
+                    .to_string(),
+            )
+        } else {
+            None
+        }
+    };
+
+    let mut reports: Vec<(String, PlanReport, Option<String>)> = Vec::new();
+    for spec in &specs {
+        match Engine::builder().policy(spec).build() {
+            Ok(engine) => {
+                let note = note_for(spec, &engine);
+                reports.push((spec.clone(), engine.report(&s), note));
+            }
+            Err(Error::UnknownPolicy { name, known }) => {
+                eprintln!(
+                    "skp-plan: unknown solver '{name}' (known: {}, or any alias; see --list)",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("skp-plan: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match format.as_str() {
+        "json" => print_json(&s, &labels, &reports),
+        _ => print_text(&s, &labels, &reports),
+    }
+}
+
+fn print_text(s: &Scenario, labels: &[String], reports: &[(String, PlanReport, Option<String>)]) {
     println!("scenario: {} items, v = {}", s.n(), s.viewing());
     println!(
         "expected access time with no prefetch: {:.4}",
         s.expected_no_prefetch()
     );
-    println!("upper bound on any gain (Eq. 7): {:.4}\n", upper_bound(&s));
+    let bound = reports
+        .first()
+        .map(|(_, r, _)| r.upper_bound)
+        .unwrap_or_default();
+    println!("upper bound on any gain (Eq. 7): {bound:.4}\n");
 
-    let mut solvers: Vec<(&str, Option<SkpSolution>)> = Vec::new();
-    let push_kp = |list: &mut Vec<(&str, Option<SkpSolution>)>| {
-        let kp = solve_kp(&s);
-        list.push((
-            "kp",
-            Some(SkpSolution {
-                gain: kp.profit,
-                internal_gain: kp.profit,
-                nodes: kp.nodes,
-                plan: kp.plan,
-            }),
-        ));
-    };
-    match solver.as_str() {
-        "paper" => solvers.push(("paper", Some(solve_paper(&s)))),
-        "exact" => solvers.push(("exact", Some(solve_exact(&s)))),
-        "global" => solvers.push(("global", solve_global(&s))),
-        "optimal" => solvers.push(("optimal", Some(solve_optimal(&s)))),
-        "kp" => push_kp(&mut solvers),
-        "all" => {
-            push_kp(&mut solvers);
-            solvers.push(("paper", Some(solve_paper(&s))));
-            solvers.push(("exact", Some(solve_exact(&s))));
-            solvers.push(("global", solve_global(&s)));
-            if s.n() <= 20 {
-                solvers.push(("optimal", Some(solve_optimal(&s))));
-            }
+    for (name, report, note) in reports {
+        let items: Vec<&str> = report
+            .plan
+            .items()
+            .iter()
+            .map(|&i| labels[i].as_str())
+            .collect();
+        println!("[{name}] prefetch {items:?}");
+        println!(
+            "  gain {:.4}  stretch {:.4}  expected T {:.4}",
+            report.gain, report.stretch, report.expected_access_time,
+        );
+        print!("  per-request T:");
+        for (label, t) in labels.iter().zip(&report.per_request) {
+            print!(" {label}={t:.2}");
         }
-        other => {
-            eprintln!("skp-plan: unknown solver '{other}'");
-            std::process::exit(2);
-        }
-    }
-
-    for (name, sol) in solvers {
-        match sol {
-            None => println!("[{name}] not applicable (needs integral r and v)"),
-            Some(sol) => describe(name, &s, &labels, &sol),
+        println!();
+        if let Some(note) = note {
+            println!("  note: {note}");
         }
         println!();
     }
 }
 
-fn describe(name: &str, s: &Scenario, labels: &[String], sol: &SkpSolution) {
-    let items: Vec<&str> = sol
-        .plan
-        .items()
-        .iter()
-        .map(|&i| labels[i].as_str())
-        .collect();
-    println!("[{name}] prefetch {items:?}");
-    println!(
-        "  gain {:.4}  stretch {:.4}  expected T {:.4}",
-        sol.gain,
-        stretch_time(s, sol.plan.items()),
-        expected_access_time_empty(s, sol.plan.items()),
-    );
-    print!("  per-request T:");
-    for (alpha, label) in labels.iter().enumerate().take(s.n()) {
-        print!(
-            " {}={:.2}",
-            label,
-            access_time_empty(s, sol.plan.items(), alpha)
-        );
+/// Minimal JSON encoder for the report structure (no external deps).
+fn print_json(s: &Scenario, labels: &[String], reports: &[(String, PlanReport, Option<String>)]) {
+    fn esc(raw: &str) -> String {
+        let mut out = String::with_capacity(raw.len() + 2);
+        for c in raw.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
     }
-    println!();
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+        let parts: Vec<String> = items.iter().map(f).collect();
+        format!("[{}]", parts.join(","))
+    }
+
+    let bound = reports
+        .first()
+        .map(|(_, r, _)| r.upper_bound)
+        .unwrap_or_default();
+    let scenario = format!(
+        "{{\"n\":{},\"viewing\":{},\"expected_no_prefetch\":{},\"upper_bound\":{},\"labels\":{}}}",
+        s.n(),
+        num(s.viewing()),
+        num(s.expected_no_prefetch()),
+        num(bound),
+        list(labels, |l| format!("\"{}\"", esc(l))),
+    );
+    let plans = list(reports, |(name, r, note)| {
+        let note_field = note
+            .as_ref()
+            .map(|n| format!(",\"note\":\"{}\"", esc(n)))
+            .unwrap_or_default();
+        format!(
+            "{{\"solver\":\"{}\",\"items\":{},\"labels\":{},\"gain\":{},\"stretch\":{},\"expected_access_time\":{},\"per_request\":{}{note_field}}}",
+            esc(name),
+            list(r.plan.items(), |i| i.to_string()),
+            list(r.plan.items(), |&i| format!("\"{}\"", esc(&labels[i]))),
+            num(r.gain),
+            num(r.stretch),
+            num(r.expected_access_time),
+            list(&r.per_request, |t| num(*t)),
+        )
+    });
+    println!("{{\"scenario\":{scenario},\"plans\":{plans}}}");
 }

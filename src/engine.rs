@@ -1,0 +1,901 @@
+//! The builder-style prefetch engine: one object composing the four
+//! seams of the workspace —
+//!
+//! 1. an **access predictor** ([`Predictor`], from `access-model`),
+//! 2. a **prefetch policy** ([`Prefetcher`], resolved through the
+//!    [policy registry](crate::registry)),
+//! 3. a **cache** with Figure-6 arbitration (`cache-sim`), and
+//! 4. a **simulation backend** ([`Backend`]: single-client event
+//!    replay, the shared-channel multi-client system, or the parallel
+//!    Monte-Carlo runner).
+//!
+//! ```
+//! use speculative_prefetch::{Engine, Scenario};
+//!
+//! let engine = Engine::builder().policy("skp-exact").build()?;
+//! let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0)?;
+//! let report = engine.report(&s);
+//! assert!(report.gain > 0.0);
+//! # Ok::<(), speculative_prefetch::Error>(())
+//! ```
+
+use access_model::MarkovChain;
+use cache_sim::{PrefetchCache, PrefetchCacheConfig, StepOutcome};
+use distsys::multiclient::{ClientWorkload, MultiClientResult, MultiClientSim};
+use distsys::{run_session, Catalog, SessionConfig, Trace};
+use montecarlo::parallel::par_monte_carlo;
+use montecarlo::probgen::ProbMethod;
+use montecarlo::scenario_gen::ScenarioGen;
+use montecarlo::stats::RunningStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use skp_core::arbitration::{PlanSolver, SubArbitration};
+use skp_core::gain::{
+    access_time_empty, expected_access_time_empty, gain_empty_cache, stretch_time,
+};
+use skp_core::policy::{PolicyKind, Prefetcher};
+use skp_core::skp::upper_bound;
+use skp_core::{PrefetchPlan, Scenario};
+
+use crate::error::Error;
+use crate::predictor::{build_predictor, Predictor};
+use crate::registry::build_policy;
+
+/// Which mechanistic substrate the engine drives.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Backend {
+    /// One client on a private FIFO channel (`distsys`): replays agree
+    /// exactly with the paper's closed forms.
+    #[default]
+    SingleClient,
+    /// Many clients contending for one shared server channel
+    /// (`distsys::multiclient`).
+    MultiClient {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+    /// Deterministic parallel Monte-Carlo over random scenarios
+    /// (`montecarlo::parallel`).
+    MonteCarlo {
+        /// Number of independently seeded chunks (fixes the result
+        /// regardless of thread count).
+        chunks: usize,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// Short backend name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::SingleClient => "single-client",
+            Backend::MultiClient { .. } => "multi-client",
+            Backend::MonteCarlo { .. } => "monte-carlo",
+        }
+    }
+}
+
+/// Closed-form evaluation of one prefetch decision (empty-cache view,
+/// Eq. 3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// The plan evaluated.
+    pub plan: PrefetchPlan,
+    /// Access improvement `g*` (Eq. 3).
+    pub gain: f64,
+    /// Stretch time `st(F)`.
+    pub stretch: f64,
+    /// Expected access time under the plan.
+    pub expected_access_time: f64,
+    /// Expected access time with no prefetching.
+    pub expected_no_prefetch: f64,
+    /// Theorem-2 (Eq. 7) upper bound on any plan's gain.
+    pub upper_bound: f64,
+    /// Per-request access time `T(F, α)` for every item `α`.
+    pub per_request: Vec<f64>,
+}
+
+/// Aggregate outcome of replaying an access trace through the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Requests replayed (trace length − 1; the first record only seeds
+    /// the predictor).
+    pub requests: u64,
+    /// Mean access time per request.
+    pub mean_access_time: f64,
+    /// Fraction of requests served in zero time.
+    pub hit_rate: f64,
+    /// Mean retrieval time wasted on unused prefetches per request.
+    pub wasted_per_request: f64,
+}
+
+/// Parameters of a Monte-Carlo policy evaluation over random scenarios
+/// drawn with the paper's ranges (`r ∈ [1,30]`, `v ∈ [1,100]`).
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloSpec {
+    /// Items per scenario.
+    pub n_items: usize,
+    /// Probability generation method (skewy, flat, Zipf, …).
+    pub method: ProbMethod,
+    /// Total iterations across all chunks.
+    pub iterations: u64,
+    /// Root seed; results are a pure function of the spec.
+    pub seed: u64,
+}
+
+/// Result of a Monte-Carlo evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Access-time statistics over all sampled requests.
+    pub access: RunningStats,
+    /// Realised-gain statistics (no-prefetch retrieval minus access
+    /// time, per sample).
+    pub gain: RunningStats,
+    /// Iterations actually run.
+    pub iterations: u64,
+}
+
+/// Configures and validates an [`Engine`]. Obtained from
+/// [`Engine::builder`]; every setter is chainable and infallible —
+/// errors surface once, at [`build`](SessionBuilder::build).
+pub struct SessionBuilder {
+    policy: Option<Box<dyn Prefetcher>>,
+    policy_spec_err: Option<Error>,
+    predictor_spec: Option<String>,
+    predictor: Option<Box<dyn Predictor>>,
+    retrievals: Option<Vec<f64>>,
+    n_items: Option<usize>,
+    capacity: Option<usize>,
+    sub: SubArbitration,
+    backend: Backend,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the defaults: `skp-exact` policy, no predictor, no
+    /// cache, single-client backend.
+    pub fn new() -> Self {
+        SessionBuilder {
+            policy: None,
+            policy_spec_err: None,
+            predictor_spec: None,
+            predictor: None,
+            retrievals: None,
+            n_items: None,
+            capacity: None,
+            sub: SubArbitration::DelaySaving,
+            backend: Backend::SingleClient,
+        }
+    }
+
+    /// Selects the prefetch policy by registry spec (e.g. `"skp-exact"`,
+    /// `"network-aware:0.4"`; see [`crate::registry::policy_specs`]).
+    pub fn policy(mut self, spec: &str) -> Self {
+        match build_policy(spec) {
+            Ok(p) => {
+                self.policy = Some(p);
+                self.policy_spec_err = None;
+            }
+            Err(e) => self.policy_spec_err = Some(e),
+        }
+        self
+    }
+
+    /// Installs an already-built policy (for custom [`Prefetcher`]
+    /// implementations outside the registry).
+    pub fn policy_instance(mut self, policy: Box<dyn Prefetcher>) -> Self {
+        self.policy = Some(policy);
+        self.policy_spec_err = None;
+        self
+    }
+
+    /// Selects the access predictor by registry spec (e.g. `"ngram:2"`,
+    /// `"depgraph"`; see [`crate::predictor::predictor_specs`]). The
+    /// predictor is constructed at build time over the catalog's item
+    /// universe.
+    pub fn predictor(mut self, spec: &str) -> Self {
+        self.predictor_spec = Some(spec.to_string());
+        self
+    }
+
+    /// Installs an already-built predictor.
+    pub fn predictor_instance(mut self, predictor: Box<dyn Predictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// Sets the item catalog: one retrieval time per item. Defines the
+    /// item universe for predictors, caches and trace replays.
+    pub fn catalog(mut self, retrievals: Vec<f64>) -> Self {
+        self.n_items = Some(retrievals.len());
+        self.retrievals = Some(retrievals);
+        self
+    }
+
+    /// Sets the item-universe size without retrieval times (enough for
+    /// predictors and caches when scenarios are supplied externally).
+    pub fn items(mut self, n: usize) -> Self {
+        self.n_items = Some(n);
+        self
+    }
+
+    /// Enables the integrated Section-5 prefetch–cache client with the
+    /// given capacity (slots).
+    pub fn cache(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the Figure-6 sub-arbitration (default: delay-saving, the
+    /// paper's best performer).
+    pub fn sub_arbitration(mut self, sub: SubArbitration) -> Self {
+        self.sub = sub;
+        self
+    }
+
+    /// Selects the simulation backend (default: single client).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    pub fn build(self) -> Result<Engine, Error> {
+        if let Some(e) = self.policy_spec_err {
+            return Err(e);
+        }
+        let policy = match self.policy {
+            Some(p) => p,
+            None => build_policy("skp-exact")?,
+        };
+        let n_items = self.n_items;
+        let predictor = match (self.predictor, self.predictor_spec) {
+            (Some(p), _) => Some(p),
+            (None, Some(spec)) => {
+                let n = n_items.ok_or(Error::MissingComponent {
+                    component: "item universe (catalog(..) or items(..))",
+                    needed_for: "predictor construction",
+                })?;
+                Some(build_predictor(&spec, n)?)
+            }
+            (None, None) => None,
+        };
+        if let (Some(p), Some(n)) = (&predictor, n_items) {
+            if p.n_items() != n {
+                return Err(Error::InvalidParam {
+                    what: "predictor universe",
+                    detail: format!(
+                        "predictor covers {} items but the catalog has {n}",
+                        p.n_items()
+                    ),
+                });
+            }
+        }
+        let client = match self.capacity {
+            None => None,
+            Some(capacity) => {
+                if capacity == 0 {
+                    return Err(Error::InvalidParam {
+                        what: "cache capacity",
+                        detail: "must be at least one slot".into(),
+                    });
+                }
+                let n = n_items.ok_or(Error::MissingComponent {
+                    component: "item universe (catalog(..) or items(..))",
+                    needed_for: "cache construction",
+                })?;
+                // The solver field is bypassed: the engine always plans
+                // through its boxed policy and enters via
+                // `step_with_plan`.
+                Some(PrefetchCache::new(
+                    PrefetchCacheConfig {
+                        solver: PlanSolver::None,
+                        sub: self.sub,
+                        capacity,
+                    },
+                    n,
+                ))
+            }
+        };
+        if let Backend::MultiClient { clients } = self.backend {
+            if clients == 0 {
+                return Err(Error::InvalidParam {
+                    what: "multi-client backend",
+                    detail: "needs at least one client".into(),
+                });
+            }
+        }
+        Ok(Engine {
+            policy,
+            predictor,
+            client,
+            retrievals: self.retrievals,
+            backend: self.backend,
+        })
+    }
+}
+
+/// The facade engine: plan, evaluate, verify, step and simulate through
+/// one coherent API. Built with [`Engine::builder`].
+pub struct Engine {
+    policy: Box<dyn Prefetcher>,
+    predictor: Option<Box<dyn Predictor>>,
+    client: Option<PrefetchCache>,
+    retrievals: Option<Vec<f64>>,
+    backend: Backend,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Display name of the configured policy.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Whether the configured policy is an oracle (plans per realised
+    /// request; see [`Prefetcher::is_oracle`]).
+    pub fn policy_is_oracle(&self) -> bool {
+        self.policy.is_oracle()
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The cache contents, when a cache is configured.
+    pub fn cached_items(&self) -> Vec<usize> {
+        self.client
+            .as_ref()
+            .map(|c| c.cache().items().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Plans a prefetch for the scenario. With a cache configured, the
+    /// plan covers only non-cached items (Section 5); otherwise all
+    /// items are candidates.
+    ///
+    /// Oracle policies (`"perfect"`) plan against the *realised*
+    /// request, which is unknown here: they return the empty plan.
+    /// Drive them through [`step`](Engine::step) or
+    /// [`monte_carlo`](Engine::monte_carlo), which know the request.
+    pub fn plan(&self, s: &Scenario) -> PrefetchPlan {
+        match &self.client {
+            Some(client) => self.policy.plan_candidates(s, &client.candidate_mask()),
+            None => self.policy.plan(s),
+        }
+    }
+
+    /// Plans and evaluates in closed form (empty-cache view).
+    pub fn report(&self, s: &Scenario) -> PlanReport {
+        let plan = self.plan(s);
+        self.report_plan(s, plan)
+    }
+
+    /// Evaluates a given plan in closed form (empty-cache view).
+    pub fn report_plan(&self, s: &Scenario, plan: PrefetchPlan) -> PlanReport {
+        let items = plan.items();
+        PlanReport {
+            gain: gain_empty_cache(s, items),
+            stretch: stretch_time(s, items),
+            expected_access_time: expected_access_time_empty(s, items),
+            expected_no_prefetch: s.expected_no_prefetch(),
+            upper_bound: upper_bound(s),
+            per_request: (0..s.n()).map(|a| access_time_empty(s, items, a)).collect(),
+            plan,
+        }
+    }
+
+    /// Mechanistically replays one session on the configured backend's
+    /// channel model and returns the measured access time. The engine's
+    /// current cache contents (if any) serve requests in zero time.
+    pub fn replay(&self, s: &Scenario, plan: &PrefetchPlan, request: usize) -> f64 {
+        self.replay_with_cached(s, plan, request, &self.cached_items())
+    }
+
+    fn replay_with_cached(
+        &self,
+        s: &Scenario,
+        plan: &PrefetchPlan,
+        request: usize,
+        cached: &[usize],
+    ) -> f64 {
+        let catalog = Catalog::new(s.retrievals().to_vec());
+        let cfg = SessionConfig {
+            viewing: s.viewing(),
+            plan: plan.items(),
+            request,
+            cached,
+        };
+        match self.backend {
+            // The private FIFO channel of the paper's model.
+            Backend::SingleClient | Backend::MonteCarlo { .. } => {
+                run_session(&catalog, &cfg).access_time
+            }
+            // Fair-share fluid channel.
+            Backend::MultiClient { .. } => distsys::access_time_shared(&catalog, &cfg),
+        }
+    }
+
+    /// Plans, evaluates, and verifies the closed forms against an
+    /// event-by-event replay for **every** possible request. Errors with
+    /// [`Error::Mismatch`] if formula and replay ever disagree (which
+    /// would indicate a model bug).
+    ///
+    /// Only exact on the single-client backend, whose channel model is
+    /// the one the closed forms describe.
+    pub fn verified_report(&self, s: &Scenario) -> Result<PlanReport, Error> {
+        if !matches!(self.backend, Backend::SingleClient) {
+            return Err(Error::UnsupportedBackend {
+                operation: "verified_report",
+                backend: self.backend.name(),
+            });
+        }
+        let report = self.report(s);
+        for (request, &formula) in report.per_request.iter().enumerate() {
+            // The report is the empty-cache view (Eq. 3), so the replay
+            // must start from an empty cache too, whatever the engine's
+            // client currently holds.
+            let replayed = self.replay_with_cached(s, &report.plan, request, &[]);
+            if (formula - replayed).abs() > 1e-9 {
+                return Err(Error::Mismatch {
+                    request,
+                    formula,
+                    replay: replayed,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Feeds one realised access to the predictor (no-op without one).
+    pub fn observe(&mut self, item: usize) {
+        if let Some(p) = &mut self.predictor {
+            p.observe(item);
+        }
+    }
+
+    /// Forecasts next-access probabilities from the current item.
+    pub fn predict(&self, current: usize) -> Result<Vec<f64>, Error> {
+        let p = self.predictor.as_ref().ok_or(Error::MissingComponent {
+            component: "predictor",
+            needed_for: "predict",
+        })?;
+        Ok(p.predict(current))
+    }
+
+    /// Builds a [`Scenario`] for the coming round: predictor forecast
+    /// (clamped and normalised into a sub-distribution) over the
+    /// catalog's retrieval times.
+    pub fn scenario(&self, current: usize, viewing: f64) -> Result<Scenario, Error> {
+        let retrievals = self.retrievals.as_ref().ok_or(Error::MissingComponent {
+            component: "catalog",
+            needed_for: "scenario",
+        })?;
+        let mut probs = self.predict(current)?;
+        probs.resize(retrievals.len(), 0.0);
+        for p in &mut probs {
+            if !p.is_finite() || *p < 0.0 {
+                *p = 0.0;
+            }
+        }
+        let mass: f64 = probs.iter().sum();
+        if mass > 1.0 {
+            for p in &mut probs {
+                *p /= mass;
+            }
+        }
+        Ok(Scenario::new(probs, retrievals.clone(), viewing)?)
+    }
+
+    /// Runs one request cycle: plan with the policy, arbitrate against
+    /// the cache (when configured), serve `alpha`, learn nothing — call
+    /// [`observe`](Engine::observe) with the realised access to train
+    /// the predictor.
+    ///
+    /// Without a cache this is the paper's "prefetch only" discipline:
+    /// the prefetch buffer is flushed after the request.
+    ///
+    /// Oracle policies (`"perfect"`) prefetch exactly `alpha` here —
+    /// the realised request is in hand.
+    ///
+    /// # Panics
+    /// Panics when the scenario's universe differs from the cache's.
+    pub fn step(&mut self, s: &Scenario, alpha: usize) -> StepOutcome {
+        match &mut self.client {
+            Some(client) => {
+                let mask = client.candidate_mask();
+                let tentative = if self.policy.is_oracle() {
+                    // The oracle prefetches the request itself, unless
+                    // it is already cached.
+                    if mask.get(alpha).copied().unwrap_or(false) {
+                        PolicyKind::plan_oracle(s, alpha)
+                    } else {
+                        PrefetchPlan::empty()
+                    }
+                } else {
+                    self.policy.plan_candidates(s, &mask)
+                };
+                client.step_with_plan(s, alpha, tentative)
+            }
+            None => {
+                let plan = if self.policy.is_oracle() {
+                    PolicyKind::plan_oracle(s, alpha)
+                } else {
+                    self.policy.plan(s)
+                };
+                let items = plan.items();
+                let access_time = access_time_empty(s, items, alpha);
+                let stretch = stretch_time(s, items);
+                let wasted_retrieval = items
+                    .iter()
+                    .filter(|&&i| i != alpha)
+                    .map(|&i| s.retrieval(i))
+                    .sum();
+                StepOutcome {
+                    access_time,
+                    hit: access_time == 0.0,
+                    prefetched: items.to_vec(),
+                    ejected: Vec::new(),
+                    demand_victim: None,
+                    demand_fetch: !items.contains(&alpha),
+                    stretch,
+                    wasted_retrieval,
+                }
+            }
+        }
+    }
+
+    /// Replays a recorded trace: per record, forecast with the
+    /// predictor, plan with the policy, arbitrate against the cache,
+    /// serve, then learn the realised access. Requires a predictor and a
+    /// catalog.
+    pub fn run_trace(&mut self, trace: &Trace) -> Result<TraceReport, Error> {
+        if self.predictor.is_none() {
+            return Err(Error::MissingComponent {
+                component: "predictor",
+                needed_for: "run_trace",
+            });
+        }
+        if self.retrievals.is_none() {
+            return Err(Error::MissingComponent {
+                component: "catalog",
+                needed_for: "run_trace",
+            });
+        }
+        let records = trace.records();
+        if records.len() < 2 {
+            return Err(Error::InvalidParam {
+                what: "trace",
+                detail: "need at least two records to replay".into(),
+            });
+        }
+        let n = self.retrievals.as_ref().expect("checked").len();
+        if trace.universe() > n {
+            return Err(Error::InvalidParam {
+                what: "trace",
+                detail: format!(
+                    "trace references item {} but the catalog has {n} items",
+                    trace.universe() - 1
+                ),
+            });
+        }
+
+        let mut access = RunningStats::new();
+        let mut wasted = RunningStats::new();
+        let mut hits = 0u64;
+        self.observe(records[0].item);
+        for w in records.windows(2) {
+            let (here, next) = (w[0], w[1]);
+            let s = self.scenario(here.item, here.viewing)?;
+            let out = self.step(&s, next.item);
+            access.push(out.access_time);
+            wasted.push(out.wasted_retrieval);
+            if out.hit {
+                hits += 1;
+            }
+            self.observe(next.item);
+        }
+        let requests = (records.len() - 1) as u64;
+        Ok(TraceReport {
+            requests,
+            mean_access_time: access.mean(),
+            hit_rate: hits as f64 / requests as f64,
+            wasted_per_request: wasted.mean(),
+        })
+    }
+
+    /// Evaluates the policy over random scenarios with the paper's
+    /// parameter ranges. On the [`Backend::MonteCarlo`] backend the
+    /// iterations fan out over the deterministic parallel runner
+    /// (bit-identical to sequential for a fixed spec); on
+    /// [`Backend::SingleClient`] they run sequentially.
+    pub fn monte_carlo(&self, spec: MonteCarloSpec) -> Result<SimReport, Error> {
+        if spec.iterations == 0 {
+            return Err(Error::InvalidParam {
+                what: "monte-carlo iterations",
+                detail: "must be positive".into(),
+            });
+        }
+        // The oracle plans per realised request; everything else plans
+        // from the scenario alone.
+        let oracle = self.policy.is_oracle();
+        let sim = |chunk_seed: u64, iters: u64| -> SimReport {
+            let mut rng = SmallRng::seed_from_u64(chunk_seed);
+            let gen = ScenarioGen::paper(spec.n_items, spec.method);
+            let mut access = RunningStats::new();
+            let mut gain = RunningStats::new();
+            for _ in 0..iters {
+                let s = gen.generate(&mut rng);
+                let alpha = ScenarioGen::draw_request(&s, &mut rng);
+                let plan = if oracle {
+                    PolicyKind::plan_oracle(&s, alpha)
+                } else {
+                    self.policy.plan(&s)
+                };
+                let t = access_time_empty(&s, plan.items(), alpha);
+                access.push(t);
+                gain.push(s.retrieval(alpha) - t);
+            }
+            SimReport {
+                access,
+                gain,
+                iterations: iters,
+            }
+        };
+        let merge = |mut a: SimReport, b: SimReport| {
+            a.access.merge(&b.access);
+            a.gain.merge(&b.gain);
+            a.iterations += b.iterations;
+            a
+        };
+        match self.backend {
+            Backend::MultiClient { .. } => Err(Error::UnsupportedBackend {
+                operation: "monte_carlo (use multi_client)",
+                backend: self.backend.name(),
+            }),
+            Backend::SingleClient => Ok(sim(spec.seed, spec.iterations)),
+            Backend::MonteCarlo { chunks, threads } => {
+                let chunks = chunks.max(1);
+                let threads = if threads == 0 {
+                    montecarlo::parallel::default_threads(chunks)
+                } else {
+                    threads
+                };
+                par_monte_carlo(spec.iterations, chunks, spec.seed, threads, sim, merge).ok_or(
+                    Error::InvalidParam {
+                        what: "monte-carlo split",
+                        detail: "produced no chunks".into(),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Runs the shared-channel multi-client system: every client browses
+    /// the Markov `chain` and plans with this engine's policy. Requires
+    /// the [`Backend::MultiClient`] backend and a catalog.
+    pub fn multi_client(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+    ) -> Result<MultiClientResult, Error> {
+        let Backend::MultiClient { clients } = self.backend else {
+            return Err(Error::UnsupportedBackend {
+                operation: "multi_client",
+                backend: self.backend.name(),
+            });
+        };
+        let retrievals = self.retrievals.as_ref().ok_or(Error::MissingComponent {
+            component: "catalog",
+            needed_for: "multi_client",
+        })?;
+        if retrievals.len() < chain.n_states() {
+            return Err(Error::InvalidParam {
+                what: "catalog",
+                detail: format!(
+                    "covers {} items but the workload has {} states",
+                    retrievals.len(),
+                    chain.n_states()
+                ),
+            });
+        }
+        struct MarkovWorkload<'a>(&'a MarkovChain);
+        impl ClientWorkload for MarkovWorkload<'_> {
+            fn viewing(&self, state: usize) -> f64 {
+                self.0.viewing(state)
+            }
+            fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
+                self.0.next_state(state, rng)
+            }
+            fn n_items(&self) -> usize {
+                self.0.n_states()
+            }
+        }
+        let workload = MarkovWorkload(chain);
+        let sim = MultiClientSim {
+            workload: &workload,
+            retrievals,
+            clients,
+            requests_per_client,
+            seed,
+        };
+        let mut policy = |_client: usize, state: usize| {
+            let scenario = Scenario::new(
+                chain.row_probs(state),
+                retrievals[..chain.n_states()].to_vec(),
+                chain.viewing(state),
+            )
+            .expect("markov rows are valid scenarios");
+            self.policy.plan(&scenario).into_items()
+        };
+        Ok(sim.run(&mut policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            vec![0.40, 0.25, 0.15, 0.15, 0.05],
+            vec![6.0, 5.0, 9.0, 2.0, 14.0],
+            10.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn default_engine_plans_and_verifies() {
+        let engine = Engine::builder().build().unwrap();
+        let report = engine.verified_report(&scenario()).unwrap();
+        assert!(report.gain > 0.0);
+        assert!(report.gain <= report.upper_bound + 1e-9);
+        assert_eq!(report.per_request.len(), 5);
+    }
+
+    #[test]
+    fn unknown_policy_surfaces_at_build() {
+        let err = Engine::builder()
+            .policy("wizardry")
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, Error::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn predictor_without_universe_is_rejected() {
+        let err = Engine::builder()
+            .predictor("ngram")
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, Error::MissingComponent { .. }));
+    }
+
+    #[test]
+    fn cached_engine_steps_and_hits() {
+        let mut engine = Engine::builder()
+            .policy("skp-exact")
+            .catalog(vec![6.0, 5.0, 9.0, 2.0, 14.0])
+            .cache(3)
+            .build()
+            .unwrap();
+        let s = scenario();
+        let first = engine.step(&s, 0);
+        // Item 0 is highly probable and cheap: any sensible plan takes it.
+        assert!(first.prefetched.contains(&0));
+        let again = engine.step(&s, 0);
+        assert!(again.hit, "cached item must hit: {again:?}");
+        assert!(engine.cached_items().contains(&0));
+    }
+
+    #[test]
+    fn cacheless_step_is_prefetch_only() {
+        let mut engine = Engine::builder().build().unwrap();
+        let s = scenario();
+        let out = engine.step(&s, 4); // improbable expensive item
+        assert!(out.access_time > 0.0);
+        assert!(out.ejected.is_empty());
+    }
+
+    #[test]
+    fn predictor_scenario_learns_a_cycle() {
+        let mut engine = Engine::builder()
+            .predictor("ngram:1")
+            .catalog(vec![3.0; 3])
+            .build()
+            .unwrap();
+        // End the walk on item 0: the n-gram context is the stream
+        // itself, so the forecast is for the successor of item 0.
+        for i in 0..61 {
+            engine.observe(i % 3);
+        }
+        let s = engine.scenario(0, 10.0).unwrap(); // current 0 -> next 1
+        assert!(s.prob(1) > 0.8, "probs {:?}", s.probs());
+        let plan = engine.plan(&s);
+        assert!(plan.contains(1));
+    }
+
+    #[test]
+    fn monte_carlo_parallel_matches_sequential_chunking() {
+        let spec = MonteCarloSpec {
+            n_items: 6,
+            method: ProbMethod::skewy(),
+            iterations: 400,
+            seed: 77,
+        };
+        let par = Engine::builder()
+            .backend(Backend::MonteCarlo {
+                chunks: 8,
+                threads: 4,
+            })
+            .build()
+            .unwrap()
+            .monte_carlo(spec)
+            .unwrap();
+        let par2 = Engine::builder()
+            .backend(Backend::MonteCarlo {
+                chunks: 8,
+                threads: 1,
+            })
+            .build()
+            .unwrap()
+            .monte_carlo(spec)
+            .unwrap();
+        assert_eq!(par, par2, "thread count must not change the result");
+        assert_eq!(par.iterations, 400);
+        assert!(par.access.mean() >= 0.0);
+    }
+
+    #[test]
+    fn multi_client_requires_backend_and_catalog() {
+        let engine = Engine::builder().build().unwrap();
+        let chain = MarkovChain::random(6, 2, 4, 5, 20, 3).unwrap();
+        assert!(matches!(
+            engine.multi_client(&chain, 10, 1),
+            Err(Error::UnsupportedBackend { .. })
+        ));
+
+        let engine = Engine::builder()
+            .backend(Backend::MultiClient { clients: 3 })
+            .catalog((0..6).map(|i| 2.0 + i as f64).collect())
+            .build()
+            .unwrap();
+        let out = engine.multi_client(&chain, 20, 1).unwrap();
+        assert_eq!(out.requests, 60);
+        assert!(out.utilisation <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn trace_replay_learns_and_hits() {
+        let mut trace = Trace::new();
+        for i in 0..300 {
+            trace.push(i % 3, 10.0);
+        }
+        let mut engine = Engine::builder()
+            .policy("skp-exact")
+            .predictor("ngram:1")
+            .catalog(vec![3.0; 3])
+            .cache(2)
+            .build()
+            .unwrap();
+        let report = engine.run_trace(&trace).unwrap();
+        assert_eq!(report.requests, 299);
+        assert!(report.hit_rate > 0.9, "hit rate {}", report.hit_rate);
+        assert!(report.mean_access_time < 0.5);
+    }
+}

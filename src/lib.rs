@@ -1,28 +1,150 @@
-//! # speculative-prefetch — facade crate
+//! # speculative-prefetch — the facade crate
 //!
-//! One-stop re-export of the whole workspace reproducing *"A Performance
-//! Model of Speculative Prefetching in Distributed Information Systems"*
-//! (Tuah, Kumar & Venkatesh, IPPS/SPDP 1999):
+//! One coherent API over the workspace reproducing *"A Performance
+//! Model of Speculative Prefetching in Distributed Information
+//! Systems"* (Tuah, Kumar & Venkatesh, IPPS/SPDP 1999).
 //!
-//! - [`core`] (`skp-core`) — the performance model, stretch knapsack
-//!   solvers and prefetch–cache arbitration;
-//! - [`access`] (`access-model`) — Markov request sources and online
-//!   predictors;
-//! - [`distsys`] — the distributed-information-system discrete-event
-//!   substrate;
-//! - [`cache`] (`cache-sim`) — the client cache with replacement policies;
-//! - [`mc`] (`montecarlo`) — the paper's simulations and the parallel
-//!   Monte-Carlo runner.
+//! The centrepiece is the builder-style [`Engine`], which composes the
+//! four seams of the system:
 //!
-//! See the `examples/` directory for runnable walkthroughs and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! 1. an **access predictor** (the [`Predictor`] trait over
+//!    `access-model`'s n-gram / dependency-graph / Markov / frequency
+//!    estimators, constructible by name via [`build_predictor`]);
+//! 2. a **prefetch policy** (the [`Prefetcher`] trait, with every
+//!    solver and Section-6 extension registered by name in
+//!    [`policy_specs`] and constructible via [`build_policy`]);
+//! 3. a **client cache** with Figure-6 arbitration (`cache-sim`);
+//! 4. a **simulation backend** ([`Backend`]: the private-channel
+//!    single-client substrate, the shared-channel multi-client system,
+//!    or the deterministic parallel Monte-Carlo runner).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use speculative_prefetch::{Engine, Scenario};
+//!
+//! // The user views the current page for 10 time units; three items
+//! // could be requested next, with known probabilities and retrieval
+//! // times.
+//! let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0)?;
+//!
+//! // Compose a session: the corrected SKP solver, no cache, the
+//! // single-client backend.
+//! let engine = Engine::builder().policy("skp-exact").build()?;
+//!
+//! // Closed-form evaluation, mechanically verified against an
+//! // event-by-event replay of the distributed system.
+//! let report = engine.verified_report(&s)?;
+//! assert!(report.gain > 0.0 && report.gain <= report.upper_bound + 1e-9);
+//! # Ok::<(), speculative_prefetch::Error>(())
+//! ```
+//!
+//! A learned, cached session — predictor and policy resolved from
+//! strings, the Section-5 client arbitrating every round:
+//!
+//! ```
+//! use speculative_prefetch::Engine;
+//!
+//! let mut engine = Engine::builder()
+//!     .policy("skp-exact")
+//!     .predictor("ngram:1")
+//!     .catalog(vec![3.0, 3.0, 3.0]) // retrieval time per item
+//!     .cache(2)                     // slots
+//!     .build()?;
+//! for i in 0..61 {
+//!     engine.observe(i % 3); // the user walks a cycle, ending on item 0
+//! }
+//! let s = engine.scenario(0, 10.0)?; // forecast after item 0
+//! assert!(engine.plan(&s).contains(1)); // ... so prefetch item 1
+//! # Ok::<(), speculative_prefetch::Error>(())
+//! ```
+//!
+//! Every fallible facade call returns the unified [`Error`].
+//!
+//! ## Migration from the deep paths
+//!
+//! Consumers of the pre-facade layout should switch to root items:
+//!
+//! | old deep path | new facade path |
+//! |---|---|
+//! | `speculative_prefetch::core::skp::solve_exact` | `Engine::builder().policy("skp-exact")` or [`solve_exact`] |
+//! | `speculative_prefetch::core::policy::{PolicyKind, Prefetcher}` | [`PolicyKind`], [`Prefetcher`], [`build_policy`] |
+//! | `speculative_prefetch::core::gain::access_time_empty` | [`access_time_empty`] (or [`PlanReport::per_request`]) |
+//! | `speculative_prefetch::core::skp::upper_bound` | [`upper_bound`] (or [`PlanReport::upper_bound`]) |
+//! | `speculative_prefetch::core::ext::NetworkAwarePolicy` | `build_policy("network-aware:0.4")` |
+//! | `speculative_prefetch::core::arbitration::{PlanSolver, SubArbitration}` | [`PlanSolver`], [`SubArbitration`] |
+//! | `speculative_prefetch::access::{NgramPredictor, …}` | [`build_predictor`]`("ngram:2", n)` / root re-exports |
+//! | `speculative_prefetch::cache::{PrefetchCache, …}` | `Engine::builder().cache(k)` / root re-exports |
+//! | `speculative_prefetch::distsys::{run_session, Catalog}` | [`Engine::replay`] / root re-exports |
+//! | `speculative_prefetch::mc::trace_replay::replay` | [`Engine::run_trace`] |
+//!
+//! The per-crate module re-exports ([`core`], [`access`], [`cache`],
+//! [`distsys`], [`mc`]) remain available for power users; new code and
+//! all in-tree binaries/examples use the root items only.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod error;
+pub mod predictor;
+pub mod registry;
 pub mod scenario_file;
 
+// ---- module re-exports (advanced / legacy surface) -------------------
 pub use access_model as access;
 pub use cache_sim as cache;
 pub use distsys;
 pub use montecarlo as mc;
 pub use skp_core as core;
 
-pub use skp_core::{PrefetchPlan, Scenario};
+// ---- the facade ------------------------------------------------------
+pub use engine::{
+    Backend, Engine, MonteCarloSpec, PlanReport, SessionBuilder, SimReport, TraceReport,
+};
+pub use error::Error;
+pub use predictor::{build_predictor, predictor_names, predictor_specs, Predictor, PredictorSpec};
+pub use registry::{build_policy, policy_names, policy_specs, PolicySpec};
+pub use scenario_file::{parse as parse_scenario_file, ParseError, ScenarioFile};
+
+// ---- model layer (skp-core) ------------------------------------------
+pub use skp_core::arbitration::{PlanSolver, SubArbitration};
+pub use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy, TwoStepPolicy};
+pub use skp_core::gain::{
+    access_time_cached, access_time_empty, expected_access_time_cached, expected_access_time_empty,
+    expected_no_prefetch_cached, gain_empty_cache, gain_with_cache, stretch_time,
+};
+pub use skp_core::kp::{solve_kp, KpSolution};
+pub use skp_core::policy::{PolicyKind, Prefetcher};
+pub use skp_core::skp::{
+    global_applicable, solve_exact, solve_global, solve_optimal, solve_paper, upper_bound,
+    SkpSolution,
+};
+pub use skp_core::{ItemId, ModelError, PrefetchPlan, Scenario};
+
+// ---- access prediction (access-model) --------------------------------
+pub use access_model::{
+    DependencyGraph, FreqTracker, IrmSource, MarkovChain, MarkovEstimator, NgramPredictor,
+    PredictorEval,
+};
+
+// ---- client cache (cache-sim) ----------------------------------------
+pub use cache_sim::{
+    Cache, PrefetchCache, PrefetchCacheConfig, Replacement, SizedCache, SizedPrefetchCache,
+    StepOutcome,
+};
+
+// ---- distributed system substrate (distsys) --------------------------
+pub use distsys::multiclient::{ClientPolicy, ClientWorkload, MultiClientResult, MultiClientSim};
+pub use distsys::shared::{access_time_fifo, access_time_shared};
+pub use distsys::{run_session, Catalog, EventQueue, Link, RetrievalModel, SessionConfig, Trace};
+
+// ---- experiment harness (montecarlo) ---------------------------------
+pub use montecarlo::output::{ascii_plot, write_csv};
+pub use montecarlo::parallel::{default_threads, derive_seed, par_map_indexed, par_monte_carlo};
+pub use montecarlo::prefetch_cache::{CachePoint, PrefetchCacheSim};
+pub use montecarlo::prefetch_only::{PolicyResult, PrefetchOnlySim};
+pub use montecarlo::probgen::ProbMethod;
+pub use montecarlo::scenario_gen::ScenarioGen;
+pub use montecarlo::stats::{BinnedMeans, RunningStats};
+pub use montecarlo::Convergence;

@@ -1,0 +1,325 @@
+//! The string-keyed prefetch-policy registry.
+//!
+//! Every policy in the workspace — the paper's four strategies, the
+//! corrected/oracle solver variants, the pseudo-polynomial global DP
+//! and the Section-6 extensions — is registered here under a stable
+//! name and constructible from a spec string (`"skp-exact"`,
+//! `"network-aware:0.4"`). The CLI's `--solver` flag, the
+//! [`SessionBuilder`](crate::engine::SessionBuilder) and experiment
+//! sweeps all resolve policies through this table, so adding a policy
+//! means adding one entry, not editing every consumer.
+
+use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy, TwoStepPolicy};
+use skp_core::policy::{PolicyKind, Prefetcher};
+use skp_core::skp::solve_global;
+use skp_core::{PrefetchPlan, Scenario};
+
+use crate::error::Error;
+use crate::predictor::split_spec;
+
+/// Constructor signature of a registered policy.
+type PolicyBuilder = fn(Option<f64>) -> Result<Box<dyn Prefetcher>, Error>;
+
+/// A registered prefetch policy.
+pub struct PolicySpec {
+    /// Canonical registry name (the part before `:` in a spec string).
+    pub name: &'static str,
+    /// Accepted shorthands (CLI compatibility: `paper`, `exact`, …).
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--list`-style output.
+    pub summary: &'static str,
+    /// Meaning of the optional `:param` suffix, if the policy takes one.
+    pub param: Option<&'static str>,
+    build: PolicyBuilder,
+}
+
+/// The global DP packaged as a policy: exact on integral instances,
+/// falling back to the canonical branch-and-bound otherwise (the DP
+/// needs integer retrievals and viewing).
+struct GlobalDpPolicy;
+
+impl Prefetcher for GlobalDpPolicy {
+    fn name(&self) -> &str {
+        "SKP global DP"
+    }
+
+    fn plan_candidates(&self, s: &Scenario, candidates: &[bool]) -> PrefetchPlan {
+        let all = candidates.iter().all(|&c| c);
+        if all {
+            if let Some(sol) = solve_global(s) {
+                return sol.plan;
+            }
+        }
+        // Candidate-restricted or non-integral: canonical exact solver.
+        skp_core::skp::solve_exact_candidates(s, candidates).plan
+    }
+}
+
+/// Two-step lookahead under a *persistence* forecast: the next round is
+/// assumed to look like this one. [`TwoStepPolicy`] itself wants a
+/// caller-supplied forecast closure; this wrapper is the sensible
+/// registry default when no forecast model is wired in.
+struct PersistentTwoStep {
+    discount: f64,
+}
+
+impl Prefetcher for PersistentTwoStep {
+    fn name(&self) -> &str {
+        "SKP two-step (persistence)"
+    }
+
+    fn plan_candidates(&self, s: &Scenario, candidates: &[bool]) -> PrefetchPlan {
+        let forecast = |_alpha: usize| s.clone();
+        let mut two = TwoStepPolicy::new(forecast);
+        two.discount = self.discount;
+        two.plan_candidates(s, candidates)
+    }
+}
+
+fn kind(kind: PolicyKind) -> Result<Box<dyn Prefetcher>, Error> {
+    Ok(Box::new(kind))
+}
+
+fn no_param(name: &'static str, param: Option<f64>) -> Result<(), Error> {
+    if param.is_some() {
+        return Err(Error::InvalidParam {
+            what: name,
+            detail: "takes no parameter".into(),
+        });
+    }
+    Ok(())
+}
+
+macro_rules! kind_builder {
+    ($fn_name:ident, $label:literal, $kind:expr) => {
+        fn $fn_name(param: Option<f64>) -> Result<Box<dyn Prefetcher>, Error> {
+            no_param($label, param)?;
+            kind($kind)
+        }
+    };
+}
+
+kind_builder!(build_no_prefetch, "no-prefetch", PolicyKind::NoPrefetch);
+kind_builder!(build_kp, "kp", PolicyKind::Kp);
+kind_builder!(build_kp_greedy, "kp-greedy", PolicyKind::KpGreedy);
+kind_builder!(build_skp_paper, "skp-paper", PolicyKind::SkpPaper);
+kind_builder!(build_skp_exact, "skp-exact", PolicyKind::SkpExact);
+kind_builder!(build_skp_optimal, "skp-optimal", PolicyKind::SkpOptimal);
+kind_builder!(build_perfect, "perfect", PolicyKind::Perfect);
+
+fn build_skp_global(param: Option<f64>) -> Result<Box<dyn Prefetcher>, Error> {
+    no_param("skp-global", param)?;
+    Ok(Box::new(GlobalDpPolicy))
+}
+
+fn build_stretch_penalised(param: Option<f64>) -> Result<Box<dyn Prefetcher>, Error> {
+    let lambda = param.unwrap_or(0.5);
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(Error::InvalidParam {
+            what: "stretch-penalised lambda",
+            detail: format!("expected a non-negative shadow price, got {lambda}"),
+        });
+    }
+    Ok(Box::new(StretchPenalisedPolicy::new(lambda)))
+}
+
+fn build_network_aware(param: Option<f64>) -> Result<Box<dyn Prefetcher>, Error> {
+    let mu = param.unwrap_or(0.4);
+    if !mu.is_finite() || mu < 0.0 {
+        return Err(Error::InvalidParam {
+            what: "network-aware mu",
+            detail: format!("expected a non-negative usage price, got {mu}"),
+        });
+    }
+    Ok(Box::new(NetworkAwarePolicy::new(mu)))
+}
+
+fn build_two_step(param: Option<f64>) -> Result<Box<dyn Prefetcher>, Error> {
+    let discount = param.unwrap_or(1.0);
+    if !discount.is_finite() || discount < 0.0 {
+        return Err(Error::InvalidParam {
+            what: "two-step discount",
+            detail: format!("expected a non-negative discount, got {discount}"),
+        });
+    }
+    Ok(Box::new(PersistentTwoStep { discount }))
+}
+
+/// Every registered policy, in stable order.
+pub fn policy_specs() -> &'static [PolicySpec] {
+    &[
+        PolicySpec {
+            name: "no-prefetch",
+            aliases: &["none"],
+            summary: "never prefetch; every access is a demand fetch",
+            param: None,
+            build: build_no_prefetch,
+        },
+        PolicySpec {
+            name: "kp",
+            aliases: &[],
+            summary: "0/1-knapsack selection that never stretches (paper's KP prefetch)",
+            param: None,
+            build: build_kp,
+        },
+        PolicySpec {
+            name: "kp-greedy",
+            aliases: &["greedy"],
+            summary: "greedy density-order knapsack heuristic",
+            param: None,
+            build: build_kp_greedy,
+        },
+        PolicySpec {
+            name: "skp-paper",
+            aliases: &["paper"],
+            summary: "the paper's Figure-3 SKP branch-and-bound, verbatim bookkeeping",
+            param: None,
+            build: build_skp_paper,
+        },
+        PolicySpec {
+            name: "skp-exact",
+            aliases: &["exact"],
+            summary: "canonical-space SKP with corrected Theorem-3 bookkeeping",
+            param: None,
+            build: build_skp_exact,
+        },
+        PolicySpec {
+            name: "skp-global",
+            aliases: &["global"],
+            summary: "pseudo-polynomial global DP on integral instances (falls back to skp-exact otherwise)",
+            param: None,
+            build: build_skp_global,
+        },
+        PolicySpec {
+            name: "skp-optimal",
+            aliases: &["optimal"],
+            summary: "exhaustive SKP optimum — ground truth for small n",
+            param: None,
+            build: build_skp_optimal,
+        },
+        PolicySpec {
+            name: "perfect",
+            aliases: &["oracle"],
+            summary: "oracle that prefetches exactly the realised request",
+            param: None,
+            build: build_perfect,
+        },
+        PolicySpec {
+            name: "stretch-penalised",
+            aliases: &["lookahead"],
+            summary: "SKP with stretch intrusion priced at a shadow price lambda",
+            param: Some("shadow price lambda (default 0.5)"),
+            build: build_stretch_penalised,
+        },
+        PolicySpec {
+            name: "network-aware",
+            aliases: &["netaware"],
+            summary: "SKP taxing expected wasted retrieval at price mu",
+            param: Some("usage price mu (default 0.4)"),
+            build: build_network_aware,
+        },
+        PolicySpec {
+            name: "two-step",
+            aliases: &["twostep"],
+            summary: "two-step lookahead over a persistence forecast of the next round",
+            param: Some("discount gamma on the next round's value (default 1)"),
+            build: build_two_step,
+        },
+    ]
+}
+
+/// Names of every registered policy, in registry order.
+pub fn policy_names() -> Vec<&'static str> {
+    policy_specs().iter().map(|s| s.name).collect()
+}
+
+/// Builds a policy from a spec string: a registry name or alias with an
+/// optional `:param` suffix, e.g. `"skp-exact"`, `"paper"`,
+/// `"network-aware:0.25"`.
+pub fn build_policy(spec: &str) -> Result<Box<dyn Prefetcher>, Error> {
+    let (name, param) = split_spec(spec, "policy parameter")?;
+    for entry in policy_specs() {
+        if entry.name == name || entry.aliases.contains(&name.as_str()) {
+            return (entry.build)(param);
+        }
+    }
+    Err(Error::UnknownPolicy {
+        name: name.to_string(),
+        known: policy_names(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skp_core::gain::gain_empty_cache;
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            vec![0.3, 0.25, 0.2, 0.15, 0.1],
+            vec![7.0, 4.0, 12.0, 2.0, 9.0],
+            11.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_has_at_least_six_policies() {
+        assert!(policy_names().len() >= 6, "{:?}", policy_names());
+    }
+
+    #[test]
+    fn every_policy_and_alias_builds_and_plans() {
+        let s = scenario();
+        for spec in policy_specs() {
+            for name in std::iter::once(&spec.name).chain(spec.aliases) {
+                let p = build_policy(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let plan = p.plan(&s);
+                assert!(
+                    gain_empty_cache(&s, plan.items()).is_finite(),
+                    "{name} produced a non-finite gain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_dp_matches_optimal_on_integral_instances() {
+        let s = scenario();
+        let g_global = gain_empty_cache(&s, build_policy("skp-global").unwrap().plan(&s).items());
+        let g_opt = gain_empty_cache(&s, build_policy("skp-optimal").unwrap().plan(&s).items());
+        assert!((g_global - g_opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parameters_change_behaviour() {
+        // A prohibitive network price suppresses all prefetching.
+        let s = scenario();
+        let cheap = build_policy("network-aware:0.0").unwrap().plan(&s);
+        let dear = build_policy("network-aware:1e9").unwrap().plan(&s);
+        assert!(dear.is_empty(), "mu = 1e9 must suppress prefetching");
+        assert!(!cheap.is_empty(), "mu = 0 reduces to plain SKP");
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(matches!(
+            build_policy("magic"),
+            Err(Error::UnknownPolicy { .. })
+        ));
+        assert!(build_policy("kp:1").is_err());
+        assert!(build_policy("network-aware:-2").is_err());
+        assert!(build_policy("stretch-penalised:abc").is_err());
+    }
+
+    #[test]
+    fn names_and_aliases_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for spec in policy_specs() {
+            assert!(seen.insert(spec.name), "duplicate {}", spec.name);
+            for a in spec.aliases {
+                assert!(seen.insert(a), "duplicate alias {a}");
+            }
+        }
+    }
+}

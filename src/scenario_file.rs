@@ -24,6 +24,14 @@ pub struct ScenarioFile {
     pub labels: Vec<String>,
 }
 
+/// Renders the file format (inverse of [`parse`]): `parse(&f.to_string())`
+/// reproduces `f`.
+impl fmt::Display for ScenarioFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(&self.scenario, &self.labels))
+    }
+}
+
 /// Parse errors for the scenario file format.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {

@@ -33,6 +33,30 @@ proptest! {
         prop_assert_eq!(&again.labels, &parsed.labels);
     }
 
+    /// parse ∘ Display is the identity: a parsed file printed with the
+    /// `Display` impl parses back to an equal file.
+    #[test]
+    fn display_roundtrip(
+        weights in proptest::collection::vec(1u32..1000, 1..12),
+        retrievals in proptest::collection::vec(1u32..100, 12),
+        viewing in 0u32..200,
+    ) {
+        let n = weights.len();
+        let sum: f64 = weights.iter().map(|&w| w as f64).sum();
+        let mut text = format!("v {viewing}\n");
+        for i in 0..n {
+            text.push_str(&format!(
+                "item {} {} page-{}\n",
+                weights[i] as f64 / sum,
+                retrievals[i],
+                i
+            ));
+        }
+        let parsed = parse(&text).expect("well-formed");
+        let again = parse(&parsed.to_string()).expect("Display emits valid files");
+        prop_assert_eq!(&again, &parsed);
+    }
+
     /// Arbitrary junk never panics — it parses or returns an error.
     #[test]
     fn junk_never_panics(text in ".{0,300}") {
