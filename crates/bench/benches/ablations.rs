@@ -3,17 +3,13 @@
 //! and the discrete-event session replay vs the closed form.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use distsys::{run_session, Catalog, SessionConfig};
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use skp_core::arbitration::{arbitrate, CacheEntry, SubArbitration};
-use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy};
-use skp_core::gain::access_time_empty;
-use skp_core::policy::Prefetcher;
-use skp_core::skp::solve_paper;
-use skp_core::Scenario;
+use speculative_prefetch::{
+    access_time_empty, arbitrate, run_session, solve_paper, solve_paper_candidates, CacheEntry,
+    Catalog, NetworkAwarePolicy, Prefetcher, ProbMethod, Scenario, ScenarioGen, SessionConfig,
+    StretchPenalisedPolicy, SubArbitration,
+};
 use std::hint::black_box;
 
 fn scenarios(n: usize, count: usize) -> Vec<Scenario> {
@@ -31,7 +27,7 @@ fn bench_arbitration(c: &mut Criterion) {
             .iter()
             .map(|s| {
                 let candidates: Vec<bool> = (0..s.n()).map(|i| i % 2 == 0).collect();
-                let plan = skp_core::skp::solve_paper_candidates(s, &candidates).plan;
+                let plan = solve_paper_candidates(s, &candidates).plan;
                 let cache: Vec<CacheEntry> = (0..s.n())
                     .filter(|i| i % 2 == 1)
                     .map(|id| CacheEntry {

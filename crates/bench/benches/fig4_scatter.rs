@@ -3,10 +3,7 @@
 //! skewy and flat workloads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use montecarlo::prefetch_only::PrefetchOnlySim;
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
-use skp_core::policy::PolicyKind;
+use speculative_prefetch::{PolicyKind, PrefetchOnlySim, ProbMethod, ScenarioGen};
 use std::hint::black_box;
 
 const ITERS: u64 = 2_000;

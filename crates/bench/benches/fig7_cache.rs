@@ -3,7 +3,7 @@
 //! policy, plus the request-cycle cost as a function of cache size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use montecarlo::prefetch_cache::PrefetchCacheSim;
+use speculative_prefetch::{PrefetchCacheConfig, PrefetchCacheSim};
 use std::hint::black_box;
 
 const REQUESTS: u64 = 1_000;
@@ -11,7 +11,7 @@ const REQUESTS: u64 = 1_000;
 fn bench_fig7_policies(c: &mut Criterion) {
     let sim = PrefetchCacheSim::paper(REQUESTS, 1999);
     let (chain, catalog) = sim.workload();
-    let policies = cache_sim::PrefetchCacheConfig::figure7_policies(30);
+    let policies = PrefetchCacheConfig::figure7_policies(30);
 
     let mut g = c.benchmark_group("fig7_policies");
     g.throughput(Throughput::Elements(REQUESTS));
@@ -32,7 +32,7 @@ fn bench_fig7_capacity_scaling(c: &mut Criterion) {
     g.throughput(Throughput::Elements(REQUESTS));
     g.sample_size(10);
     for capacity in [5usize, 25, 50, 100] {
-        let (name, cfg) = cache_sim::PrefetchCacheConfig::figure7_policies(capacity)[4];
+        let (name, cfg) = PrefetchCacheConfig::figure7_policies(capacity)[4];
         g.bench_function(BenchmarkId::new("skp_pr_ds_cap", capacity), |b| {
             b.iter(|| black_box(sim.run_point(&chain, &catalog, name, cfg, 7)))
         });

@@ -1,63 +1,33 @@
 //! Multi-client discrete-event simulation benchmark: cost of the shared
-//! FIFO channel as the client population grows, per policy.
+//! FIFO channel as the client population grows, per registry policy —
+//! each cell one facade `SessionBuilder` line.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use distsys::multiclient::access_shim::{Chain, MarkovLike};
-use distsys::multiclient::MultiClientSim;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use speculative_prefetch::{Backend, Engine, MarkovChain};
 use std::hint::black_box;
 
 const REQUESTS: u64 = 300;
-
-struct Ring {
-    n: usize,
-}
-impl MarkovLike for Ring {
-    fn viewing(&self, state: usize) -> f64 {
-        3.0 + (state % 5) as f64
-    }
-    fn next_state(&self, state: usize, rng: &mut SmallRng) -> usize {
-        // Mostly the next item, sometimes a jump: cheap but non-trivial.
-        if rng.random_range(0..10) < 8 {
-            (state + 1) % self.n
-        } else {
-            rng.random_range(0..self.n)
-        }
-    }
-    fn n_states(&self) -> usize {
-        self.n
-    }
-}
+const N: usize = 50;
 
 fn bench_population_scaling(c: &mut Criterion) {
-    let ring = Ring { n: 50 };
-    let chain = Chain(&ring);
-    let retrievals: Vec<f64> = (0..50).map(|i| 1.0 + (i % 30) as f64).collect();
+    let chain = MarkovChain::random(N, 4, 8, 3, 8, 3).expect("valid chain");
+    let retrievals: Vec<f64> = (0..N).map(|i| 1.0 + (i % 30) as f64).collect();
 
     let mut g = c.benchmark_group("multiclient");
     g.sample_size(10);
     for clients in [1usize, 4, 16] {
         g.throughput(Throughput::Elements(REQUESTS * clients as u64));
-        let sim = MultiClientSim {
-            workload: &chain,
-            retrievals: &retrievals,
-            clients,
-            requests_per_client: REQUESTS,
-            seed: 3,
-        };
-        g.bench_function(BenchmarkId::new("next_item_prefetch", clients), |b| {
-            b.iter(|| {
-                let mut policy = |_c: usize, s: usize| vec![(s + 1) % 50];
-                black_box(sim.run(&mut policy))
-            })
-        });
-        g.bench_function(BenchmarkId::new("no_prefetch", clients), |b| {
-            b.iter(|| {
-                let mut policy = |_c: usize, _s: usize| Vec::new();
-                black_box(sim.run(&mut policy))
-            })
-        });
+        for spec in ["no-prefetch", "skp-exact"] {
+            let engine = Engine::builder()
+                .policy(spec)
+                .backend(Backend::MultiClient { clients })
+                .catalog(retrievals.clone())
+                .build()
+                .expect("valid session");
+            g.bench_function(BenchmarkId::new(spec, clients), |b| {
+                b.iter(|| black_box(engine.multi_client(&chain, REQUESTS, 3).expect("runs")))
+            });
+        }
     }
     g.finish();
 }

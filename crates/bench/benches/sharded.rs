@@ -1,0 +1,70 @@
+//! Sharded-backend benchmark: simulation cost of the discrete-event
+//! core as the shard count grows, and the per-placement overhead of the
+//! shard map — all through the facade's `Backend::Sharded`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use speculative_prefetch::{Backend, Engine, MarkovChain, Placement};
+use std::hint::black_box;
+
+const REQUESTS: u64 = 300;
+const CLIENTS: usize = 16;
+const N: usize = 50;
+
+fn workload() -> (MarkovChain, Vec<f64>) {
+    let chain = MarkovChain::random(N, 4, 8, 3, 8, 3).expect("valid chain");
+    let retrievals: Vec<f64> = (0..N).map(|i| 1.0 + (i % 30) as f64).collect();
+    (chain, retrievals)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let (chain, retrievals) = workload();
+    let mut g = c.benchmark_group("sharded");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(REQUESTS * CLIENTS as u64));
+    for shards in [1usize, 4, 16] {
+        let engine = Engine::builder()
+            .policy("skp-exact")
+            .backend(Backend::Sharded {
+                shards,
+                clients: CLIENTS,
+                placement: Placement::Hash,
+            })
+            .catalog(retrievals.clone())
+            .build()
+            .expect("valid session");
+        g.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| black_box(engine.sharded(&chain, REQUESTS, 3).expect("runs")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_placement_strategies(c: &mut Criterion) {
+    let (chain, retrievals) = workload();
+    let mut g = c.benchmark_group("sharded_placement");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(REQUESTS * CLIENTS as u64));
+    for (label, placement) in [
+        ("hash", Placement::Hash),
+        ("range", Placement::Range),
+        ("hot-cold", Placement::HotCold { hot_items: N / 8 }),
+    ] {
+        let engine = Engine::builder()
+            .policy("skp-exact")
+            .backend(Backend::Sharded {
+                shards: 8,
+                clients: CLIENTS,
+                placement,
+            })
+            .catalog(retrievals.clone())
+            .build()
+            .expect("valid session");
+        g.bench_function(BenchmarkId::new("placement", label), |b| {
+            b.iter(|| black_box(engine.sharded(&chain, REQUESTS, 3).expect("runs")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_placement_strategies);
+criterion_main!(benches);

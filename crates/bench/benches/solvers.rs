@@ -1,17 +1,19 @@
-//! Solver microbenchmarks: the Figure-3 branch-and-bound, the corrected
-//! canonical solver, the 0/1-knapsack baseline solvers, the Eq. 7 bound
-//! and the exhaustive oracle, across problem sizes and workload skews.
+//! Solver and registry microbenchmarks, driven through the facade.
+//!
+//! The headline groups sweep the **policy and predictor registries by
+//! spec name** — exactly how the engine composes them — so adding a
+//! registry entry automatically adds a benchmark. Low-level solver
+//! comparisons (branch-and-bound vs DP vs greedy, the Eq. 7 bound, the
+//! exhaustive oracle) ride along through the facade's root re-exports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use montecarlo::probgen::ProbMethod;
-use montecarlo::scenario_gen::ScenarioGen;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use skp_core::kp::{greedy_by_density, solve_kp, solve_kp_dp};
-use skp_core::skp::{
-    linear_relaxation, solve_exact, solve_global, solve_optimal, solve_paper, upper_bound,
+use speculative_prefetch::{
+    build_policy, build_predictor, greedy_by_density, linear_relaxation, policy_specs,
+    predictor_specs, solve_kp, solve_kp_dp, solve_optimal, upper_bound, ProbMethod, Scenario,
+    ScenarioGen,
 };
-use skp_core::Scenario;
 use std::hint::black_box;
 
 fn scenarios(n: usize, method: ProbMethod, count: usize) -> Vec<Scenario> {
@@ -20,32 +22,88 @@ fn scenarios(n: usize, method: ProbMethod, count: usize) -> Vec<Scenario> {
     (0..count).map(|_| gen.generate(&mut rng)).collect()
 }
 
-fn bench_skp_solvers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("skp_solvers");
-    for &n in &[10usize, 25, 50, 100] {
+/// Every registered policy, planned by spec name across problem sizes.
+fn bench_policy_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_registry");
+    for &n in &[10usize, 25, 50] {
         let batch = scenarios(n, ProbMethod::skewy(), 64);
+        for spec in policy_specs() {
+            // Oracles plan per realised request; nothing to bench here.
+            let policy = build_policy(spec.name).expect("registry entry builds");
+            if policy.is_oracle() {
+                continue;
+            }
+            // The exhaustive oracle solver only scales to small n.
+            if spec.name == "skp-optimal" && n > 16 {
+                continue;
+            }
+            g.bench_with_input(BenchmarkId::new(spec.name, n), &batch, |b, batch| {
+                b.iter(|| {
+                    for s in batch {
+                        black_box(policy.plan(s));
+                    }
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Every registered predictor: observe a stream, then forecast.
+fn bench_predictor_registry(c: &mut Criterion) {
+    const N_ITEMS: usize = 50;
+    let mut g = c.benchmark_group("predictor_registry");
+    for spec in predictor_specs() {
+        let mut p = build_predictor(spec.name, N_ITEMS).expect("registry entry builds");
+        for i in 0..2_000usize {
+            p.observe((i * 7 + i % 13) % N_ITEMS);
+        }
+        g.bench_function(BenchmarkId::new("predict", spec.name), |b| {
+            b.iter(|| {
+                for current in 0..N_ITEMS {
+                    black_box(p.predict(current));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Low-level solver shoot-out: exact search vs its bounds and the
+/// knapsack baselines, across sizes.
+fn bench_solver_internals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_internals");
+    for &n in &[10usize, 25, 100] {
+        let batch = scenarios(n, ProbMethod::flat(), 64);
         g.bench_with_input(
-            BenchmarkId::new("figure3_verbatim", n),
+            BenchmarkId::new("kp_branch_and_bound", n),
             &batch,
             |b, batch| {
                 b.iter(|| {
                     for s in batch {
-                        black_box(solve_paper(s));
+                        black_box(solve_kp(s));
                     }
                 })
             },
         );
         g.bench_with_input(
-            BenchmarkId::new("corrected_canonical", n),
+            BenchmarkId::new("kp_dynamic_program", n),
             &batch,
             |b, batch| {
                 b.iter(|| {
                     for s in batch {
-                        black_box(solve_exact(s));
+                        black_box(solve_kp_dp(s));
                     }
                 })
             },
         );
+        g.bench_with_input(BenchmarkId::new("kp_greedy", n), &batch, |b, batch| {
+            b.iter(|| {
+                for s in batch {
+                    black_box(greedy_by_density(s));
+                }
+            })
+        });
         g.bench_with_input(BenchmarkId::new("upper_bound", n), &batch, |b, batch| {
             b.iter(|| {
                 for s in batch {
@@ -80,71 +138,24 @@ fn bench_skp_solvers(c: &mut Criterion) {
             },
         );
     }
-    // The pseudo-polynomial global DP: exact like the oracle, but scales.
-    for &n in &[10usize, 16, 40] {
-        let batch = scenarios(n, ProbMethod::skewy(), 8);
-        g.bench_with_input(BenchmarkId::new("global_dp", n), &batch, |b, batch| {
-            b.iter(|| {
-                for s in batch {
-                    black_box(solve_global(s).expect("integral instance"));
-                }
-            })
-        });
-    }
     g.finish();
 }
 
-fn bench_kp_solvers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kp_solvers");
-    for &n in &[10usize, 25, 100] {
-        let batch = scenarios(n, ProbMethod::flat(), 64);
-        g.bench_with_input(
-            BenchmarkId::new("branch_and_bound", n),
-            &batch,
-            |b, batch| {
-                b.iter(|| {
-                    for s in batch {
-                        black_box(solve_kp(s));
-                    }
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("dynamic_program", n),
-            &batch,
-            |b, batch| {
-                b.iter(|| {
-                    for s in batch {
-                        black_box(solve_kp_dp(s));
-                    }
-                })
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("greedy", n), &batch, |b, batch| {
-            b.iter(|| {
-                for s in batch {
-                    black_box(greedy_by_density(s));
-                }
-            })
-        });
-    }
-    g.finish();
-}
-
+/// Search effort depends on the probability shape: flat workloads make
+/// the bound looser and the tree deeper.
 fn bench_workload_skew(c: &mut Criterion) {
-    // Search effort depends on the probability shape: flat workloads make
-    // the bound looser and the tree deeper.
     let mut g = c.benchmark_group("skp_by_skew");
+    let exact = build_policy("skp-exact").expect("registered");
     for (label, method) in [
         ("skewy", ProbMethod::skewy()),
         ("flat", ProbMethod::flat()),
         ("zipf", ProbMethod::Zipf { s: 1.0 }),
     ] {
         let batch = scenarios(25, method, 64);
-        g.bench_function(BenchmarkId::new("corrected_canonical", label), |b| {
+        g.bench_function(BenchmarkId::new("skp-exact", label), |b| {
             b.iter(|| {
                 for s in &batch {
-                    black_box(solve_exact(s));
+                    black_box(exact.plan(s));
                 }
             })
         });
@@ -154,8 +165,9 @@ fn bench_workload_skew(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_skp_solvers,
-    bench_kp_solvers,
+    bench_policy_registry,
+    bench_predictor_registry,
+    bench_solver_internals,
     bench_workload_skew
 );
 criterion_main!(benches);

@@ -1,87 +1,37 @@
-//! Multi-client distributed information system.
+//! Multi-client distributed information system — the single shared
+//! channel of the paper, as the `shards = 1` special case of the
+//! [sharded scheduler](crate::scheduler).
 //!
 //! The paper analyses a single client on a private channel. In the
 //! *distributed information system* of its title, many clients share a
 //! server: every speculative prefetch one client issues queues ahead of
-//! other clients' traffic. This module builds that system as a
-//! discrete-event simulation — a single FIFO server channel (matching
-//! the paper's "prefetch completes before demand fetch" discipline,
-//! extended across clients) serving a population of independent
-//! Markov-browsing clients, each running its own prefetch policy.
+//! other clients' traffic. This module exposes that system — a single
+//! FIFO server channel (matching the paper's "prefetch completes before
+//! demand fetch" discipline, extended across clients) serving a
+//! population of independent Markov-browsing clients, each running its
+//! own prefetch policy.
 //!
 //! What it measures is exactly the tension Section 6 raises: "the SKP
 //! algorithm with arbitration maximises access improvement without
 //! regard to the increase in network usage" — with shared capacity,
 //! aggressive prefetching saturates the server and *raises* everyone's
 //! access time, while the network-aware objective backs off.
+//!
+//! Since the sharded-core refactor, [`MultiClientSim`] has no event loop
+//! of its own: it runs a [`ShardedSim`] with one shard, so the legacy
+//! backend and the sharded backend are the same machine. The workspace
+//! tests assert they agree event for event.
 
-use crate::engine::EventQueue;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use crate::scheduler::{Placement, ShardReport, ShardedSim, SimEvent};
+use crate::stats::AccessStats;
 
-/// What a queued transfer is for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobKind {
-    /// Speculative prefetch.
-    Prefetch,
-    /// Demand fetch for a waiting user.
-    Demand,
-}
-
-/// A transfer job on the server channel.
-#[derive(Debug, Clone, Copy)]
-struct Job {
-    client: usize,
-    item: usize,
-    kind: JobKind,
-    duration: f64,
-    /// Round in which the job was issued (stale prefetches of older
-    /// rounds still occupy the channel but no longer satisfy requests).
-    round: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
-    /// Client finished viewing and requests its next item.
-    Request(usize),
-    /// The server finished the job at the head of the channel.
-    JobDone,
-}
-
-/// Per-client driver supplied by the harness.
-pub trait ClientPolicy {
-    /// Plan the prefetch list for the coming round.
-    ///
-    /// `state` is the client's current item (Markov state); the returned
-    /// list is issued to the server in order.
-    fn plan(&mut self, client: usize, state: usize) -> Vec<usize>;
-}
-
-impl<F> ClientPolicy for F
-where
-    F: FnMut(usize, usize) -> Vec<usize>,
-{
-    fn plan(&mut self, client: usize, state: usize) -> Vec<usize> {
-        self(client, state)
-    }
-}
-
-/// The workload a client follows.
-pub trait ClientWorkload {
-    /// Viewing time in the given state.
-    fn viewing(&self, state: usize) -> f64;
-    /// Sample the next request from the given state.
-    fn next(&self, state: usize, rng: &mut SmallRng) -> usize;
-    /// Number of items.
-    fn n_items(&self) -> usize;
-}
+pub use crate::scheduler::{ClientPolicy, ClientWorkload, JobKind};
 
 impl ClientWorkload for access_shim::Chain<'_> {
     fn viewing(&self, state: usize) -> f64 {
         self.0.viewing(state)
     }
-    fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
+    fn next(&self, state: usize, rng: &mut rand::rngs::SmallRng) -> usize {
         self.0.next_state(state, rng)
     }
     fn n_items(&self) -> usize {
@@ -110,10 +60,9 @@ pub mod access_shim {
 /// Aggregate results of a multi-client run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiClientResult {
-    /// Mean access time across all served requests.
-    pub mean_access_time: f64,
-    /// Requests served.
-    pub requests: u64,
+    /// Access-time summary over all served requests (the common stats
+    /// block every backend reports).
+    pub access: AccessStats,
     /// Fraction of simulated time the server channel was busy.
     pub utilisation: f64,
     /// Total transfer time spent on prefetches that did not serve the
@@ -125,7 +74,32 @@ pub struct MultiClientResult {
     pub mean_queue_len: f64,
 }
 
-/// Configuration of a multi-client simulation.
+impl MultiClientResult {
+    /// Mean access time across all served requests.
+    #[inline]
+    pub fn mean_access_time(&self) -> f64 {
+        self.access.mean
+    }
+
+    /// Requests served.
+    #[inline]
+    pub fn requests(&self) -> u64 {
+        self.access.count
+    }
+
+    fn from_report(report: ShardReport) -> Self {
+        let shard = &report.shards[0];
+        Self {
+            access: report.access,
+            utilisation: shard.utilisation,
+            wasted_transfer: report.wasted_transfer,
+            total_transfer: report.total_transfer,
+            mean_queue_len: shard.mean_queue_depth,
+        }
+    }
+}
+
+/// Configuration of a multi-client simulation on one shared channel.
 pub struct MultiClientSim<'a, W: ClientWorkload> {
     /// Shared workload definition (per-state viewing and transitions).
     pub workload: &'a W,
@@ -139,225 +113,33 @@ pub struct MultiClientSim<'a, W: ClientWorkload> {
     pub seed: u64,
 }
 
-impl<'a, W: ClientWorkload> MultiClientSim<'a, W> {
+impl<W: ClientWorkload> MultiClientSim<'_, W> {
+    fn as_sharded(&self) -> ShardedSim<'_, W> {
+        ShardedSim {
+            workload: self.workload,
+            retrievals: self.retrievals,
+            clients: self.clients,
+            shards: 1,
+            placement: Placement::Hash,
+            requests_per_client: self.requests_per_client,
+            seed: self.seed,
+        }
+    }
+
     /// Runs the simulation with the given planning policy.
     ///
     /// # Panics
     /// Panics when `clients == 0` or retrieval data does not cover the
     /// workload's items.
     pub fn run(&self, policy: &mut dyn ClientPolicy) -> MultiClientResult {
-        assert!(self.clients >= 1, "need at least one client");
-        assert!(
-            self.retrievals.len() >= self.workload.n_items(),
-            "retrievals must cover the item universe"
-        );
-        let n_clients = self.clients;
-        let total_requests = self.requests_per_client * n_clients as u64;
-
-        let mut q: EventQueue<Ev> = EventQueue::new();
-        let mut queue: VecDeque<Job> = VecDeque::new();
-        let mut in_service: Option<Job> = None;
-        let mut busy_until = 0.0_f64;
-        let mut busy_time = 0.0_f64;
-
-        // Per-client state.
-        let mut rngs: Vec<SmallRng> = (0..n_clients)
-            .map(|c| SmallRng::seed_from_u64(self.seed ^ (0xC11E * (c as u64 + 1))))
-            .collect();
-        let mut state: Vec<usize> = rngs
-            .iter_mut()
-            .map(|r| r.random_range(0..self.workload.n_items()))
-            .collect();
-        let mut round: Vec<u64> = vec![0; n_clients];
-        let mut pending_alpha: Vec<Option<(usize, f64)>> = vec![None; n_clients]; // (item, request time)
-        let mut done_this_round: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
-        let mut planned_this_round: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
-
-        let mut served = 0u64;
-        let mut t_sum = 0.0_f64;
-        let mut wasted_transfer = 0.0_f64;
-        let mut total_transfer = 0.0_f64;
-        let mut queue_len_sum = 0.0_f64;
-        let mut queue_samples = 0u64;
-
-        // Kick off: every client starts a round at t = 0.
-        for c in 0..n_clients {
-            let plan = policy.plan(c, state[c]);
-            planned_this_round[c] = plan.clone();
-            for item in plan {
-                queue.push_back(Job {
-                    client: c,
-                    item,
-                    kind: JobKind::Prefetch,
-                    duration: self.retrievals[item],
-                    round: round[c],
-                });
-            }
-            q.schedule(self.workload.viewing(state[c]), Ev::Request(c));
-        }
-        // Start the channel if anything is queued.
-        macro_rules! try_start {
-            ($now:expr) => {
-                if in_service.is_none() {
-                    if let Some(job) = queue.pop_front() {
-                        let start = f64::max($now, busy_until);
-                        busy_until = start + job.duration;
-                        busy_time += job.duration;
-                        total_transfer += job.duration;
-                        in_service = Some(job);
-                        q.schedule(busy_until, Ev::JobDone);
-                    }
-                }
-            };
-        }
-        try_start!(0.0);
-
-        let mut last_now = 0.0_f64;
-        while let Some((now, ev)) = q.pop() {
-            last_now = now;
-            match ev {
-                Ev::Request(c) => {
-                    let alpha = self.workload.next(state[c], &mut rngs[c]);
-                    if done_this_round[c].contains(&alpha) {
-                        // Served instantly from this round's prefetches.
-                        self.finish_request(
-                            c,
-                            alpha,
-                            now,
-                            now,
-                            policy,
-                            &mut q,
-                            &mut queue,
-                            &mut state,
-                            &mut round,
-                            &mut done_this_round,
-                            &mut planned_this_round,
-                            &mut served,
-                            &mut t_sum,
-                            &mut wasted_transfer,
-                        );
-                    } else if planned_this_round[c].contains(&alpha) {
-                        // In flight or queued: wait for its completion.
-                        pending_alpha[c] = Some((alpha, now));
-                    } else {
-                        // Demand fetch at the queue tail (FIFO channel).
-                        queue.push_back(Job {
-                            client: c,
-                            item: alpha,
-                            kind: JobKind::Demand,
-                            duration: self.retrievals[alpha],
-                            round: round[c],
-                        });
-                        pending_alpha[c] = Some((alpha, now));
-                    }
-                    try_start!(now);
-                }
-                Ev::JobDone => {
-                    queue_len_sum += queue.len() as f64;
-                    queue_samples += 1;
-                    let job = in_service.take().expect("a job was in service");
-                    if job.round == round[job.client] {
-                        done_this_round[job.client].push(job.item);
-                        if let Some((alpha, req_at)) = pending_alpha[job.client] {
-                            if alpha == job.item {
-                                pending_alpha[job.client] = None;
-                                self.finish_request(
-                                    job.client,
-                                    alpha,
-                                    now,
-                                    req_at,
-                                    policy,
-                                    &mut q,
-                                    &mut queue,
-                                    &mut state,
-                                    &mut round,
-                                    &mut done_this_round,
-                                    &mut planned_this_round,
-                                    &mut served,
-                                    &mut t_sum,
-                                    &mut wasted_transfer,
-                                );
-                            }
-                        }
-                    } else if job.kind == JobKind::Prefetch {
-                        // Stale prefetch from a previous round: pure waste.
-                        wasted_transfer += job.duration;
-                    }
-                    try_start!(now);
-                }
-            }
-            if served >= total_requests {
-                break;
-            }
-        }
-
-        MultiClientResult {
-            mean_access_time: if served == 0 {
-                0.0
-            } else {
-                t_sum / served as f64
-            },
-            requests: served,
-            utilisation: if last_now > 0.0 {
-                busy_time.min(last_now) / last_now
-            } else {
-                0.0
-            },
-            wasted_transfer,
-            total_transfer,
-            mean_queue_len: if queue_samples == 0 {
-                0.0
-            } else {
-                queue_len_sum / queue_samples as f64
-            },
-        }
+        MultiClientResult::from_report(self.as_sharded().run(policy))
     }
 
-    /// A request was served: account for it and start the next round.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_request(
-        &self,
-        c: usize,
-        alpha: usize,
-        now: f64,
-        requested_at: f64,
-        policy: &mut dyn ClientPolicy,
-        q: &mut EventQueue<Ev>,
-        queue: &mut VecDeque<Job>,
-        state: &mut [usize],
-        round: &mut [u64],
-        done_this_round: &mut [Vec<usize>],
-        planned_this_round: &mut [Vec<usize>],
-        served: &mut u64,
-        t_sum: &mut f64,
-        wasted_transfer: &mut f64,
-    ) {
-        *t_sum += now - requested_at;
-        *served += 1;
-        // Waste accounting: completed prefetches of this round that were
-        // not the request.
-        for &item in done_this_round[c].iter() {
-            if item != alpha {
-                *wasted_transfer += self.retrievals[item];
-            }
-        }
-        // Next round.
-        state[c] = alpha;
-        round[c] += 1;
-        done_this_round[c].clear();
-        planned_this_round[c].clear();
-        let plan = policy.plan(c, state[c]);
-        planned_this_round[c] = plan.clone();
-        for item in plan {
-            queue.push_back(Job {
-                client: c,
-                item,
-                kind: JobKind::Prefetch,
-                duration: self.retrievals[item],
-                round: round[c],
-            });
-        }
-        q.schedule(now + self.workload.viewing(state[c]), Ev::Request(c));
+    /// Like [`run`](Self::run), but also records the mechanistic event
+    /// log, for event-for-event comparison against the sharded backend.
+    pub fn run_traced(&self, policy: &mut dyn ClientPolicy) -> (MultiClientResult, Vec<SimEvent>) {
+        let (report, log) = self.as_sharded().run_traced(policy);
+        (MultiClientResult::from_report(report), log)
     }
 }
 
@@ -365,6 +147,7 @@ impl<'a, W: ClientWorkload> MultiClientSim<'a, W> {
 mod tests {
     use super::access_shim::{Chain, MarkovLike};
     use super::*;
+    use rand::rngs::SmallRng;
 
     /// Deterministic 2-state round-robin workload.
     struct RoundRobin {
@@ -407,9 +190,14 @@ mod tests {
         let s = sim(&chain, &retrievals, 1, 50);
         let mut policy = |_c: usize, state: usize| vec![1 - state];
         let out = s.run(&mut policy);
-        assert_eq!(out.requests, 50);
-        assert!(out.mean_access_time < 1e-9, "mean {}", out.mean_access_time);
+        assert_eq!(out.requests(), 50);
+        assert!(
+            out.mean_access_time() < 1e-9,
+            "mean {}",
+            out.mean_access_time()
+        );
         assert!(out.wasted_transfer < 1e-9);
+        assert_eq!(out.access.p99, 0.0);
     }
 
     #[test]
@@ -420,8 +208,11 @@ mod tests {
         let s = sim(&chain, &retrievals, 1, 40);
         let mut policy = |_c: usize, _state: usize| Vec::new();
         let out = s.run(&mut policy);
-        assert!((out.mean_access_time - 4.0).abs() < 1e-9);
+        assert!((out.mean_access_time() - 4.0).abs() < 1e-9);
         assert_eq!(out.wasted_transfer, 0.0);
+        // Every stall is the same retrieval: the quantiles agree.
+        assert!((out.access.p50 - 4.0).abs() < 1e-9);
+        assert!((out.access.p99 - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -434,7 +225,11 @@ mod tests {
         let s = sim(&chain, &retrievals, 1, 30);
         let mut policy = |_c: usize, state: usize| vec![state];
         let out = s.run(&mut policy);
-        assert!(out.mean_access_time > 5.0, "mean {}", out.mean_access_time);
+        assert!(
+            out.mean_access_time() > 5.0,
+            "mean {}",
+            out.mean_access_time()
+        );
         assert!(out.wasted_transfer > 0.0);
     }
 
@@ -450,10 +245,10 @@ mod tests {
         let mut none2 = |_c: usize, _s: usize| Vec::new();
         let crowd = sim(&chain, &retrievals, 8, 40).run(&mut none2);
         assert!(
-            crowd.mean_access_time > solo.mean_access_time + 1.0,
+            crowd.mean_access_time() > solo.mean_access_time() + 1.0,
             "8 clients {} vs 1 client {}",
-            crowd.mean_access_time,
-            solo.mean_access_time
+            crowd.mean_access_time(),
+            solo.mean_access_time()
         );
         assert!(crowd.utilisation > solo.utilisation);
     }
@@ -479,6 +274,19 @@ mod tests {
         let mut p2 = |_c: usize, state: usize| vec![1 - state];
         let b = sim(&chain, &retrievals, 3, 30).run(&mut p2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_agrees_with_plain_run() {
+        let rr = RoundRobin { viewing: 3.0 };
+        let chain = Chain(&rr);
+        let retrievals = [2.0, 7.0];
+        let mut p1 = |_c: usize, state: usize| vec![1 - state];
+        let plain = sim(&chain, &retrievals, 3, 30).run(&mut p1);
+        let mut p2 = |_c: usize, state: usize| vec![1 - state];
+        let (traced, log) = sim(&chain, &retrievals, 3, 30).run_traced(&mut p2);
+        assert_eq!(plain, traced);
+        assert!(log.iter().all(|e| e.shard == 0), "one channel, one shard");
     }
 
     #[test]

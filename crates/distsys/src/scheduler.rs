@@ -1,0 +1,1106 @@
+//! The sharded discrete-event simulation core.
+//!
+//! Every execution path in this crate — the single-client session of
+//! Figure 1/2, the shared-channel multi-client system, and the
+//! bandwidth-sharing arbitration — is a client of one [`Scheduler`]
+//! driving one [`EventQueue`]. This module holds that scheduler and the
+//! generalisation the ROADMAP asks for: a catalog partitioned across `N`
+//! server shards ([`ShardMap`]), each with its own FIFO retrieval queue
+//! and service channel, serving a population of browsing clients
+//! ([`ShardedSim`]).
+//!
+//! The paper's single shared channel is exactly the `shards = 1` special
+//! case: [`MultiClientSim`](crate::multiclient::MultiClientSim) now
+//! delegates here, and the workspace tests assert the two backends agree
+//! event for event.
+//!
+//! Per-shard queue depth, utilisation and stall-time histograms come back
+//! in a [`ShardReport`], making contention visible shard by shard — the
+//! measurement the Section-6 network-usage discussion calls for once
+//! capacity stops being a single queue.
+
+use crate::engine::EventQueue;
+use crate::network::RetrievalModel;
+use crate::session::SessionConfig;
+use crate::stats::{AccessStats, Histogram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------
+// The scheduler: a run loop over the generalized event queue.
+// ---------------------------------------------------------------------
+
+/// Whether the scheduler keeps running after an event is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep popping events.
+    Continue,
+    /// Stop immediately (pending events are left unpopped).
+    Stop,
+}
+
+/// A discrete-event scheduler: the run loop every simulation in this
+/// crate is a client of.
+///
+/// Wraps an [`EventQueue`] and drives a handler until the queue drains
+/// or the handler returns [`Flow::Stop`]. The handler receives the
+/// event, its timestamp, and the queue itself, so it can schedule
+/// follow-up events causally.
+#[derive(Debug, Default)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    /// Events handled so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event at absolute time `at` (see
+    /// [`EventQueue::schedule`] for the causality rules).
+    pub fn schedule(&mut self, at: f64, payload: E) {
+        self.queue.schedule(at, payload);
+    }
+
+    /// Schedules an event `delay` time units from now.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) {
+        self.queue.schedule_in(delay, payload);
+    }
+
+    /// Direct access to the underlying queue (for pre-loading events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Pops events in causal order, invoking `handler` on each, until
+    /// the queue drains or the handler stops the run. Returns the final
+    /// simulation time.
+    pub fn run(&mut self, mut handler: impl FnMut(f64, E, &mut EventQueue<E>) -> Flow) -> f64 {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.processed += 1;
+            if handler(now, ev, &mut self.queue) == Flow::Stop {
+                break;
+            }
+        }
+        self.queue.now()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard placement.
+// ---------------------------------------------------------------------
+
+/// How catalog items are partitioned across server shards.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Placement {
+    /// Items are spread by a mixing hash of their id (load-balancing,
+    /// order-destroying — the default).
+    #[default]
+    Hash,
+    /// Contiguous id ranges: shard `k` holds items
+    /// `[k·n/N, (k+1)·n/N)` — the locality-preserving layout.
+    Range,
+    /// The first `hot_items` ids live on a dedicated shard 0 (the "hot"
+    /// store); the remaining cold items are hashed across shards
+    /// `1..N`. With a single shard everything collapses onto it.
+    HotCold {
+        /// Number of leading item ids pinned to the hot shard.
+        hot_items: usize,
+    },
+}
+
+/// SplitMix64 finaliser: a cheap, well-mixed item-id hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A total map from catalog items to server shards.
+///
+/// Every item maps to exactly one shard in `0..shards`, whatever the
+/// strategy — the property tests pin this down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardMap {
+    shards: usize,
+    n_items: usize,
+    placement: Placement,
+}
+
+impl ShardMap {
+    /// Builds a map over `n_items` items and `shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize, n_items: usize, placement: Placement) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            shards,
+            n_items,
+            placement,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of catalog items.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The placement strategy.
+    #[inline]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The shard holding `item` — always in `0..shards`.
+    ///
+    /// # Panics
+    /// Panics when `item` is outside the catalog.
+    pub fn shard_of(&self, item: usize) -> usize {
+        assert!(item < self.n_items, "item {item} outside the catalog");
+        if self.shards == 1 {
+            return 0;
+        }
+        match self.placement {
+            Placement::Hash => (mix(item as u64) % self.shards as u64) as usize,
+            Placement::Range => item * self.shards / self.n_items,
+            Placement::HotCold { hot_items } => {
+                if item < hot_items {
+                    0
+                } else {
+                    1 + (mix(item as u64) % (self.shards as u64 - 1)) as usize
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client-side traits (shared by every multi-client backend).
+// ---------------------------------------------------------------------
+
+/// Per-client prefetch driver supplied by the harness.
+pub trait ClientPolicy {
+    /// Plan the prefetch list for the coming round.
+    ///
+    /// `state` is the client's current item (Markov state); the returned
+    /// list is issued to the owning shards in order.
+    fn plan(&mut self, client: usize, state: usize) -> Vec<usize>;
+}
+
+impl<F> ClientPolicy for F
+where
+    F: FnMut(usize, usize) -> Vec<usize>,
+{
+    fn plan(&mut self, client: usize, state: usize) -> Vec<usize> {
+        self(client, state)
+    }
+}
+
+/// The workload a client follows.
+pub trait ClientWorkload {
+    /// Viewing time in the given state.
+    fn viewing(&self, state: usize) -> f64;
+    /// Sample the next request from the given state.
+    fn next(&self, state: usize, rng: &mut SmallRng) -> usize;
+    /// Number of items.
+    fn n_items(&self) -> usize;
+}
+
+/// What a queued transfer is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Speculative prefetch.
+    Prefetch,
+    /// Demand fetch for a waiting user.
+    Demand,
+}
+
+// ---------------------------------------------------------------------
+// The sharded simulation.
+// ---------------------------------------------------------------------
+
+/// A transfer job on a shard's channel.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    client: usize,
+    item: usize,
+    kind: JobKind,
+    duration: f64,
+    /// Round in which the job was issued (stale prefetches of older
+    /// rounds still occupy the channel but no longer satisfy requests).
+    round: u64,
+}
+
+/// Scheduler event payload of the sharded system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Client finished viewing and requests its next item.
+    Request(usize),
+    /// A shard finished the job at the head of its channel.
+    JobDone(usize),
+}
+
+/// What a recorded [`SimEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A client's viewing ended and it requested the item.
+    Request,
+    /// The request was satisfied.
+    Served,
+    /// A transfer started on the shard's channel.
+    TransferStart(JobKind),
+    /// A transfer finished on the shard's channel.
+    TransferDone(JobKind),
+}
+
+/// One entry of the mechanistic event log ([`ShardedSim::run_traced`]).
+///
+/// The workspace tests compare these logs to assert that the `shards =
+/// 1` system reproduces the legacy shared-channel backend event for
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEvent {
+    /// Simulation time of the event.
+    pub at: f64,
+    /// Client involved.
+    pub client: usize,
+    /// Shard involved (the item's owner).
+    pub shard: usize,
+    /// Catalog item involved.
+    pub item: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Per-shard measurements of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Transfers started on this shard's channel.
+    pub jobs: u64,
+    /// Time the channel spent transferring.
+    pub busy_time: f64,
+    /// Fraction of the simulated span the channel was busy.
+    pub utilisation: f64,
+    /// Mean queue depth sampled at job completions.
+    pub mean_queue_depth: f64,
+    /// Deepest the retrieval queue ever got.
+    pub max_queue_depth: usize,
+    /// Total transfer time issued to this shard.
+    pub total_transfer: f64,
+    /// Histogram of request stall times attributed to this shard.
+    pub stalls: Histogram,
+}
+
+/// Aggregate + per-shard outcome of a sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Access-time summary over all served requests (the common stats
+    /// block every backend reports).
+    pub access: AccessStats,
+    /// Mean utilisation across shard channels.
+    pub utilisation: f64,
+    /// Total transfer time spent on prefetches that did not serve their
+    /// round's request.
+    pub wasted_transfer: f64,
+    /// Total transfer time spent overall.
+    pub total_transfer: f64,
+    /// Per-shard measurements, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardReport {
+    /// Mean access (stall) time per request.
+    #[inline]
+    pub fn mean_access_time(&self) -> f64 {
+        self.access.mean
+    }
+
+    /// Requests served.
+    #[inline]
+    pub fn requests(&self) -> u64 {
+        self.access.count
+    }
+}
+
+/// Configuration of a sharded multi-client simulation: the catalog is
+/// partitioned across `shards` server shards (each with its own FIFO
+/// channel), serving `clients` independent browsing clients.
+///
+/// With `shards = 1` this **is** the paper's shared-channel system
+/// (every prefetch queues ahead of every other client's traffic); more
+/// shards split the catalog — and therefore the contention — across
+/// independent channels.
+pub struct ShardedSim<'a, W: ClientWorkload> {
+    /// Shared workload definition (per-state viewing and transitions).
+    pub workload: &'a W,
+    /// Retrieval time of each item on its shard's channel.
+    pub retrievals: &'a [f64],
+    /// Number of clients.
+    pub clients: usize,
+    /// Number of server shards.
+    pub shards: usize,
+    /// How items are placed on shards.
+    pub placement: Placement,
+    /// Requests to serve per client.
+    pub requests_per_client: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// One shard's channel state during a run.
+struct Channel {
+    queue: VecDeque<Job>,
+    in_service: Option<Job>,
+    busy_until: f64,
+    busy_time: f64,
+    total_transfer: f64,
+    jobs: u64,
+    queue_len_sum: f64,
+    queue_samples: u64,
+    max_queue_depth: usize,
+    stalls: Histogram,
+}
+
+impl Channel {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            in_service: None,
+            busy_until: 0.0,
+            busy_time: 0.0,
+            total_transfer: 0.0,
+            jobs: 0,
+            queue_len_sum: 0.0,
+            queue_samples: 0,
+            max_queue_depth: 0,
+            stalls: Histogram::stalls(),
+        }
+    }
+}
+
+/// All mutable state of one run, so the event handlers can live as
+/// methods instead of a closure juggling a dozen `&mut` locals.
+struct SimState<'a, 'p, W: ClientWorkload> {
+    workload: &'a W,
+    retrievals: &'a [f64],
+    map: ShardMap,
+    channels: Vec<Channel>,
+    rngs: Vec<SmallRng>,
+    state: Vec<usize>,
+    round: Vec<u64>,
+    pending_alpha: Vec<Option<(usize, f64)>>, // (item, request time)
+    done_this_round: Vec<Vec<usize>>,
+    planned_this_round: Vec<Vec<usize>>,
+    served: u64,
+    samples: Vec<f64>,
+    wasted_transfer: f64,
+    /// Shards touched since the last start pass (freed channel or
+    /// freshly queued work) — the only ones a start pass must scan.
+    dirty: Vec<usize>,
+    /// Scratch buffer the start pass drains `dirty` into.
+    scratch: Vec<usize>,
+    trace: Option<&'p mut Vec<SimEvent>>,
+}
+
+impl<W: ClientWorkload> SimState<'_, '_, W> {
+    fn record(&mut self, at: f64, client: usize, item: usize, kind: EventKind) {
+        if let Some(log) = self.trace.as_deref_mut() {
+            log.push(SimEvent {
+                at,
+                client,
+                shard: self.map.shard_of(item),
+                item,
+                kind,
+            });
+        }
+    }
+
+    /// Queues a job on its owning shard.
+    fn push_job(&mut self, job: Job) {
+        let shard = self.map.shard_of(job.item);
+        let ch = &mut self.channels[shard];
+        ch.queue.push_back(job);
+        ch.max_queue_depth = ch.max_queue_depth.max(ch.queue.len());
+        self.dirty.push(shard);
+    }
+
+    /// Starts the next queued job on every shard touched since the last
+    /// pass. Only dirty shards are scanned — O(touched), not O(shards),
+    /// per event — in ascending shard order so the event sequence is
+    /// identical to a full scan; duplicate marks are harmless (the
+    /// channel is busy by the second attempt).
+    fn start_dirty(&mut self, now: f64, q: &mut EventQueue<Ev>) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.dirty.sort_unstable();
+        std::mem::swap(&mut self.dirty, &mut self.scratch);
+        let tracing = self.trace.is_some();
+        let mut started: Vec<(f64, Job)> = Vec::new();
+        for &shard in &self.scratch {
+            let ch = &mut self.channels[shard];
+            if ch.in_service.is_none() {
+                if let Some(job) = ch.queue.pop_front() {
+                    let start = now.max(ch.busy_until);
+                    ch.busy_until = start + job.duration;
+                    ch.busy_time += job.duration;
+                    ch.total_transfer += job.duration;
+                    ch.jobs += 1;
+                    ch.in_service = Some(job);
+                    q.schedule(ch.busy_until, Ev::JobDone(shard));
+                    if tracing {
+                        started.push((start, job));
+                    }
+                }
+            }
+        }
+        self.scratch.clear();
+        for (at, job) in started {
+            self.record(at, job.client, job.item, EventKind::TransferStart(job.kind));
+        }
+    }
+
+    fn on_request(
+        &mut self,
+        c: usize,
+        now: f64,
+        q: &mut EventQueue<Ev>,
+        policy: &mut dyn ClientPolicy,
+    ) {
+        let alpha = self.workload.next(self.state[c], &mut self.rngs[c]);
+        self.record(now, c, alpha, EventKind::Request);
+        if self.done_this_round[c].contains(&alpha) {
+            // Served instantly from this round's completed transfers.
+            self.finish_request(c, alpha, now, now, q, policy);
+        } else if self.planned_this_round[c].contains(&alpha) {
+            // In flight or queued: wait for its completion.
+            self.pending_alpha[c] = Some((alpha, now));
+        } else {
+            // Demand fetch at the owning shard's queue tail (FIFO).
+            self.push_job(Job {
+                client: c,
+                item: alpha,
+                kind: JobKind::Demand,
+                duration: self.retrievals[alpha],
+                round: self.round[c],
+            });
+            self.pending_alpha[c] = Some((alpha, now));
+        }
+        self.start_dirty(now, q);
+    }
+
+    fn on_job_done(
+        &mut self,
+        shard: usize,
+        now: f64,
+        q: &mut EventQueue<Ev>,
+        policy: &mut dyn ClientPolicy,
+    ) {
+        let ch = &mut self.channels[shard];
+        ch.queue_len_sum += ch.queue.len() as f64;
+        ch.queue_samples += 1;
+        let job = ch.in_service.take().expect("a job was in service");
+        // The channel is free again: re-mark it so queued work restarts.
+        self.dirty.push(shard);
+        self.record(now, job.client, job.item, EventKind::TransferDone(job.kind));
+        if job.round == self.round[job.client] {
+            self.done_this_round[job.client].push(job.item);
+            if let Some((alpha, req_at)) = self.pending_alpha[job.client] {
+                if alpha == job.item {
+                    self.pending_alpha[job.client] = None;
+                    self.finish_request(job.client, alpha, now, req_at, q, policy);
+                }
+            }
+        } else if job.kind == JobKind::Prefetch {
+            // Stale prefetch from a previous round: pure waste.
+            self.wasted_transfer += job.duration;
+        }
+        self.start_dirty(now, q);
+    }
+
+    /// A request was served: account for it and start the next round.
+    fn finish_request(
+        &mut self,
+        c: usize,
+        alpha: usize,
+        now: f64,
+        requested_at: f64,
+        q: &mut EventQueue<Ev>,
+        policy: &mut dyn ClientPolicy,
+    ) {
+        let stall = now - requested_at;
+        self.samples.push(stall);
+        let shard = self.map.shard_of(alpha);
+        self.channels[shard].stalls.record(stall);
+        self.record(now, c, alpha, EventKind::Served);
+        self.served += 1;
+        // Waste accounting: completed transfers of this round that were
+        // not the request.
+        self.wasted_transfer += self.done_this_round[c]
+            .iter()
+            .filter(|&&item| item != alpha)
+            .map(|&item| self.retrievals[item])
+            .sum::<f64>();
+        // Next round.
+        self.state[c] = alpha;
+        self.round[c] += 1;
+        self.done_this_round[c].clear();
+        self.planned_this_round[c].clear();
+        let plan = policy.plan(c, self.state[c]);
+        self.planned_this_round[c] = plan.clone();
+        for item in plan {
+            self.push_job(Job {
+                client: c,
+                item,
+                kind: JobKind::Prefetch,
+                duration: self.retrievals[item],
+                round: self.round[c],
+            });
+        }
+        q.schedule(now + self.workload.viewing(self.state[c]), Ev::Request(c));
+    }
+}
+
+impl<W: ClientWorkload> ShardedSim<'_, W> {
+    /// Runs the simulation with the given planning policy.
+    ///
+    /// # Panics
+    /// Panics when `clients == 0`, `shards == 0`, or retrieval data does
+    /// not cover the workload's items.
+    pub fn run(&self, policy: &mut dyn ClientPolicy) -> ShardReport {
+        self.run_core(policy, None)
+    }
+
+    /// Like [`run`](Self::run), but also records the full mechanistic
+    /// event log (requests, services, transfer starts/completions).
+    pub fn run_traced(&self, policy: &mut dyn ClientPolicy) -> (ShardReport, Vec<SimEvent>) {
+        let mut log = Vec::new();
+        let report = self.run_core(policy, Some(&mut log));
+        (report, log)
+    }
+
+    fn run_core(
+        &self,
+        policy: &mut dyn ClientPolicy,
+        trace: Option<&mut Vec<SimEvent>>,
+    ) -> ShardReport {
+        assert!(self.clients >= 1, "need at least one client");
+        assert!(
+            self.retrievals.len() >= self.workload.n_items(),
+            "retrievals must cover the item universe"
+        );
+        let map = ShardMap::new(self.shards, self.retrievals.len(), self.placement);
+        let n_clients = self.clients;
+        let total_requests = self.requests_per_client * n_clients as u64;
+
+        let rngs: Vec<SmallRng> = (0..n_clients)
+            .map(|c| SmallRng::seed_from_u64(self.seed ^ (0xC11E * (c as u64 + 1))))
+            .collect();
+        let mut st = SimState {
+            workload: self.workload,
+            retrievals: self.retrievals,
+            map,
+            channels: (0..self.shards).map(|_| Channel::new()).collect(),
+            rngs,
+            state: Vec::new(),
+            round: vec![0; n_clients],
+            pending_alpha: vec![None; n_clients],
+            done_this_round: vec![Vec::new(); n_clients],
+            planned_this_round: vec![Vec::new(); n_clients],
+            served: 0,
+            samples: Vec::new(),
+            wasted_transfer: 0.0,
+            dirty: Vec::new(),
+            scratch: Vec::new(),
+            trace,
+        };
+        st.state = st
+            .rngs
+            .iter_mut()
+            .map(|r| r.random_range(0..self.workload.n_items()))
+            .collect();
+
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        // Kick off: every client starts a round at t = 0.
+        for c in 0..n_clients {
+            let plan = policy.plan(c, st.state[c]);
+            st.planned_this_round[c] = plan.clone();
+            for item in plan {
+                st.push_job(Job {
+                    client: c,
+                    item,
+                    kind: JobKind::Prefetch,
+                    duration: self.retrievals[item],
+                    round: st.round[c],
+                });
+            }
+            sched.schedule(self.workload.viewing(st.state[c]), Ev::Request(c));
+        }
+        st.start_dirty(0.0, sched.queue_mut());
+
+        let span = sched.run(|now, ev, q| {
+            match ev {
+                Ev::Request(c) => st.on_request(c, now, q, policy),
+                Ev::JobDone(shard) => st.on_job_done(shard, now, q, policy),
+            }
+            if st.served >= total_requests {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        });
+
+        let shards: Vec<ShardStats> = st
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| ShardStats {
+                shard: i,
+                jobs: ch.jobs,
+                busy_time: ch.busy_time,
+                utilisation: if span > 0.0 {
+                    ch.busy_time.min(span) / span
+                } else {
+                    0.0
+                },
+                mean_queue_depth: if ch.queue_samples == 0 {
+                    0.0
+                } else {
+                    ch.queue_len_sum / ch.queue_samples as f64
+                },
+                max_queue_depth: ch.max_queue_depth,
+                total_transfer: ch.total_transfer,
+                stalls: ch.stalls.clone(),
+            })
+            .collect();
+        ShardReport {
+            access: AccessStats::from_samples(&mut st.samples),
+            utilisation: shards.iter().map(|s| s.utilisation).sum::<f64>() / self.shards as f64,
+            wasted_transfer: st.wasted_transfer,
+            total_transfer: shards.iter().map(|s| s.total_transfer).sum(),
+            shards,
+        }
+    }
+}
+
+/// Access time of a **single-client** session on the sharded substrate.
+///
+/// The generalisation of [`run_session`](crate::session::run_session)'s
+/// channel model: each shard serves its slice of the plan back to back
+/// from `t = 0` (plan order, restricted to the items it owns), shards
+/// transfer concurrently, and a demand fetch queues behind only the
+/// owning shard's outstanding prefetches. With one shard this is
+/// exactly the paper's FIFO discipline.
+///
+/// # Panics
+/// Panics on invalid viewing time, out-of-range items, or a map whose
+/// universe disagrees with the retrieval model.
+pub fn access_time_sharded(
+    retr: &impl RetrievalModel,
+    cfg: &SessionConfig<'_>,
+    map: &ShardMap,
+) -> f64 {
+    assert!(
+        cfg.viewing.is_finite() && cfg.viewing >= 0.0,
+        "invalid viewing time"
+    );
+    assert_eq!(
+        map.n_items(),
+        retr.n_items(),
+        "shard map and retrieval model disagree on the catalog size"
+    );
+    assert!(cfg.request < retr.n_items(), "request out of range");
+    let alpha = cfg.request;
+    if cfg.cached.contains(&alpha) {
+        return 0.0;
+    }
+    // Per-shard prefetch completion clocks; the plan is issued in order,
+    // each item onto its owning shard's FIFO channel.
+    let mut shard_clock = vec![0.0_f64; map.shards()];
+    let mut completion_alpha = None;
+    for &i in cfg.plan {
+        let s = map.shard_of(i);
+        shard_clock[s] += retr.retrieval_time(i);
+        if i == alpha && completion_alpha.is_none() {
+            completion_alpha = Some(shard_clock[s]);
+        }
+    }
+    if let Some(done_at) = completion_alpha {
+        // Planned item: served when its own shard delivers it.
+        return (done_at - cfg.viewing).max(0.0);
+    }
+    // Miss: the demand fetch waits only for the owning shard's
+    // outstanding prefetches.
+    let start = cfg.viewing.max(shard_clock[map.shard_of(alpha)]);
+    start + retr.retrieval_time(alpha) - cfg.viewing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 2-state round-robin workload.
+    struct RoundRobin {
+        viewing: f64,
+        n: usize,
+    }
+    impl ClientWorkload for RoundRobin {
+        fn viewing(&self, _state: usize) -> f64 {
+            self.viewing
+        }
+        fn next(&self, state: usize, _rng: &mut SmallRng) -> usize {
+            (state + 1) % self.n
+        }
+        fn n_items(&self) -> usize {
+            self.n
+        }
+    }
+
+    fn sim<'a>(
+        workload: &'a RoundRobin,
+        retrievals: &'a [f64],
+        clients: usize,
+        shards: usize,
+    ) -> ShardedSim<'a, RoundRobin> {
+        ShardedSim {
+            workload,
+            retrievals,
+            clients,
+            shards,
+            placement: Placement::Hash,
+            requests_per_client: 40,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn scheduler_runs_and_stops() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.schedule(1.0, 1);
+        sched.schedule(2.0, 2);
+        sched.schedule(3.0, 3);
+        let mut seen = Vec::new();
+        let end = sched.run(|_, ev, _| {
+            seen.push(ev);
+            if ev == 2 {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        });
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(end, 2.0);
+        assert_eq!(sched.processed(), 2);
+    }
+
+    #[test]
+    fn scheduler_handler_schedules_follow_ups() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.schedule(1.0, 0);
+        let mut count = 0;
+        sched.run(|now, ev, q| {
+            count += 1;
+            if ev < 3 {
+                q.schedule(now + 1.0, ev + 1);
+            }
+            Flow::Continue
+        });
+        assert_eq!(count, 4);
+        assert_eq!(sched.now(), 4.0);
+    }
+
+    #[test]
+    fn every_placement_is_total_and_in_range() {
+        for placement in [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items: 5 },
+        ] {
+            for shards in [1usize, 2, 3, 7] {
+                let map = ShardMap::new(shards, 40, placement);
+                for item in 0..40 {
+                    let s = map.shard_of(item);
+                    assert!(s < shards, "{placement:?}: item {item} -> shard {s}");
+                    assert_eq!(s, map.shard_of(item), "placement must be deterministic");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_placement_is_contiguous() {
+        let map = ShardMap::new(4, 40, Placement::Range);
+        let mut last = 0;
+        for item in 0..40 {
+            let s = map.shard_of(item);
+            assert!(s >= last, "range placement must be monotone");
+            last = s;
+        }
+        assert_eq!(map.shard_of(0), 0);
+        assert_eq!(map.shard_of(39), 3);
+    }
+
+    #[test]
+    fn hot_cold_pins_hot_items_to_shard_zero() {
+        let map = ShardMap::new(4, 40, Placement::HotCold { hot_items: 10 });
+        for item in 0..10 {
+            assert_eq!(map.shard_of(item), 0);
+        }
+        for item in 10..40 {
+            assert!(map.shard_of(item) >= 1, "cold item {item} on the hot shard");
+        }
+    }
+
+    #[test]
+    fn sharding_relieves_contention() {
+        // Heavily loaded no-prefetch population: splitting the catalog
+        // across shards adds service capacity, so stalls drop.
+        let rr = RoundRobin {
+            viewing: 1.0,
+            n: 16,
+        };
+        let retrievals = vec![6.0; 16];
+        let mut none = |_c: usize, _s: usize| Vec::new();
+        let one = sim(&rr, &retrievals, 12, 1).run(&mut none);
+        let mut none2 = |_c: usize, _s: usize| Vec::new();
+        let four = sim(&rr, &retrievals, 12, 4).run(&mut none2);
+        assert!(
+            four.access.mean < one.access.mean,
+            "4 shards {} vs 1 shard {}",
+            four.access.mean,
+            one.access.mean
+        );
+        assert_eq!(one.requests(), four.requests());
+    }
+
+    #[test]
+    fn per_shard_stats_are_consistent() {
+        let rr = RoundRobin { viewing: 2.0, n: 8 };
+        let retrievals = vec![3.0; 8];
+        let mut next = |_c: usize, s: usize| vec![(s + 1) % 8];
+        let report = sim(&rr, &retrievals, 4, 3).run(&mut next);
+        assert_eq!(report.shards.len(), 3);
+        let total: f64 = report.shards.iter().map(|s| s.total_transfer).sum();
+        assert!((total - report.total_transfer).abs() < 1e-9);
+        let stall_count: u64 = report.shards.iter().map(|s| s.stalls.count()).sum();
+        assert_eq!(stall_count, report.access.count);
+        for s in &report.shards {
+            assert!(s.utilisation <= 1.0 + 1e-9, "shard {} util", s.shard);
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let rr = RoundRobin { viewing: 2.0, n: 8 };
+        let retrievals = vec![3.0; 8];
+        let mut p1 = |_c: usize, s: usize| vec![(s + 1) % 8];
+        let plain = sim(&rr, &retrievals, 3, 2).run(&mut p1);
+        let mut p2 = |_c: usize, s: usize| vec![(s + 1) % 8];
+        let (traced, log) = sim(&rr, &retrievals, 3, 2).run_traced(&mut p2);
+        assert_eq!(plain, traced);
+        assert!(!log.is_empty());
+        // Served events match the request count.
+        let served = log.iter().filter(|e| e.kind == EventKind::Served).count();
+        assert_eq!(served as u64, traced.requests());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardMap::new(0, 4, Placement::Hash);
+    }
+
+    /// Golden event log, computed by hand from the paper's shared-channel
+    /// discipline — pins the `shards = 1` semantics independently of the
+    /// implementation (the legacy `MultiClientSim` loop now delegates
+    /// here, so this is the ground truth the delegation must preserve).
+    ///
+    /// One client, v = 10, r = 3, always prefetching the (deterministic)
+    /// next item: each round the prefetch runs 0–3 (resp. 10–13, 20–23),
+    /// the request at 10 (resp. 20, 30) hits the completed prefetch and
+    /// is served instantly, and the next round's prefetch starts at the
+    /// service instant.
+    #[test]
+    fn golden_log_perfect_prefetch() {
+        let rr = RoundRobin {
+            viewing: 10.0,
+            n: 2,
+        };
+        let retrievals = [3.0, 3.0];
+        let sim = ShardedSim {
+            workload: &rr,
+            retrievals: &retrievals,
+            clients: 1,
+            shards: 1,
+            placement: Placement::Hash,
+            requests_per_client: 3,
+            seed: 9,
+        };
+        let mut policy = |_c: usize, s: usize| vec![1 - s];
+        let (report, log) = sim.run_traced(&mut policy);
+        use EventKind::*;
+        use JobKind::Prefetch;
+        let expected: Vec<(EventKind, f64)> = vec![
+            (TransferStart(Prefetch), 0.0),
+            (TransferDone(Prefetch), 3.0),
+            (Request, 10.0),
+            (Served, 10.0),
+            (TransferStart(Prefetch), 10.0),
+            (TransferDone(Prefetch), 13.0),
+            (Request, 20.0),
+            (Served, 20.0),
+            (TransferStart(Prefetch), 20.0),
+            (TransferDone(Prefetch), 23.0),
+            (Request, 30.0),
+            (Served, 30.0),
+            (TransferStart(Prefetch), 30.0),
+        ];
+        let got: Vec<(EventKind, f64)> = log.iter().map(|e| (e.kind, e.at)).collect();
+        assert_eq!(got, expected);
+        // The prefetched item is always the item requested next.
+        let requests: Vec<usize> = log
+            .iter()
+            .filter(|e| e.kind == Request)
+            .map(|e| e.item)
+            .collect();
+        let prefetches: Vec<usize> = log
+            .iter()
+            .filter(|e| matches!(e.kind, TransferStart(Prefetch)))
+            .map(|e| e.item)
+            .collect();
+        assert_eq!(&prefetches[..3], &requests[..]);
+        assert_eq!(report.access.mean, 0.0);
+    }
+
+    /// Golden event log for the no-prefetch demand path: the request at
+    /// v = 10 queues a demand fetch (r = 4), served at 14; the next
+    /// round's request fires at 24.
+    #[test]
+    fn golden_log_demand_fetch() {
+        let rr = RoundRobin {
+            viewing: 10.0,
+            n: 2,
+        };
+        let retrievals = [4.0, 4.0];
+        let sim = ShardedSim {
+            workload: &rr,
+            retrievals: &retrievals,
+            clients: 1,
+            shards: 1,
+            placement: Placement::Hash,
+            requests_per_client: 2,
+            seed: 9,
+        };
+        let mut policy = |_c: usize, _s: usize| Vec::new();
+        let (report, log) = sim.run_traced(&mut policy);
+        use EventKind::*;
+        use JobKind::Demand;
+        let expected: Vec<(EventKind, f64)> = vec![
+            (Request, 10.0),
+            (TransferStart(Demand), 10.0),
+            (TransferDone(Demand), 14.0),
+            (Served, 14.0),
+            (Request, 24.0),
+            (TransferStart(Demand), 24.0),
+            (TransferDone(Demand), 28.0),
+            (Served, 28.0),
+        ];
+        let got: Vec<(EventKind, f64)> = log.iter().map(|e| (e.kind, e.at)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(report.access.mean, 4.0);
+    }
+
+    #[test]
+    fn sharded_session_closed_form() {
+        // n = 4, range placement over 2 shards: items {0,1} on shard 0,
+        // {2,3} on shard 1.
+        let retrievals: Vec<f64> = vec![10.0, 5.0, 10.0, 6.0];
+        let catalog = crate::network::Catalog::new(retrievals);
+        let map = ShardMap::new(2, 4, Placement::Range);
+        let cfg = |viewing, plan, request| SessionConfig {
+            viewing,
+            plan,
+            request,
+            cached: &[],
+        };
+        // Plan [0, 2] spreads across both shards; the demand for item 1
+        // (shard 0) queues behind item 0 only: served at 10 + 5 = 15,
+        // not behind the full 20 of serial FIFO.
+        let t = access_time_sharded(&catalog, &cfg(0.0, &[0, 2], 1), &map);
+        assert!((t - 15.0).abs() < 1e-9);
+        // The same miss on one shard IS serial FIFO.
+        let one = ShardMap::new(1, 4, Placement::Range);
+        let t1 = access_time_sharded(&catalog, &cfg(0.0, &[0, 2], 1), &one);
+        let fifo = crate::session::run_session(&catalog, &cfg(0.0, &[0, 2], 1)).access_time;
+        assert!((t1 - fifo).abs() < 1e-9);
+        assert!((t1 - 25.0).abs() < 1e-9);
+        // Planned item waits only for its own shard's stream.
+        let t2 = access_time_sharded(&catalog, &cfg(4.0, &[0, 2], 2), &map);
+        assert!((t2 - 6.0).abs() < 1e-9); // done at 10 on shard 1
+                                          // Cached requests stay free.
+        let t3 = access_time_sharded(
+            &catalog,
+            &SessionConfig {
+                viewing: 1.0,
+                plan: &[0],
+                request: 0,
+                cached: &[0],
+            },
+            &map,
+        );
+        assert_eq!(t3, 0.0);
+    }
+
+    #[test]
+    fn sharded_session_matches_fifo_for_every_single_shard_case() {
+        let catalog = crate::network::Catalog::new(vec![8.0, 6.0, 9.0]);
+        let one = ShardMap::new(1, 3, Placement::Hash);
+        for viewing in [0.0, 4.0, 10.0, 25.0] {
+            for plan in [vec![], vec![0], vec![0, 2], vec![1, 0, 2]] {
+                for request in 0..3 {
+                    let cfg = SessionConfig {
+                        viewing,
+                        plan: &plan,
+                        request,
+                        cached: &[],
+                    };
+                    let fifo = crate::session::run_session(&catalog, &cfg).access_time;
+                    let sharded = access_time_sharded(&catalog, &cfg, &one);
+                    assert!(
+                        (fifo - sharded).abs() < 1e-9,
+                        "v={viewing}, plan {plan:?}, request {request}: {fifo} vs {sharded}"
+                    );
+                }
+            }
+        }
+    }
+}

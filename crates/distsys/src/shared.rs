@@ -25,7 +25,9 @@
 //! and the tests pin it to the closed form [`access_time_shared`].
 
 use crate::network::RetrievalModel;
+use crate::scheduler::{Flow, Scheduler};
 use crate::session::SessionConfig;
+use crate::stats::AccessStats;
 
 /// Closed-form access time under the shared-bandwidth channel.
 pub fn access_time_shared(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -> f64 {
@@ -64,18 +66,41 @@ pub fn access_time_fifo(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -> 
 /// Outcome of the fluid replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SharedOutcome {
-    /// Response time of the request.
-    pub access_time: f64,
+    /// Access-time summary of the session's one request (the common
+    /// stats block every backend reports; all quantiles collapse onto
+    /// the single observation).
+    pub access: AccessStats,
     /// Absolute time every planned prefetch had completed.
     pub prefetches_done_at: f64,
 }
 
-/// Fluid (piecewise-linear) replay of the shared-bandwidth channel.
+impl SharedOutcome {
+    /// Response time of the request.
+    #[inline]
+    pub fn access_time(&self) -> f64 {
+        self.access.mean
+    }
+}
+
+/// Event payload of the fluid replay: the arbitration decision happens
+/// when the request arrives; the two streams complete at the times it
+/// fixes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    RequestArrives,
+    DemandDone,
+    PrefetchStreamDone,
+}
+
+/// Fluid (piecewise-linear) replay of the shared-bandwidth channel,
+/// driven through the same [`Scheduler`] as every other backend.
 ///
 /// Integrates the prefetch stream and the demand fetch as fluid flows:
 /// full rate while alone on the channel, half rate each while both are
-/// active. Exists to *validate* [`access_time_shared`] mechanistically;
-/// prefer the closed form in simulations.
+/// active. The arbitration at the request's arrival schedules the two
+/// completion events; the scheduler sequences them. Exists to *validate*
+/// [`access_time_shared`] mechanistically; prefer the closed form in
+/// simulations.
 pub fn run_session_shared(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -> SharedOutcome {
     assert!(
         cfg.viewing.is_finite() && cfg.viewing >= 0.0,
@@ -84,55 +109,59 @@ pub fn run_session_shared(retr: &impl RetrievalModel, cfg: &SessionConfig<'_>) -
     let alpha = cfg.request;
     let total_plan: f64 = cfg.plan.iter().map(|&i| retr.retrieval_time(i)).sum();
 
-    // Phase 1: prefetch alone on the channel until the request arrives.
-    let work_done_at_v = total_plan.min(cfg.viewing);
-    let mut prefetch_left = total_plan - work_done_at_v;
-
-    // Cache hit: served instantly; prefetches finish at full rate.
-    if cfg.cached.contains(&alpha) {
-        return SharedOutcome {
-            access_time: 0.0,
-            prefetches_done_at: cfg.viewing + prefetch_left,
-        };
-    }
-
-    // Request for a planned item: the stream continues at full rate until
-    // that item completes (no competing demand exists).
-    if cfg.plan.contains(&alpha) {
-        let mut acc = 0.0;
-        for &i in cfg.plan {
-            acc += retr.retrieval_time(i);
-            if i == alpha {
-                break;
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    sched.schedule(cfg.viewing, Ev::RequestArrives);
+    let mut served_at = None;
+    let mut prefetches_done_at = None;
+    sched.run(|now, ev, q| {
+        match ev {
+            Ev::RequestArrives => {
+                // Work done so far: prefetch alone on the channel.
+                let prefetch_left = total_plan - total_plan.min(now);
+                if cfg.cached.contains(&alpha) {
+                    // Cache hit: served instantly; the stream keeps the
+                    // full channel.
+                    q.schedule(now, Ev::DemandDone);
+                    q.schedule(now + prefetch_left, Ev::PrefetchStreamDone);
+                } else if cfg.plan.contains(&alpha) {
+                    // Planned item: no competing demand exists, so the
+                    // stream continues at full rate until it completes.
+                    let mut acc = 0.0;
+                    for &i in cfg.plan {
+                        acc += retr.retrieval_time(i);
+                        if i == alpha {
+                            break;
+                        }
+                    }
+                    q.schedule(acc.max(now), Ev::DemandDone);
+                    q.schedule(total_plan.max(now), Ev::PrefetchStreamDone);
+                } else {
+                    // Demand fetch shares the channel with the remaining
+                    // prefetch work: both at rate 1/2 until one side
+                    // exhausts, the survivor at full rate.
+                    let demand = retr.retrieval_time(alpha);
+                    let joint = prefetch_left.min(demand);
+                    let t = now + 2.0 * joint;
+                    let served = t + (demand - joint);
+                    q.schedule(served, Ev::DemandDone);
+                    let stream_left = prefetch_left - joint;
+                    let stream_done = if stream_left > 0.0 {
+                        served.max(t) + stream_left
+                    } else {
+                        t.min(served)
+                    };
+                    q.schedule(stream_done, Ev::PrefetchStreamDone);
+                }
             }
+            Ev::DemandDone => served_at = Some(now),
+            Ev::PrefetchStreamDone => prefetches_done_at = Some(now),
         }
-        let served_at = acc.max(cfg.viewing);
-        return SharedOutcome {
-            access_time: served_at - cfg.viewing,
-            prefetches_done_at: cfg.viewing.max(total_plan),
-        };
-    }
-
-    // Demand fetch shares the channel with the remaining prefetch work.
-    let mut t = cfg.viewing;
-    let mut demand_left = retr.retrieval_time(alpha);
-    if prefetch_left > 0.0 {
-        // Both active at rate 1/2 until one side exhausts.
-        let joint = prefetch_left.min(demand_left);
-        t += 2.0 * joint;
-        prefetch_left -= joint;
-        demand_left -= joint;
-    }
-    // Whoever is left runs at full rate.
-    let served_at = t + demand_left;
-    let prefetches_done_at = if prefetch_left > 0.0 {
-        served_at.max(t) + prefetch_left
-    } else {
-        t.min(served_at)
-    };
+        Flow::Continue
+    });
+    let served_at = served_at.expect("request is always eventually served");
     SharedOutcome {
-        access_time: served_at - cfg.viewing,
-        prefetches_done_at,
+        access: AccessStats::single(served_at - cfg.viewing),
+        prefetches_done_at: prefetches_done_at.expect("stream always completes"),
     }
 }
 
@@ -220,7 +249,7 @@ mod tests {
                 for alpha in 0..3 {
                     let conf = cfg(v, &plan, alpha, &[]);
                     let closed = access_time_shared(&c, &conf);
-                    let fluid = run_session_shared(&c, &conf).access_time;
+                    let fluid = run_session_shared(&c, &conf).access_time();
                     assert!(
                         (closed - fluid).abs() < TOL,
                         "v={v}, plan {plan:?}, α={alpha}: closed {closed} vs fluid {fluid}"
@@ -237,8 +266,9 @@ mod tests {
         // Shared until t = 10 + 12 = 22: demand done, prefetch got 6 of
         // its 7 remaining -> finishes at 23.
         let out = run_session_shared(&c, &cfg(10.0, &[0, 2], 1, &[]));
-        assert!((out.access_time - 12.0).abs() < TOL);
+        assert!((out.access_time() - 12.0).abs() < TOL);
         assert!((out.prefetches_done_at - 23.0).abs() < TOL);
+        assert_eq!(out.access.count, 1);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Common access-time statistics shared by every simulation report.
+//!
+//! The single-channel and sharded systems used to report ad-hoc scalar
+//! fields, which made their outputs incomparable. [`AccessStats`] is the
+//! one summary every report carries (count, mean, p50, p99, extremes),
+//! and [`Histogram`] is the fixed-bin stall-time histogram the per-shard
+//! statistics expose.
+
+/// Summary statistics of a set of access (stall) times.
+///
+/// Carried by [`MultiClientResult`](crate::multiclient::MultiClientResult),
+/// [`SharedOutcome`](crate::shared::SharedOutcome) and
+/// [`ShardReport`](crate::scheduler::ShardReport), so single-channel and
+/// sharded runs read off the same fields.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl AccessStats {
+    /// Computes the summary from raw samples. Sorts `samples` in place;
+    /// an empty slice yields the all-zero default.
+    pub fn from_samples(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            count: n as u64,
+            mean: samples.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            min: samples[0],
+            max: samples[n - 1],
+        }
+    }
+
+    /// The summary of a single observation (all quantiles collapse onto
+    /// it) — the degenerate view a one-session outcome carries.
+    pub fn single(x: f64) -> Self {
+        Self {
+            count: 1,
+            mean: x,
+            p50: x,
+            p99: x,
+            min: x,
+            max: x,
+        }
+    }
+}
+
+/// A fixed-boundary histogram of non-negative durations.
+///
+/// The first bin counts exact zeros (instant hits), the following bins
+/// have the given upper edges, and one overflow bin catches the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing positive upper
+    /// edges (plus the implicit zero bin and overflow bin).
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly increasing/positive.
+    pub fn with_edges(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "edges must be strictly increasing");
+        }
+        assert!(edges[0] > 0.0, "edges must be positive");
+        let bins = edges.len() + 2; // zero bin + edge bins + overflow
+        Self {
+            edges,
+            counts: vec![0; bins],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The default stall-time histogram: a zero bin, power-of-two edges
+    /// `1, 2, 4, …, 256`, and an overflow bin — spanning the paper's
+    /// `r ∈ [1, 30]` retrievals up to heavily queued systems.
+    pub fn stalls() -> Self {
+        Self::with_edges((0..=8).map(|k| (1u32 << k) as f64).collect())
+    }
+
+    /// Records one non-negative observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x >= 0.0, "histogram observations must be non-negative");
+        let idx = if x <= 0.0 {
+            0
+        } else {
+            match self.edges.iter().position(|&e| x <= e) {
+                Some(i) => i + 1,
+                None => self.counts.len() - 1,
+            }
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += x;
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Fraction of observations that were exactly zero (instant hits).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[0] as f64 / self.total as f64
+        }
+    }
+
+    /// The per-bin counts: `[zeros, (0, e₀], (e₀, e₁], …, overflow]`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The configured upper edges (excluding the zero and overflow bins).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::stalls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_samples() {
+        let mut xs = vec![4.0, 0.0, 2.0, 8.0];
+        let s = AccessStats::from_samples(&mut xs);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 3.5).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p99, 8.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn stats_empty_and_single() {
+        let s = AccessStats::from_samples(&mut []);
+        assert_eq!(s, AccessStats::default());
+        let one = AccessStats::single(7.0);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.p50, 7.0);
+        assert_eq!(one.p99, 7.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = AccessStats::from_samples(&mut xs);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_zero_fraction() {
+        let mut h = Histogram::with_edges(vec![1.0, 10.0]);
+        h.record(0.0);
+        h.record(0.5);
+        h.record(5.0);
+        h.record(50.0);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.zero_fraction() - 0.25).abs() < 1e-12);
+        assert!((h.mean() - 55.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_stall_histogram_covers_paper_range() {
+        let mut h = Histogram::stalls();
+        for r in 1..=30 {
+            h.record(r as f64);
+        }
+        assert_eq!(h.count(), 30);
+        assert_eq!(h.zero_fraction(), 0.0);
+        // 1 | 2 | 3..4 | 5..8 | 9..16 | 17..30 — nothing overflows.
+        assert_eq!(*h.counts().last().unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_edges() {
+        let _ = Histogram::with_edges(vec![2.0, 1.0]);
+    }
+}

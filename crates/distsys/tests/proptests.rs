@@ -1,9 +1,28 @@
 //! Property tests for the discrete-event substrate: ordering laws of the
 //! event queue and structural properties of session replays.
 
+use distsys::multiclient::MultiClientSim;
 use distsys::shared::{access_time_fifo, access_time_shared, run_session_shared};
-use distsys::{run_session, Catalog, EventQueue, SessionConfig};
+use distsys::{run_session, Catalog, EventQueue, Placement, SessionConfig, ShardMap, ShardedSim};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Deterministic ring workload used by the sharding properties.
+struct Ring {
+    n: usize,
+    viewing: f64,
+}
+impl distsys::scheduler::ClientWorkload for Ring {
+    fn viewing(&self, _state: usize) -> f64 {
+        self.viewing
+    }
+    fn next(&self, state: usize, _rng: &mut SmallRng) -> usize {
+        (state + 1) % self.n
+    }
+    fn n_items(&self) -> usize {
+        self.n
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -108,7 +127,7 @@ proptest! {
 
         let fifo = access_time_fifo(&catalog, &cfg);
         let shared = access_time_shared(&catalog, &cfg);
-        let fluid = run_session_shared(&catalog, &cfg).access_time;
+        let fluid = run_session_shared(&catalog, &cfg).access_time();
 
         prop_assert!(shared <= fifo + 1e-9, "sharing must not hurt");
         prop_assert!((shared - fluid).abs() < 1e-9, "closed form vs fluid");
@@ -121,5 +140,78 @@ proptest! {
         if !plan.contains(&request) {
             prop_assert!(shared >= retrievals[request] - 1e-9);
         }
+    }
+
+    /// Every catalog item maps to exactly one shard, in range and
+    /// deterministically, under each placement strategy.
+    #[test]
+    fn placement_is_a_total_function(
+        n_items in 1usize..200,
+        shards in 1usize..16,
+        hot in 0usize..250,
+    ) {
+        for placement in [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items: hot },
+        ] {
+            let map = ShardMap::new(shards, n_items, placement);
+            let mut per_shard = vec![0u64; shards];
+            for item in 0..n_items {
+                let s = map.shard_of(item);
+                prop_assert!(s < shards, "{placement:?}: item {item} -> shard {s}");
+                prop_assert_eq!(s, map.shard_of(item), "must be deterministic");
+                per_shard[s] += 1;
+            }
+            // Exactly one shard per item: the shard counts partition
+            // the catalog.
+            prop_assert_eq!(per_shard.iter().sum::<u64>(), n_items as u64);
+        }
+    }
+
+    /// A single-shard `ShardedSim` and the legacy shared-channel
+    /// `MultiClientSim` are the same machine: identical event logs
+    /// (same events, same order, same times) for any placement, seed
+    /// and population.
+    #[test]
+    fn one_shard_matches_shared_channel_event_for_event(
+        seed in 0u64..1_000,
+        clients in 1usize..6,
+        placement_pick in 0usize..3,
+    ) {
+        let ring = Ring { n: 12, viewing: 4.0 };
+        let retrievals: Vec<f64> = (0..12).map(|i| 1.0 + (i % 7) as f64).collect();
+        let placement = [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items: 4 },
+        ][placement_pick];
+
+        let mut p1 = |_c: usize, s: usize| vec![(s + 1) % 12];
+        let (legacy, legacy_log) = MultiClientSim {
+            workload: &ring,
+            retrievals: &retrievals,
+            clients,
+            requests_per_client: 25,
+            seed,
+        }
+        .run_traced(&mut p1);
+
+        let mut p2 = |_c: usize, s: usize| vec![(s + 1) % 12];
+        let (sharded, sharded_log) = ShardedSim {
+            workload: &ring,
+            retrievals: &retrievals,
+            clients,
+            shards: 1,
+            placement,
+            requests_per_client: 25,
+            seed,
+        }
+        .run_traced(&mut p2);
+
+        prop_assert_eq!(legacy_log, sharded_log);
+        prop_assert_eq!(legacy.access, sharded.access);
+        prop_assert_eq!(legacy.wasted_transfer, sharded.wasted_transfer);
+        prop_assert_eq!(legacy.total_transfer, sharded.total_transfer);
     }
 }

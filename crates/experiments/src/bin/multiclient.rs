@@ -64,7 +64,7 @@ fn main() {
             rows.push(vec![
                 clients.to_string(),
                 name.to_string(),
-                format!("{:.2}", r.mean_access_time),
+                format!("{:.2}", r.mean_access_time()),
                 format!("{:.0}%", r.utilisation * 100.0),
                 format!("{:.0}%", waste_share * 100.0),
                 format!("{:.1}", r.mean_queue_len),
@@ -72,7 +72,7 @@ fn main() {
             csv_rows.push(vec![
                 clients as f64,
                 pi as f64,
-                r.mean_access_time,
+                r.mean_access_time(),
                 r.utilisation,
                 waste_share,
                 r.mean_queue_len,

@@ -1,0 +1,149 @@
+//! Sharded contention sweep — the scenario axis the sharded scheduler
+//! opens: how access time scales over a clients × shards grid.
+//!
+//! One shard is the paper's shared channel (every client's speculative
+//! prefetch queues ahead of everyone else's traffic); more shards
+//! partition the catalog across independent FIFO channels, multiplying
+//! service capacity. On a uniform workload the mean stall time is
+//! monotonically non-increasing as shards grow — the headroom the
+//! ROADMAP's "millions of users" north star needs.
+//!
+//! Each grid cell is one `SessionBuilder` line: the policy from the
+//! registry, the topology from `Backend::Sharded`.
+//!
+//! Reported per cell: mean/p50/p99 stall time, mean channel
+//! utilisation, deepest shard queue, and waste share.
+
+use experiments::{print_table, Args};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use speculative_prefetch::{write_csv, Backend, Engine, MarkovChain, Placement};
+
+const N: usize = 48;
+
+fn placement_from(name: &str) -> Placement {
+    match name {
+        "hash" => Placement::Hash,
+        "range" => Placement::Range,
+        "hot-cold" => Placement::HotCold { hot_items: N / 8 },
+        other => panic!("--placement expects hash|range|hot-cold, got {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let requests = args.get_u64("requests", if quick { 200 } else { 2_000 });
+    let seed = args.get_u64("seed", 1999);
+    let policy = args.get_str("policy", "skp-exact");
+    let placement = placement_from(&args.get_str("placement", "hash"));
+    let out = args.out_dir();
+
+    // Uniform workload: every state reaches many successors with
+    // near-flat weights, so load spreads evenly over the catalog.
+    let chain = MarkovChain::random(N, N - 1, N - 1, 2, 8, seed ^ 0x5A).expect("valid chain");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5B);
+    let retrievals: Vec<f64> = (0..N).map(|_| rng.random_range(1u32..=30) as f64).collect();
+
+    let (client_axis, shard_axis): (&[usize], &[usize]) = if quick {
+        (&[8], &[1, 2, 4])
+    } else {
+        (&[4, 16, 64], &[1, 2, 4, 8, 16])
+    };
+
+    println!("== Sharded contention sweep: clients x shards, policy '{policy}' ==");
+    println!("   {N} items, v in [2,8], r in [1,30], {requests} requests/client, {placement:?} placement\n");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &clients in client_axis {
+        let mut last_mean = f64::INFINITY;
+        for &shards in shard_axis {
+            let engine = Engine::builder()
+                .policy(&policy)
+                .backend(Backend::Sharded {
+                    shards,
+                    clients,
+                    placement,
+                })
+                .catalog(retrievals.clone())
+                .build()
+                .expect("valid session");
+            let r = engine
+                .sharded(&chain, requests, seed)
+                .expect("backend configured");
+            let waste_share = if r.total_transfer > 0.0 {
+                r.wasted_transfer / r.total_transfer
+            } else {
+                0.0
+            };
+            let max_queue = r
+                .shards
+                .iter()
+                .map(|s| s.max_queue_depth)
+                .max()
+                .unwrap_or(0);
+            let trend = if r.access.mean <= last_mean + 1e-9 {
+                ""
+            } else {
+                " (!)"
+            };
+            last_mean = r.access.mean;
+            rows.push(vec![
+                clients.to_string(),
+                shards.to_string(),
+                format!("{:.2}{trend}", r.access.mean),
+                format!("{:.2}", r.access.p50),
+                format!("{:.2}", r.access.p99),
+                format!("{:.0}%", r.utilisation * 100.0),
+                max_queue.to_string(),
+                format!("{:.0}%", waste_share * 100.0),
+            ]);
+            csv_rows.push(vec![
+                clients as f64,
+                shards as f64,
+                r.access.mean,
+                r.access.p50,
+                r.access.p99,
+                r.utilisation,
+                max_queue as f64,
+                waste_share,
+            ]);
+        }
+    }
+
+    print_table(
+        &[
+            "clients",
+            "shards",
+            "mean T",
+            "p50 T",
+            "p99 T",
+            "mean busy",
+            "max queue",
+            "waste share",
+        ],
+        &rows,
+    );
+    let path = out.join("sharding.csv");
+    write_csv(
+        &path,
+        &[
+            "clients",
+            "shards",
+            "mean_T",
+            "p50_T",
+            "p99_T",
+            "utilisation",
+            "max_queue",
+            "waste_share",
+        ],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\n   wrote {}", path.display());
+    println!("\nReading: down each clients block, mean stall time is non-increasing as");
+    println!("shards grow — splitting the catalog splits the contention. The win is");
+    println!("largest where one channel saturates (many clients), and p99 collapses");
+    println!("before the mean does: sharding first rescues the queue's victims.");
+}

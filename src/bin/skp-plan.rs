@@ -12,8 +12,8 @@
 //! ```
 
 use speculative_prefetch::{
-    global_applicable, parse_scenario_file, policy_specs, predictor_specs, Engine, Error,
-    PlanReport, Scenario,
+    backend_specs, global_applicable, parse_scenario_file, policy_specs, predictor_specs, Engine,
+    Error, PlanReport, Scenario,
 };
 
 fn usage() -> ! {
@@ -51,6 +51,16 @@ fn print_registry() {
             .map(|p| format!("; :param = {p}"))
             .unwrap_or_default();
         println!("  {:<18} {}{param}", spec.name, spec.summary);
+    }
+    println!();
+    println!("registered backends (for the library's SessionBuilder::backend):");
+    for spec in backend_specs() {
+        let params = if spec.params.is_empty() {
+            String::new()
+        } else {
+            format!(" (params: {})", spec.params)
+        };
+        println!("  {:<18} {}{params}", spec.name, spec.summary);
     }
 }
 

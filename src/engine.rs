@@ -22,6 +22,7 @@
 use access_model::MarkovChain;
 use cache_sim::{PrefetchCache, PrefetchCacheConfig, StepOutcome};
 use distsys::multiclient::{ClientWorkload, MultiClientResult, MultiClientSim};
+use distsys::scheduler::{Placement, ShardReport, ShardedSim, SimEvent};
 use distsys::{run_session, Catalog, SessionConfig, Trace};
 use montecarlo::parallel::par_monte_carlo;
 use montecarlo::probgen::ProbMethod;
@@ -49,10 +50,23 @@ pub enum Backend {
     #[default]
     SingleClient,
     /// Many clients contending for one shared server channel
-    /// (`distsys::multiclient`).
+    /// (`distsys::multiclient`) — the `shards = 1` special case of the
+    /// sharded scheduler.
     MultiClient {
         /// Number of concurrent clients.
         clients: usize,
+    },
+    /// The catalog partitioned across `shards` server shards, each with
+    /// its own FIFO retrieval queue and channel, serving `clients`
+    /// browsing clients (`distsys::scheduler`). `shards: 1` reproduces
+    /// [`Backend::MultiClient`] event for event.
+    Sharded {
+        /// Number of server shards.
+        shards: usize,
+        /// Number of concurrent clients.
+        clients: usize,
+        /// How catalog items are placed on shards.
+        placement: Placement,
     },
     /// Deterministic parallel Monte-Carlo over random scenarios
     /// (`montecarlo::parallel`).
@@ -71,9 +85,48 @@ impl Backend {
         match self {
             Backend::SingleClient => "single-client",
             Backend::MultiClient { .. } => "multi-client",
+            Backend::Sharded { .. } => "sharded",
             Backend::MonteCarlo { .. } => "monte-carlo",
         }
     }
+}
+
+/// One entry of the backend listing (`skp-plan --list`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Backend name (matches [`Backend::name`]).
+    pub name: &'static str,
+    /// Parameters the variant takes.
+    pub params: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every simulation backend the engine can drive, with its parameters —
+/// the [`Backend`] counterpart of the policy/predictor registries.
+pub fn backend_specs() -> &'static [BackendSpec] {
+    &[
+        BackendSpec {
+            name: "single-client",
+            params: "",
+            summary: "one client on a private FIFO channel (the paper's model; the default)",
+        },
+        BackendSpec {
+            name: "multi-client",
+            params: "clients",
+            summary: "population sharing one FIFO server channel (sharded with 1 shard)",
+        },
+        BackendSpec {
+            name: "sharded",
+            params: "shards, clients, placement (hash|range|hot-cold)",
+            summary: "catalog partitioned across N server shards, one FIFO channel each",
+        },
+        BackendSpec {
+            name: "monte-carlo",
+            params: "chunks, threads",
+            summary: "deterministic parallel Monte-Carlo over random scenarios",
+        },
+    ]
 }
 
 /// Closed-form evaluation of one prefetch decision (empty-cache view,
@@ -303,13 +356,30 @@ impl SessionBuilder {
                 ))
             }
         };
-        if let Backend::MultiClient { clients } = self.backend {
-            if clients == 0 {
+        match self.backend {
+            Backend::MultiClient { clients: 0 } => {
                 return Err(Error::InvalidParam {
                     what: "multi-client backend",
                     detail: "needs at least one client".into(),
                 });
             }
+            Backend::Sharded {
+                shards, clients, ..
+            } => {
+                if shards == 0 {
+                    return Err(Error::InvalidParam {
+                        what: "sharded backend",
+                        detail: "needs at least one shard".into(),
+                    });
+                }
+                if clients == 0 {
+                    return Err(Error::InvalidParam {
+                        what: "sharded backend",
+                        detail: "needs at least one client".into(),
+                    });
+                }
+            }
+            _ => {}
         }
         Ok(Engine {
             policy,
@@ -422,6 +492,15 @@ impl Engine {
             Backend::SingleClient | Backend::MonteCarlo { .. } => {
                 run_session(&catalog, &cfg).access_time
             }
+            // Per-shard FIFO channels transferring concurrently; a miss
+            // queues behind only the owning shard's prefetches.
+            Backend::Sharded {
+                shards, placement, ..
+            } => distsys::access_time_sharded(
+                &catalog,
+                &cfg,
+                &distsys::ShardMap::new(shards, s.n(), placement),
+            ),
             // Fair-share fluid channel.
             Backend::MultiClient { .. } => distsys::access_time_shared(&catalog, &cfg),
         }
@@ -664,6 +743,10 @@ impl Engine {
                 operation: "monte_carlo (use multi_client)",
                 backend: self.backend.name(),
             }),
+            Backend::Sharded { .. } => Err(Error::UnsupportedBackend {
+                operation: "monte_carlo (use sharded)",
+                backend: self.backend.name(),
+            }),
             Backend::SingleClient => Ok(sim(spec.seed, spec.iterations)),
             Backend::MonteCarlo { chunks, threads } => {
                 let chunks = chunks.max(1);
@@ -682,24 +765,11 @@ impl Engine {
         }
     }
 
-    /// Runs the shared-channel multi-client system: every client browses
-    /// the Markov `chain` and plans with this engine's policy. Requires
-    /// the [`Backend::MultiClient`] backend and a catalog.
-    pub fn multi_client(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-    ) -> Result<MultiClientResult, Error> {
-        let Backend::MultiClient { clients } = self.backend else {
-            return Err(Error::UnsupportedBackend {
-                operation: "multi_client",
-                backend: self.backend.name(),
-            });
-        };
+    /// The catalog, checked to cover the chain's state universe.
+    fn catalog_for(&self, chain: &MarkovChain, needed_for: &'static str) -> Result<&[f64], Error> {
         let retrievals = self.retrievals.as_ref().ok_or(Error::MissingComponent {
             component: "catalog",
-            needed_for: "multi_client",
+            needed_for,
         })?;
         if retrievals.len() < chain.n_states() {
             return Err(Error::InvalidParam {
@@ -711,18 +781,58 @@ impl Engine {
                 ),
             });
         }
-        struct MarkovWorkload<'a>(&'a MarkovChain);
-        impl ClientWorkload for MarkovWorkload<'_> {
-            fn viewing(&self, state: usize) -> f64 {
-                self.0.viewing(state)
-            }
-            fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
-                self.0.next_state(state, rng)
-            }
-            fn n_items(&self) -> usize {
-                self.0.n_states()
-            }
+        Ok(retrievals)
+    }
+
+    /// Per-round planning closure: forecast from the chain's row, plan
+    /// with this engine's policy.
+    fn markov_planner<'a>(
+        &'a self,
+        chain: &'a MarkovChain,
+        retrievals: &'a [f64],
+    ) -> impl FnMut(usize, usize) -> Vec<usize> + 'a {
+        move |_client: usize, state: usize| {
+            let scenario = Scenario::new(
+                chain.row_probs(state),
+                retrievals[..chain.n_states()].to_vec(),
+                chain.viewing(state),
+            )
+            .expect("markov rows are valid scenarios");
+            self.policy.plan(&scenario).into_items()
         }
+    }
+
+    /// Runs the shared-channel multi-client system: every client browses
+    /// the Markov `chain` and plans with this engine's policy. Requires
+    /// the [`Backend::MultiClient`] backend and a catalog.
+    pub fn multi_client(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+    ) -> Result<MultiClientResult, Error> {
+        Ok(self
+            .multi_client_traced(chain, requests_per_client, seed, false)?
+            .0)
+    }
+
+    /// Like [`multi_client`](Engine::multi_client), optionally recording
+    /// the mechanistic event log (`trace = true`) for event-for-event
+    /// comparison against the sharded backend.
+    pub fn multi_client_traced(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+        trace: bool,
+    ) -> Result<(MultiClientResult, Vec<SimEvent>), Error> {
+        let Backend::MultiClient { clients } = self.backend else {
+            return Err(Error::UnsupportedBackend {
+                operation: "multi_client",
+                backend: self.backend.name(),
+            });
+        };
+        let retrievals = self.catalog_for(chain, "multi_client")?;
         let workload = MarkovWorkload(chain);
         let sim = MultiClientSim {
             workload: &workload,
@@ -731,16 +841,86 @@ impl Engine {
             requests_per_client,
             seed,
         };
-        let mut policy = |_client: usize, state: usize| {
-            let scenario = Scenario::new(
-                chain.row_probs(state),
-                retrievals[..chain.n_states()].to_vec(),
-                chain.viewing(state),
-            )
-            .expect("markov rows are valid scenarios");
-            self.policy.plan(&scenario).into_items()
+        let mut policy = self.markov_planner(chain, retrievals);
+        if trace {
+            Ok(sim.run_traced(&mut policy))
+        } else {
+            Ok((sim.run(&mut policy), Vec::new()))
+        }
+    }
+
+    /// Runs the sharded distributed system: the catalog is partitioned
+    /// across server shards (per the backend's [`Placement`]), every
+    /// client browses the Markov `chain`, and plans come from this
+    /// engine's policy. Requires the [`Backend::Sharded`] backend and a
+    /// catalog.
+    ///
+    /// With `shards: 1` the report matches the
+    /// [`Backend::MultiClient`] system event for event.
+    pub fn sharded(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+    ) -> Result<ShardReport, Error> {
+        Ok(self
+            .sharded_traced(chain, requests_per_client, seed, false)?
+            .0)
+    }
+
+    /// Like [`sharded`](Engine::sharded), optionally recording the
+    /// mechanistic event log (`trace = true`).
+    pub fn sharded_traced(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+        trace: bool,
+    ) -> Result<(ShardReport, Vec<SimEvent>), Error> {
+        let Backend::Sharded {
+            shards,
+            clients,
+            placement,
+        } = self.backend
+        else {
+            return Err(Error::UnsupportedBackend {
+                operation: "sharded",
+                backend: self.backend.name(),
+            });
         };
-        Ok(sim.run(&mut policy))
+        let retrievals = self.catalog_for(chain, "sharded")?;
+        let workload = MarkovWorkload(chain);
+        let sim = ShardedSim {
+            workload: &workload,
+            retrievals,
+            clients,
+            shards,
+            placement,
+            requests_per_client,
+            seed,
+        };
+        let mut policy = self.markov_planner(chain, retrievals);
+        if trace {
+            Ok(sim.run_traced(&mut policy))
+        } else {
+            Ok((sim.run(&mut policy), Vec::new()))
+        }
+    }
+}
+
+/// [`ClientWorkload`] view of a Markov chain, shared by the
+/// multi-client and sharded backends.
+struct MarkovWorkload<'a>(&'a MarkovChain);
+
+impl ClientWorkload for MarkovWorkload<'_> {
+    fn viewing(&self, state: usize) -> f64 {
+        self.0.viewing(state)
+    }
+    fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
+        self.0.next_state(state, rng)
+    }
+    fn n_items(&self) -> usize {
+        self.0.n_states()
     }
 }
 
@@ -876,8 +1056,111 @@ mod tests {
             .build()
             .unwrap();
         let out = engine.multi_client(&chain, 20, 1).unwrap();
-        assert_eq!(out.requests, 60);
+        assert_eq!(out.requests(), 60);
         assert!(out.utilisation <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sharded_backend_runs_and_reports_per_shard() {
+        let chain = MarkovChain::random(12, 2, 4, 5, 20, 5).unwrap();
+        let engine = Engine::builder()
+            .backend(Backend::Sharded {
+                shards: 3,
+                clients: 4,
+                placement: Placement::Hash,
+            })
+            .catalog((0..12).map(|i| 2.0 + i as f64).collect())
+            .build()
+            .unwrap();
+        let report = engine.sharded(&chain, 20, 1).unwrap();
+        assert_eq!(report.requests(), 80);
+        assert_eq!(report.shards.len(), 3);
+        assert!(report.access.p99 >= report.access.p50);
+        // Running it on the wrong backend is a typed error.
+        let wrong = Engine::builder().build().unwrap();
+        assert!(matches!(
+            wrong.sharded(&chain, 5, 1),
+            Err(Error::UnsupportedBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_replay_uses_per_shard_channels() {
+        // Range placement over 4 items, 2 shards: {0, 1} | {2, 3}.
+        let s = Scenario::new(
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![10.0, 5.0, 10.0, 6.0],
+            1.0,
+        )
+        .unwrap();
+        let plan = PrefetchPlan::new(vec![0, 2]).unwrap();
+        let sharded = Engine::builder()
+            .backend(Backend::Sharded {
+                shards: 2,
+                clients: 1,
+                placement: Placement::Range,
+            })
+            .build()
+            .unwrap();
+        // The miss on item 1 (shard 0) queues behind item 0 only:
+        // served at max(1, 10) + 5 → T = 14, not the serial-FIFO 24.
+        assert!((sharded.replay(&s, &plan, 1) - 14.0).abs() < 1e-9);
+        let serial = Engine::builder().build().unwrap();
+        assert!((serial.replay(&s, &plan, 1) - 24.0).abs() < 1e-9);
+        // One shard collapses to the serial FIFO discipline.
+        let one = Engine::builder()
+            .backend(Backend::Sharded {
+                shards: 1,
+                clients: 1,
+                placement: Placement::Range,
+            })
+            .build()
+            .unwrap();
+        for request in 0..4 {
+            assert!(
+                (one.replay(&s, &plan, request) - serial.replay(&s, &plan, request)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_builder_validation() {
+        for (shards, clients) in [(0usize, 3usize), (2, 0)] {
+            let err = Engine::builder()
+                .backend(Backend::Sharded {
+                    shards,
+                    clients,
+                    placement: Placement::Hash,
+                })
+                .build()
+                .err()
+                .expect("must fail");
+            assert!(matches!(err, Error::InvalidParam { .. }));
+        }
+    }
+
+    #[test]
+    fn backend_specs_cover_every_variant() {
+        let specs = backend_specs();
+        for backend in [
+            Backend::SingleClient,
+            Backend::MultiClient { clients: 1 },
+            Backend::Sharded {
+                shards: 1,
+                clients: 1,
+                placement: Placement::Hash,
+            },
+            Backend::MonteCarlo {
+                chunks: 1,
+                threads: 1,
+            },
+        ] {
+            assert!(
+                specs.iter().any(|s| s.name == backend.name()),
+                "backend {} missing from specs",
+                backend.name()
+            );
+        }
     }
 
     #[test]

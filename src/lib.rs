@@ -16,7 +16,8 @@
 //! 3. a **client cache** with Figure-6 arbitration (`cache-sim`);
 //! 4. a **simulation backend** ([`Backend`]: the private-channel
 //!    single-client substrate, the shared-channel multi-client system,
-//!    or the deterministic parallel Monte-Carlo runner).
+//!    the sharded multi-server system, or the deterministic parallel
+//!    Monte-Carlo runner — all running on the one `distsys` scheduler).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,25 @@
 //! }
 //! let s = engine.scenario(0, 10.0)?; // forecast after item 0
 //! assert!(engine.plan(&s).contains(1)); // ... so prefetch item 1
+//! # Ok::<(), speculative_prefetch::Error>(())
+//! ```
+//!
+//! Scaling out: the same policy against a sharded server farm, the
+//! catalog partitioned across per-shard FIFO channels (`shards: 1` is
+//! the paper's single shared channel, event for event):
+//!
+//! ```
+//! use speculative_prefetch::{Backend, Engine, MarkovChain, Placement};
+//!
+//! let chain = MarkovChain::random(24, 2, 4, 5, 20, 7).expect("valid chain");
+//! let engine = Engine::builder()
+//!     .policy("skp-exact")
+//!     .catalog((0..24).map(|i| 1.0 + (i % 8) as f64).collect())
+//!     .backend(Backend::Sharded { shards: 4, clients: 8, placement: Placement::Hash })
+//!     .build()?;
+//! let report = engine.sharded(&chain, 50, 1999)?;
+//! assert_eq!(report.shards.len(), 4);          // per-shard queue/stall stats
+//! assert!(report.access.p99 >= report.access.p50); // common stats block
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 //!
@@ -100,7 +120,8 @@ pub use skp_core as core;
 
 // ---- the facade ------------------------------------------------------
 pub use engine::{
-    Backend, Engine, MonteCarloSpec, PlanReport, SessionBuilder, SimReport, TraceReport,
+    backend_specs, Backend, BackendSpec, Engine, MonteCarloSpec, PlanReport, SessionBuilder,
+    SimReport, TraceReport,
 };
 pub use error::Error;
 pub use predictor::{build_predictor, predictor_names, predictor_specs, Predictor, PredictorSpec};
@@ -108,17 +129,17 @@ pub use registry::{build_policy, policy_names, policy_specs, PolicySpec};
 pub use scenario_file::{parse as parse_scenario_file, ParseError, ScenarioFile};
 
 // ---- model layer (skp-core) ------------------------------------------
-pub use skp_core::arbitration::{PlanSolver, SubArbitration};
+pub use skp_core::arbitration::{arbitrate, CacheEntry, PlanSolver, SubArbitration};
 pub use skp_core::ext::{NetworkAwarePolicy, StretchPenalisedPolicy, TwoStepPolicy};
 pub use skp_core::gain::{
     access_time_cached, access_time_empty, expected_access_time_cached, expected_access_time_empty,
     expected_no_prefetch_cached, gain_empty_cache, gain_with_cache, stretch_time,
 };
-pub use skp_core::kp::{solve_kp, KpSolution};
+pub use skp_core::kp::{greedy_by_density, solve_kp, solve_kp_dp, KpSolution};
 pub use skp_core::policy::{PolicyKind, Prefetcher};
 pub use skp_core::skp::{
-    global_applicable, solve_exact, solve_global, solve_optimal, solve_paper, upper_bound,
-    SkpSolution,
+    global_applicable, linear_relaxation, solve_exact, solve_global, solve_optimal, solve_paper,
+    solve_paper_candidates, upper_bound, SkpSolution,
 };
 pub use skp_core::{ItemId, ModelError, PrefetchPlan, Scenario};
 
@@ -136,7 +157,12 @@ pub use cache_sim::{
 
 // ---- distributed system substrate (distsys) --------------------------
 pub use distsys::multiclient::{ClientPolicy, ClientWorkload, MultiClientResult, MultiClientSim};
+pub use distsys::scheduler::{
+    access_time_sharded, EventKind, Placement, Scheduler, ShardMap, ShardReport, ShardStats,
+    ShardedSim, SimEvent,
+};
 pub use distsys::shared::{access_time_fifo, access_time_shared};
+pub use distsys::stats::{AccessStats, Histogram};
 pub use distsys::{run_session, Catalog, EventQueue, Link, RetrievalModel, SessionConfig, Trace};
 
 // ---- experiment harness (montecarlo) ---------------------------------

@@ -83,3 +83,19 @@ fn unknown_solver_rejected() {
     assert!(!ok);
     assert!(stderr.contains("unknown solver"));
 }
+
+#[test]
+fn list_enumerates_policies_predictors_and_backends() {
+    let (stdout, _, ok) = run_cli(&["--list"]);
+    assert!(ok);
+    assert!(stdout.contains("registered policies"));
+    assert!(stdout.contains("registered predictors"));
+    assert!(stdout.contains("registered backends"), "{stdout}");
+    for backend in ["single-client", "multi-client", "sharded", "monte-carlo"] {
+        assert!(
+            stdout.contains(backend),
+            "missing backend {backend}:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("hash|range|hot-cold"));
+}

@@ -1,0 +1,137 @@
+//! Acceptance tests for the sharded backend: the `shards = 1` system
+//! reproduces the legacy shared-channel backend **event for event**, and
+//! sharding monotonically relieves contention on a uniform workload.
+
+use speculative_prefetch::{Backend, Engine, EventKind, MarkovChain, Placement};
+
+const N: usize = 32;
+
+fn catalog() -> Vec<f64> {
+    (0..N).map(|i| 1.0 + (i % 13) as f64).collect()
+}
+
+fn engine(backend: Backend, policy: &str) -> Engine {
+    Engine::builder()
+        .policy(policy)
+        .backend(backend)
+        .catalog(catalog())
+        .build()
+        .expect("valid session")
+}
+
+/// `Backend::Sharded { shards: 1 }` and the legacy `Backend::MultiClient`
+/// run the identical event sequence on a seeded trace: same events, same
+/// order, same simulated times — for every placement strategy and for a
+/// planning (not just no-prefetch) policy.
+#[test]
+fn one_shard_reproduces_multi_client_event_for_event() {
+    let chain = MarkovChain::random(N, 3, 6, 4, 12, 21).expect("valid chain");
+    for policy in ["skp-exact", "no-prefetch"] {
+        let legacy = engine(Backend::MultiClient { clients: 5 }, policy);
+        let (legacy_result, legacy_log) = legacy
+            .multi_client_traced(&chain, 30, 1999, true)
+            .expect("legacy backend runs");
+        assert!(!legacy_log.is_empty());
+
+        for placement in [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items: 8 },
+        ] {
+            let sharded = engine(
+                Backend::Sharded {
+                    shards: 1,
+                    clients: 5,
+                    placement,
+                },
+                policy,
+            );
+            let (report, log) = sharded
+                .sharded_traced(&chain, 30, 1999, true)
+                .expect("sharded backend runs");
+            // Exact event order, timestamps included.
+            assert_eq!(legacy_log, log, "{policy}/{placement:?} diverged");
+            // And the aggregate reports carry the same common stats.
+            assert_eq!(legacy_result.access, report.access);
+            assert_eq!(legacy_result.wasted_transfer, report.wasted_transfer);
+            assert_eq!(legacy_result.total_transfer, report.total_transfer);
+            assert_eq!(legacy_result.utilisation, report.utilisation);
+        }
+    }
+}
+
+/// On a uniform workload, growing the shard count never raises the mean
+/// stall time: each extra shard adds service capacity for a disjoint
+/// part of the catalog.
+#[test]
+fn mean_stall_time_non_increasing_in_shards() {
+    // Near-uniform workload: full fan-out, short viewing times, so the
+    // single channel is heavily contended and capacity dominates.
+    let chain = MarkovChain::random(N, N - 1, N - 1, 2, 6, 9).expect("valid chain");
+    let mut last = f64::INFINITY;
+    for shards in [1usize, 2, 4, 8] {
+        let report = engine(
+            Backend::Sharded {
+                shards,
+                clients: 12,
+                placement: Placement::Hash,
+            },
+            "skp-exact",
+        )
+        .sharded(&chain, 150, 1999)
+        .expect("runs");
+        assert!(
+            report.access.mean <= last + 1e-9,
+            "{shards} shards: mean {} rose above {}",
+            report.access.mean,
+            last
+        );
+        assert!(report.access.p99 >= report.access.p50);
+        last = report.access.mean;
+    }
+}
+
+/// The single-channel and sharded reports are comparable through the
+/// common stats block, and the event log is internally consistent.
+#[test]
+fn reports_share_the_common_stats_block() {
+    let chain = MarkovChain::random(N, 3, 6, 4, 12, 3).expect("valid chain");
+    let mc = engine(Backend::MultiClient { clients: 4 }, "skp-exact")
+        .multi_client(&chain, 25, 7)
+        .expect("runs");
+    let sh = engine(
+        Backend::Sharded {
+            shards: 4,
+            clients: 4,
+            placement: Placement::Range,
+        },
+        "skp-exact",
+    )
+    .sharded(&chain, 25, 7)
+    .expect("runs");
+    // Same fields, same meaning: requests and orderings hold on both.
+    assert_eq!(mc.access.count, sh.access.count);
+    for stats in [&mc.access, &sh.access] {
+        assert!(stats.min <= stats.p50 && stats.p50 <= stats.p99 && stats.p99 <= stats.max);
+        assert!(stats.mean >= stats.min && stats.mean <= stats.max);
+    }
+    // Contention splits: the sharded run cannot be slower on average.
+    assert!(sh.access.mean <= mc.access.mean + 1e-9);
+
+    // Event-log consistency: requests alternate with services per client.
+    let (report, log) = engine(
+        Backend::Sharded {
+            shards: 2,
+            clients: 3,
+            placement: Placement::Hash,
+        },
+        "skp-exact",
+    )
+    .sharded_traced(&chain, 10, 7, true)
+    .expect("runs");
+    let served = log.iter().filter(|e| e.kind == EventKind::Served).count();
+    assert_eq!(served as u64, report.requests());
+    for e in &log {
+        assert!(e.shard < 2 && e.item < N && e.client < 3);
+    }
+}
