@@ -3,7 +3,7 @@
 //! each cell one facade `SessionBuilder` line.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use speculative_prefetch::{Backend, Engine, MarkovChain};
+use speculative_prefetch::{Backend, Engine, MarkovChain, Workload};
 use std::hint::black_box;
 
 const REQUESTS: u64 = 300;
@@ -12,20 +12,21 @@ const N: usize = 50;
 fn bench_population_scaling(c: &mut Criterion) {
     let chain = MarkovChain::random(N, 4, 8, 3, 8, 3).expect("valid chain");
     let retrievals: Vec<f64> = (0..N).map(|i| 1.0 + (i % 30) as f64).collect();
+    let workload = Workload::multi_client(chain, REQUESTS, 3);
 
     let mut g = c.benchmark_group("multiclient");
     g.sample_size(10);
     for clients in [1usize, 4, 16] {
         g.throughput(Throughput::Elements(REQUESTS * clients as u64));
         for spec in ["no-prefetch", "skp-exact"] {
-            let engine = Engine::builder()
+            let mut engine = Engine::builder()
                 .policy(spec)
                 .backend(Backend::MultiClient { clients })
                 .catalog(retrievals.clone())
                 .build()
                 .expect("valid session");
             g.bench_function(BenchmarkId::new(spec, clients), |b| {
-                b.iter(|| black_box(engine.multi_client(&chain, REQUESTS, 3).expect("runs")))
+                b.iter(|| black_box(engine.run(&workload).expect("runs")))
             });
         }
     }

@@ -3,7 +3,7 @@
 //! shard map — all through the facade's `Backend::Sharded`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use speculative_prefetch::{Backend, Engine, MarkovChain, Placement};
+use speculative_prefetch::{Backend, Engine, MarkovChain, Placement, Workload};
 use std::hint::black_box;
 
 const REQUESTS: u64 = 300;
@@ -18,11 +18,12 @@ fn workload() -> (MarkovChain, Vec<f64>) {
 
 fn bench_shard_scaling(c: &mut Criterion) {
     let (chain, retrievals) = workload();
+    let run = Workload::sharded(chain, REQUESTS, 3);
     let mut g = c.benchmark_group("sharded");
     g.sample_size(10);
     g.throughput(Throughput::Elements(REQUESTS * CLIENTS as u64));
     for shards in [1usize, 4, 16] {
-        let engine = Engine::builder()
+        let mut engine = Engine::builder()
             .policy("skp-exact")
             .backend(Backend::Sharded {
                 shards,
@@ -33,7 +34,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
             .build()
             .expect("valid session");
         g.bench_function(BenchmarkId::new("shards", shards), |b| {
-            b.iter(|| black_box(engine.sharded(&chain, REQUESTS, 3).expect("runs")))
+            b.iter(|| black_box(engine.run(&run).expect("runs")))
         });
     }
     g.finish();
@@ -41,6 +42,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
 
 fn bench_placement_strategies(c: &mut Criterion) {
     let (chain, retrievals) = workload();
+    let run = Workload::sharded(chain, REQUESTS, 3);
     let mut g = c.benchmark_group("sharded_placement");
     g.sample_size(10);
     g.throughput(Throughput::Elements(REQUESTS * CLIENTS as u64));
@@ -49,7 +51,7 @@ fn bench_placement_strategies(c: &mut Criterion) {
         ("range", Placement::Range),
         ("hot-cold", Placement::HotCold { hot_items: N / 8 }),
     ] {
-        let engine = Engine::builder()
+        let mut engine = Engine::builder()
             .policy("skp-exact")
             .backend(Backend::Sharded {
                 shards: 8,
@@ -60,7 +62,7 @@ fn bench_placement_strategies(c: &mut Criterion) {
             .build()
             .expect("valid session");
         g.bench_function(BenchmarkId::new("placement", label), |b| {
-            b.iter(|| black_box(engine.sharded(&chain, REQUESTS, 3).expect("runs")))
+            b.iter(|| black_box(engine.run(&run).expect("runs")))
         });
     }
     g.finish();

@@ -26,6 +26,7 @@ use crate::stats::{AccessStats, Histogram};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::fmt;
 
 // ---------------------------------------------------------------------
 // The scheduler: a run loop over the generalized event queue.
@@ -125,6 +126,36 @@ pub enum Placement {
         /// Number of leading item ids pinned to the hot shard.
         hot_items: usize,
     },
+}
+
+impl Placement {
+    /// Parses the canonical placement syntax: `hash`, `range`, or
+    /// `hot-cold@<hot_items>` (e.g. `hot-cold@8`). The inverse of the
+    /// [`Display`](fmt::Display) rendering.
+    pub fn parse(text: &str) -> Option<Placement> {
+        match text.trim() {
+            "hash" => Some(Placement::Hash),
+            "range" => Some(Placement::Range),
+            other => {
+                let hot = other.strip_prefix("hot-cold@")?;
+                Some(Placement::HotCold {
+                    hot_items: hot.parse().ok()?,
+                })
+            }
+        }
+    }
+}
+
+/// Canonical spec syntax: `hash`, `range`, `hot-cold@<hot_items>` —
+/// round-trips through [`Placement::parse`].
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Hash => f.write_str("hash"),
+            Placement::Range => f.write_str("range"),
+            Placement::HotCold { hot_items } => write!(f, "hot-cold@{hot_items}"),
+        }
+    }
 }
 
 /// SplitMix64 finaliser: a cheap, well-mixed item-id hash.
@@ -854,6 +885,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn placement_spec_syntax_roundtrips() {
+        for placement in [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items: 12 },
+        ] {
+            let text = placement.to_string();
+            assert_eq!(Placement::parse(&text), Some(placement), "{text}");
+        }
+        assert_eq!(Placement::parse(" range "), Some(Placement::Range));
+        assert_eq!(Placement::parse("hot-cold@x"), None);
+        assert_eq!(Placement::parse("hotcold"), None);
+        assert_eq!(Placement::parse(""), None);
     }
 
     #[test]

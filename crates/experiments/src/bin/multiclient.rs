@@ -17,7 +17,7 @@
 use experiments::{print_table, Args};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::{write_csv, Backend, Engine, MarkovChain};
+use speculative_prefetch::{write_csv, Backend, Engine, MarkovChain, Workload};
 
 const N: usize = 40;
 
@@ -43,19 +43,21 @@ fn main() {
         ("SKP μ=1.0", "network-aware:1.0"),
     ];
 
+    // One workload value for the whole grid; each cell is one
+    // `SessionBuilder` line plus `Engine::run`.
+    let workload = Workload::multi_client(chain, requests, seed);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for clients in [1usize, 2, 4, 8, 16] {
         for (pi, (name, spec)) in policies.iter().enumerate() {
-            let engine = Engine::builder()
+            let mut engine = Engine::builder()
                 .policy(spec)
                 .backend(Backend::MultiClient { clients })
                 .catalog(retrievals.clone())
                 .build()
                 .expect("valid session");
-            let r = engine
-                .multi_client(&chain, requests, seed)
-                .expect("backend configured");
+            let run = engine.run(&workload).expect("backend configured");
+            let r = run.multi_client().expect("multi-client section");
             let waste_share = if r.total_transfer > 0.0 {
                 r.wasted_transfer / r.total_transfer
             } else {

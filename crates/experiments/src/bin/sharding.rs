@@ -17,17 +17,18 @@
 use experiments::{print_table, Args};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::{write_csv, Backend, Engine, MarkovChain, Placement};
+use speculative_prefetch::{write_csv, Backend, Engine, MarkovChain, Placement, Workload};
 
 const N: usize = 48;
 
 fn placement_from(name: &str) -> Placement {
-    match name {
-        "hash" => Placement::Hash,
-        "range" => Placement::Range,
-        "hot-cold" => Placement::HotCold { hot_items: N / 8 },
-        other => panic!("--placement expects hash|range|hot-cold, got {other}"),
+    // The canonical spec syntax (`hash`, `range`, `hot-cold@K`), with a
+    // bare `hot-cold` defaulting to an N/8 hot set.
+    if name == "hot-cold" {
+        return Placement::HotCold { hot_items: N / 8 };
     }
+    Placement::parse(name)
+        .unwrap_or_else(|| panic!("--placement expects hash|range|hot-cold[@K], got {name}"))
 }
 
 fn main() {
@@ -54,12 +55,15 @@ fn main() {
     println!("== Sharded contention sweep: clients x shards, policy '{policy}' ==");
     println!("   {N} items, v in [2,8], r in [1,30], {requests} requests/client, {placement:?} placement\n");
 
+    // One workload value for the whole grid; each cell is one
+    // `SessionBuilder` line plus `Engine::run`.
+    let workload = Workload::sharded(chain, requests, seed);
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for &clients in client_axis {
         let mut last_mean = f64::INFINITY;
         for &shards in shard_axis {
-            let engine = Engine::builder()
+            let mut engine = Engine::builder()
                 .policy(&policy)
                 .backend(Backend::Sharded {
                     shards,
@@ -69,9 +73,8 @@ fn main() {
                 .catalog(retrievals.clone())
                 .build()
                 .expect("valid session");
-            let r = engine
-                .sharded(&chain, requests, seed)
-                .expect("backend configured");
+            let run = engine.run(&workload).expect("backend configured");
+            let r = run.sharded().expect("sharded section");
             let waste_share = if r.total_transfer > 0.0 {
                 r.wasted_transfer / r.total_transfer
             } else {

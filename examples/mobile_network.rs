@@ -15,7 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use speculative_prefetch::{
     access_time_empty, stretch_time, Catalog, Engine, Error, Link, MarkovChain, RetrievalModel,
-    Scenario,
+    Scenario, Workload,
 };
 
 const ITEMS: usize = 40;
@@ -87,5 +87,25 @@ fn main() -> Result<(), Error> {
     println!("λ = 0 is plain SKP: it wins each round on paper but donates its");
     println!("stretch to the next window; a positive λ internalises that cost,");
     println!("which is exactly the deeper-lookahead direction of Section 6.");
+
+    // One representative round at λ*, as a unified run: the plan section
+    // gives the closed forms, the common stats block the per-request
+    // spread on this link.
+    let mut tuned = Engine::builder()
+        .policy(&format!("stretch-penalised:{}", best.1))
+        .build()?;
+    let s = Scenario::new(chain.row_probs(0), retrievals.clone(), chain.viewing(0))?;
+    let run = tuned.run(&Workload::plan(s))?;
+    let plan = run.plan().expect("plan section");
+    println!(
+        "\nRepresentative round at λ*: plan {:?}, gain {:.2}, stretch {:.2};",
+        plan.plan.items(),
+        plan.gain,
+        plan.stretch
+    );
+    println!(
+        "access times across possible requests: p50 {:.2}, worst {:.2}.",
+        run.access.p50, run.access.max
+    );
     Ok(())
 }

@@ -12,7 +12,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::{access_time_empty, build_policy, Engine, Error};
+use speculative_prefetch::{access_time_empty, build_policy, Engine, Error, Trace, Workload};
 
 // Item layout: 0 = front page; 1..=4 section pages; 5..=24 articles
 // (five per section).
@@ -60,7 +60,7 @@ fn main() -> Result<(), Error> {
     // the registry and compared on identical forecasts.
     let mut engine = Engine::builder()
         .predictor("ngram:2")
-        .catalog(retrievals)
+        .catalog(retrievals.clone())
         .build()?;
     let policies = [
         build_policy("no-prefetch")?,
@@ -76,12 +76,17 @@ fn main() -> Result<(), Error> {
         }
     }
 
-    // Evaluate fresh mornings under the three policies.
+    // Evaluate fresh mornings under the three policies, recording the
+    // click stream so the same mornings replay as a workload below.
     let mut totals = [0.0_f64; 3];
     let mut waste = [0.0_f64; 3];
+    let mut recorded = Trace::new();
     let eval_sessions = 200;
     for _ in 0..eval_sessions {
         let path = session(&mut rng, &favourites);
+        for &item in &path {
+            recorded.push(item, viewing);
+        }
         for w in path.windows(2) {
             let (here, next) = (w[0], w[1]);
             engine.observe(here);
@@ -121,6 +126,27 @@ fn main() -> Result<(), Error> {
     println!("\nSKP cuts the reader's waiting time using the learned habits;");
     println!("the network-aware variant (μ = 0.4) keeps most of the speed-up");
     println!("while transferring far fewer unread articles on a metered link.");
+
+    // The same mornings as one reproducible workload value: replay the
+    // recorded click stream through Engine::run on a fresh cached client.
+    let mut cached = Engine::builder()
+        .policy("skp-exact")
+        .predictor("ngram:2")
+        .catalog(retrievals)
+        .cache(6)
+        .build()?;
+    let replay = cached.run(&Workload::trace(recorded))?;
+    let trace_report = replay.trace().expect("trace section");
+    println!(
+        "\nReplaying the {} recorded clicks through Engine::run with a 6-slot",
+        trace_report.requests
+    );
+    println!(
+        "cache: mean T {:.2}, p99 {:.2}, {:.0}% served instantly.",
+        trace_report.mean_access_time,
+        replay.access.p99,
+        trace_report.hit_rate * 100.0
+    );
 
     assert!(totals[1] < totals[0], "SKP should beat no prefetch");
     assert!(

@@ -3,13 +3,14 @@
 //!
 //! A client shows the user a page for `v = 10` time units. Five follow-up
 //! items could be requested next, with known probabilities and retrieval
-//! times. We ask every registered solver what to prefetch, check the
-//! Theorem-2 bound, and let the engine verify its closed forms against an
-//! event-by-event replay of the discrete-event substrate.
+//! times. We run the same `Workload::plan` under every registered solver
+//! through `Engine::run`, check the Theorem-2 bound, and let the engine
+//! verify its closed forms against an event-by-event replay of the
+//! discrete-event substrate.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use speculative_prefetch::{Engine, Error, Scenario};
+use speculative_prefetch::{Engine, Error, Scenario, Workload};
 
 fn main() -> Result<(), Error> {
     // Next-access probabilities and retrieval times for five items.
@@ -31,20 +32,23 @@ fn main() -> Result<(), Error> {
         s.expected_no_prefetch()
     );
 
-    println!("\nSolver comparison (policies resolved from the registry):");
+    println!("\nSolver comparison (one Workload::plan run per registry policy):");
+    let workload = Workload::plan(s.clone());
     for (label, spec) in [
         ("KP (never stretches)  ", "kp"),
         ("SKP Figure-3 verbatim ", "skp-paper"),
         ("SKP corrected         ", "skp-exact"),
         ("SKP exhaustive oracle ", "skp-optimal"),
     ] {
-        let engine = Engine::builder().policy(spec).build()?;
-        let report = engine.report(&s);
+        let mut engine = Engine::builder().policy(spec).build()?;
+        let run = engine.run(&workload)?;
+        let report = run.plan().expect("plan section");
         println!(
-            "  {label} plan {:?}  gain {:.3}  stretch {:.1}",
+            "  {label} plan {:?}  gain {:.3}  stretch {:.1}  (mean T {:.3})",
             report.plan.items(),
             report.gain,
             report.stretch,
+            run.access.mean,
         );
         assert!(report.gain <= report.upper_bound + 1e-9);
     }

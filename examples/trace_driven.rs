@@ -1,13 +1,14 @@
 //! Trace-driven policy comparison — the offline workflow a production
 //! user would run: record an access trace, persist it, then replay the
 //! *same sequence* under different prefetch-cache policies with an
-//! online-learned access model, all through `Engine::run_trace`.
+//! online-learned access model, all through one `Workload::trace` value
+//! handed to `Engine::run`.
 //!
 //! Run with: `cargo run --release --example trace_driven`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use speculative_prefetch::{Catalog, Engine, Error, MarkovChain, RetrievalModel, Trace};
+use speculative_prefetch::{Catalog, Engine, Error, MarkovChain, RetrievalModel, Trace, Workload};
 
 const ITEMS: usize = 40;
 const REQUESTS: usize = 8_000;
@@ -44,7 +45,8 @@ fn main() -> Result<(), Error> {
         ("SKP + Pr/DS cache", "skp-exact"),
     ];
     println!("Replay with an online order-2 n-gram model, cache of 8 slots:\n");
-    println!("  policy                   mean T    hits    wasted/req");
+    println!("  policy                   mean T     p99 T    hits    wasted/req");
+    let workload = Workload::trace(loaded);
     for (name, spec) in policies {
         let mut engine = Engine::builder()
             .policy(spec)
@@ -52,10 +54,12 @@ fn main() -> Result<(), Error> {
             .catalog(catalog.retrieval_vector())
             .cache(8)
             .build()?;
-        let report = engine.run_trace(&loaded)?;
+        let run = engine.run(&workload)?;
+        let report = run.trace().expect("trace section");
         println!(
-            "  {name:<24} {:>6.2}   {:>5.1}%   {:>7.2}",
+            "  {name:<24} {:>6.2}   {:>6.2}   {:>5.1}%   {:>7.2}",
             report.mean_access_time,
+            run.access.p99,
             report.hit_rate * 100.0,
             report.wasted_per_request
         );

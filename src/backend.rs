@@ -1,0 +1,716 @@
+//! Simulation backends as registry entries.
+//!
+//! The substrate a workload runs on — private FIFO channel, shared
+//! channel, sharded server farm, parallel Monte-Carlo runner — is a
+//! [`BackendDriver`] implementation behind a string-keyed registry,
+//! mirroring the [policy](crate::registry) and
+//! [predictor](crate::predictor) registries. Adding a backend (an async
+//! event-loop driver, a load-aware placement farm) is one
+//! [`register_backend`] call; the [`Engine`](crate::Engine) dispatches
+//! through the trait and never matches on a backend type.
+//!
+//! Spec-string grammar (see [`build_backend`]):
+//!
+//! ```text
+//! single-client
+//! multi-client:<clients>
+//! sharded:<shards>x<clients>[:<hash|range|hot-cold@K>]
+//! monte-carlo:<chunks>[x<threads>]
+//! ```
+
+use std::sync::{Arc, LazyLock, RwLock};
+
+use access_model::MarkovChain;
+use distsys::multiclient::{ClientPolicy, ClientWorkload, MultiClientSim};
+use distsys::scheduler::{Placement, ShardedSim, SimEvent};
+use distsys::stats::AccessStats;
+use distsys::{run_session, Catalog, SessionConfig, ShardMap};
+use montecarlo::parallel::default_threads;
+use rand::rngs::SmallRng;
+
+use crate::error::Error;
+use crate::report::ReportSection;
+
+/// Which mechanistic substrate the engine drives — the typed spec of the
+/// four built-in backends, kept as a convenience alongside the
+/// string-keyed registry ([`build_backend`] resolves arbitrary entries,
+/// including ones registered at runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Backend {
+    /// One client on a private FIFO channel (`distsys`): replays agree
+    /// exactly with the paper's closed forms.
+    #[default]
+    SingleClient,
+    /// Many clients contending for one shared server channel
+    /// (`distsys::multiclient`) — the `shards = 1` special case of the
+    /// sharded scheduler.
+    MultiClient {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+    /// The catalog partitioned across `shards` server shards, each with
+    /// its own FIFO retrieval queue and channel, serving `clients`
+    /// browsing clients (`distsys::scheduler`). `shards: 1` reproduces
+    /// [`Backend::MultiClient`] event for event.
+    Sharded {
+        /// Number of server shards.
+        shards: usize,
+        /// Number of concurrent clients.
+        clients: usize,
+        /// How catalog items are placed on shards.
+        placement: Placement,
+    },
+    /// Deterministic parallel Monte-Carlo over random scenarios
+    /// (`montecarlo::parallel`).
+    MonteCarlo {
+        /// Number of independently seeded chunks (fixes the result
+        /// regardless of thread count).
+        chunks: usize,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// Short backend name (matches the registry entry).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::SingleClient => "single-client",
+            Backend::MultiClient { .. } => "multi-client",
+            Backend::Sharded { .. } => "sharded",
+            Backend::MonteCarlo { .. } => "monte-carlo",
+        }
+    }
+
+    /// The driver implementing this backend — the only place the closed
+    /// enum meets the open trait.
+    pub fn driver(&self) -> Arc<dyn BackendDriver> {
+        match *self {
+            Backend::SingleClient => Arc::new(SingleClientDriver),
+            Backend::MultiClient { clients } => Arc::new(MultiClientDriver { clients }),
+            Backend::Sharded {
+                shards,
+                clients,
+                placement,
+            } => Arc::new(ShardedDriver {
+                shards,
+                clients,
+                placement,
+            }),
+            Backend::MonteCarlo { chunks, threads } => {
+                Arc::new(MonteCarloDriver { chunks, threads })
+            }
+        }
+    }
+}
+
+/// How a backend fans Monte-Carlo iterations out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McFanout {
+    /// One sequential pass seeded directly with the spec's root seed.
+    Sequential,
+    /// The deterministic parallel runner: `chunks` independently seeded
+    /// chunks on `threads` workers (result independent of `threads`).
+    Parallel {
+        /// Number of chunks (≥ 1).
+        chunks: usize,
+        /// Worker threads (≥ 1; already resolved from 0 = auto).
+        threads: usize,
+    },
+}
+
+/// A chain-driven population replay handed to
+/// [`BackendDriver::run_population`]: the engine supplies the workload
+/// definition, catalog and per-round planner; the driver supplies the
+/// substrate.
+pub struct PopulationRun<'a> {
+    /// The site every client browses.
+    pub chain: &'a MarkovChain,
+    /// Retrieval time per catalog item (covers the chain's states).
+    pub retrievals: &'a [f64],
+    /// Per-round planner: `(client, state) -> prefetch list`, backed by
+    /// the engine's policy.
+    pub planner: &'a mut dyn ClientPolicy,
+    /// Requests to serve per client.
+    pub requests_per_client: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Record the full mechanistic event log.
+    pub traced: bool,
+    /// Name of the workload shape, for error messages.
+    pub operation: &'static str,
+}
+
+/// One simulation substrate: everything the engine needs to replay a
+/// session, fan out Monte-Carlo iterations or drive a client population
+/// on this backend.
+///
+/// Implement this trait and [`register_backend`] the constructor to add
+/// a backend — the engine dispatches through the trait and needs no
+/// edits.
+pub trait BackendDriver: Send + Sync {
+    /// Registry name of the backend family (e.g. `"sharded"`).
+    fn name(&self) -> &'static str;
+
+    /// Canonical spec string reconstructing this driver through
+    /// [`build_backend`] (e.g. `"sharded:4x16:hash"`). Must be a fixed
+    /// point: building from it yields a driver with the same spec
+    /// string.
+    fn spec_string(&self) -> String;
+
+    /// Validates the configuration (called at
+    /// [`build`](crate::SessionBuilder::build) time).
+    fn validate(&self) -> Result<(), Error> {
+        Ok(())
+    }
+
+    /// Mechanistic access time of one session on this substrate's
+    /// channel model. The default is the paper's private FIFO channel.
+    fn session_access_time(&self, catalog: &Catalog, cfg: &SessionConfig<'_>) -> f64 {
+        run_session(catalog, cfg).access_time
+    }
+
+    /// Whether the paper's closed forms describe this substrate exactly
+    /// (gates [`verified_report`](crate::Engine::verified_report)).
+    fn closed_form_exact(&self) -> bool {
+        false
+    }
+
+    /// How Monte-Carlo iterations fan out here, or an
+    /// [`Error::UnsupportedBackend`] if this substrate cannot run them.
+    fn monte_carlo_fanout(&self) -> Result<McFanout, Error> {
+        Err(Error::UnsupportedBackend {
+            operation: "monte-carlo workload",
+            backend: self.name(),
+        })
+    }
+
+    /// Whether this substrate runs population workloads. Only consulted
+    /// to order configuration errors (a backend mismatch reports before
+    /// a missing catalog); [`run_population`](Self::run_population) is
+    /// the authority.
+    fn supports_population(&self) -> bool {
+        false
+    }
+
+    /// Runs a chain-driven population replay, returning the common
+    /// access-time statistics (every driver must supply them — they are
+    /// the comparable block of [`RunReport`](crate::RunReport)), the
+    /// substrate-specific report section and the event log (empty unless
+    /// `run.traced`). The default is [`Error::UnsupportedBackend`].
+    fn run_population(
+        &self,
+        run: PopulationRun<'_>,
+    ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        Err(Error::UnsupportedBackend {
+            operation: run.operation,
+            backend: self.name(),
+        })
+    }
+}
+
+/// [`ClientWorkload`] view of a Markov chain, shared by the population
+/// backends.
+struct MarkovWorkload<'a>(&'a MarkovChain);
+
+impl ClientWorkload for MarkovWorkload<'_> {
+    fn viewing(&self, state: usize) -> f64 {
+        self.0.viewing(state)
+    }
+    fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
+        self.0.next_state(state, rng)
+    }
+    fn n_items(&self) -> usize {
+        self.0.n_states()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in drivers.
+// ---------------------------------------------------------------------
+
+/// The paper's model: one client on a private FIFO channel.
+struct SingleClientDriver;
+
+impl BackendDriver for SingleClientDriver {
+    fn name(&self) -> &'static str {
+        "single-client"
+    }
+
+    fn spec_string(&self) -> String {
+        "single-client".to_string()
+    }
+
+    fn closed_form_exact(&self) -> bool {
+        true
+    }
+
+    fn monte_carlo_fanout(&self) -> Result<McFanout, Error> {
+        Ok(McFanout::Sequential)
+    }
+}
+
+/// A client population on one shared fair-share channel.
+struct MultiClientDriver {
+    clients: usize,
+}
+
+impl BackendDriver for MultiClientDriver {
+    fn name(&self) -> &'static str {
+        "multi-client"
+    }
+
+    fn spec_string(&self) -> String {
+        format!("multi-client:{}", self.clients)
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if self.clients == 0 {
+            return Err(Error::InvalidParam {
+                what: "multi-client backend",
+                detail: "needs at least one client".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn session_access_time(&self, catalog: &Catalog, cfg: &SessionConfig<'_>) -> f64 {
+        distsys::access_time_shared(catalog, cfg)
+    }
+
+    fn supports_population(&self) -> bool {
+        true
+    }
+
+    fn run_population(
+        &self,
+        run: PopulationRun<'_>,
+    ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        let workload = MarkovWorkload(run.chain);
+        let sim = MultiClientSim {
+            workload: &workload,
+            retrievals: run.retrievals,
+            clients: self.clients,
+            requests_per_client: run.requests_per_client,
+            seed: run.seed,
+        };
+        let (report, log) = if run.traced {
+            sim.run_traced(run.planner)
+        } else {
+            (sim.run(run.planner), Vec::new())
+        };
+        Ok((report.access, ReportSection::MultiClient(report), log))
+    }
+}
+
+/// The catalog partitioned across per-shard FIFO channels.
+struct ShardedDriver {
+    shards: usize,
+    clients: usize,
+    placement: Placement,
+}
+
+impl BackendDriver for ShardedDriver {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn spec_string(&self) -> String {
+        format!(
+            "sharded:{}x{}:{}",
+            self.shards, self.clients, self.placement
+        )
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if self.shards == 0 {
+            return Err(Error::InvalidParam {
+                what: "sharded backend",
+                detail: "needs at least one shard".into(),
+            });
+        }
+        if self.clients == 0 {
+            return Err(Error::InvalidParam {
+                what: "sharded backend",
+                detail: "needs at least one client".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn session_access_time(&self, catalog: &Catalog, cfg: &SessionConfig<'_>) -> f64 {
+        use distsys::RetrievalModel;
+        distsys::access_time_sharded(
+            catalog,
+            cfg,
+            &ShardMap::new(self.shards, catalog.n_items(), self.placement),
+        )
+    }
+
+    fn supports_population(&self) -> bool {
+        true
+    }
+
+    fn run_population(
+        &self,
+        run: PopulationRun<'_>,
+    ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        let workload = MarkovWorkload(run.chain);
+        let sim = ShardedSim {
+            workload: &workload,
+            retrievals: run.retrievals,
+            clients: self.clients,
+            shards: self.shards,
+            placement: self.placement,
+            requests_per_client: run.requests_per_client,
+            seed: run.seed,
+        };
+        let (report, log) = if run.traced {
+            sim.run_traced(run.planner)
+        } else {
+            (sim.run(run.planner), Vec::new())
+        };
+        Ok((report.access, ReportSection::Sharded(report), log))
+    }
+}
+
+/// Deterministic parallel Monte-Carlo runner.
+struct MonteCarloDriver {
+    chunks: usize,
+    threads: usize,
+}
+
+impl BackendDriver for MonteCarloDriver {
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+
+    fn spec_string(&self) -> String {
+        format!("monte-carlo:{}x{}", self.chunks, self.threads)
+    }
+
+    fn monte_carlo_fanout(&self) -> Result<McFanout, Error> {
+        let chunks = self.chunks.max(1);
+        let threads = if self.threads == 0 {
+            default_threads(chunks)
+        } else {
+            self.threads
+        };
+        Ok(McFanout::Parallel { chunks, threads })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The registry.
+// ---------------------------------------------------------------------
+
+/// One entry of the backend listing (`skp-plan --list`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Backend family name (matches [`BackendDriver::name`]).
+    pub name: &'static str,
+    /// Spec-string parameter syntax after the name (empty if none).
+    pub params: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Constructor signature of a registered backend: parses the spec
+/// string's parameter part (the text after the first `:`, if any).
+pub type BackendBuilder = fn(Option<&str>) -> Result<Arc<dyn BackendDriver>, Error>;
+
+struct BackendEntry {
+    spec: BackendSpec,
+    build: BackendBuilder,
+}
+
+fn param_err(what: &'static str, raw: &str) -> Error {
+    Error::InvalidParam {
+        what,
+        detail: format!("cannot parse '{raw}' (see `skp-plan --list` for the syntax)"),
+    }
+}
+
+fn build_single_client(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    if let Some(raw) = param {
+        return Err(param_err("single-client backend spec", raw));
+    }
+    Ok(Arc::new(SingleClientDriver))
+}
+
+fn build_multi_client(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    let clients = match param {
+        None => 1,
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| param_err("multi-client backend spec", raw))?,
+    };
+    Ok(Arc::new(MultiClientDriver { clients }))
+}
+
+fn build_sharded(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    let (topology, placement) = match param {
+        None => ("1x1", Placement::default()),
+        Some(raw) => match raw.split_once(':') {
+            None => (raw, Placement::default()),
+            Some((topology, placement_text)) => (
+                topology,
+                Placement::parse(placement_text)
+                    .ok_or_else(|| param_err("sharded backend placement", placement_text))?,
+            ),
+        },
+    };
+    let (shards, clients) = topology
+        .trim()
+        .split_once('x')
+        .and_then(|(s, c)| Some((s.trim().parse().ok()?, c.trim().parse().ok()?)))
+        .ok_or_else(|| param_err("sharded backend spec", topology))?;
+    Ok(Arc::new(ShardedDriver {
+        shards,
+        clients,
+        placement,
+    }))
+}
+
+fn build_monte_carlo(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    let (chunks, threads) = match param {
+        None => (8, 0),
+        Some(raw) => match raw.split_once('x') {
+            None => (
+                raw.trim()
+                    .parse()
+                    .map_err(|_| param_err("monte-carlo backend spec", raw))?,
+                0,
+            ),
+            Some((c, t)) => c
+                .trim()
+                .parse()
+                .ok()
+                .and_then(|c| Some((c, t.trim().parse().ok()?)))
+                .ok_or_else(|| param_err("monte-carlo backend spec", raw))?,
+        },
+    };
+    Ok(Arc::new(MonteCarloDriver { chunks, threads }))
+}
+
+fn builtin_entries() -> Vec<BackendEntry> {
+    vec![
+        BackendEntry {
+            spec: BackendSpec {
+                name: "single-client",
+                params: "",
+                summary: "one client on a private FIFO channel (the paper's model; the default)",
+            },
+            build: build_single_client,
+        },
+        BackendEntry {
+            spec: BackendSpec {
+                name: "multi-client",
+                params: "clients",
+                summary: "population sharing one FIFO server channel (sharded with 1 shard)",
+            },
+            build: build_multi_client,
+        },
+        BackendEntry {
+            spec: BackendSpec {
+                name: "sharded",
+                params: "shards x clients : placement (hash|range|hot-cold@K)",
+                summary: "catalog partitioned across N server shards, one FIFO channel each",
+            },
+            build: build_sharded,
+        },
+        BackendEntry {
+            spec: BackendSpec {
+                name: "monte-carlo",
+                params: "chunks x threads (0 threads = auto)",
+                summary: "deterministic parallel Monte-Carlo over random scenarios",
+            },
+            build: build_monte_carlo,
+        },
+    ]
+}
+
+static REGISTRY: LazyLock<RwLock<Vec<BackendEntry>>> =
+    LazyLock::new(|| RwLock::new(builtin_entries()));
+
+/// Registers a backend family under `name`: `build_backend("name")` /
+/// `"name:<params>"` will call `build` with the parameter part, and the
+/// entry appears in [`backend_specs`] and `skp-plan --list`.
+///
+/// Errors with [`Error::InvalidParam`] if the name is already taken.
+pub fn register_backend(
+    name: &'static str,
+    params: &'static str,
+    summary: &'static str,
+    build: BackendBuilder,
+) -> Result<(), Error> {
+    let mut registry = REGISTRY.write().expect("backend registry poisoned");
+    if registry.iter().any(|e| e.spec.name == name) {
+        return Err(Error::InvalidParam {
+            what: "backend registration",
+            detail: format!("the name '{name}' is already registered"),
+        });
+    }
+    registry.push(BackendEntry {
+        spec: BackendSpec {
+            name,
+            params,
+            summary,
+        },
+        build,
+    });
+    Ok(())
+}
+
+/// Every registered backend, in registration order — derived from the
+/// registry, so `skp-plan --list` and the spec parser can never drift.
+pub fn backend_specs() -> Vec<BackendSpec> {
+    REGISTRY
+        .read()
+        .expect("backend registry poisoned")
+        .iter()
+        .map(|e| e.spec)
+        .collect()
+}
+
+/// Names of every registered backend, in registration order.
+pub fn backend_names() -> Vec<&'static str> {
+    backend_specs().iter().map(|s| s.name).collect()
+}
+
+/// Builds a backend driver from a spec string: a registry name with an
+/// optional `:params` suffix, e.g. `"single-client"`,
+/// `"multi-client:16"`, `"sharded:4x16:hash"`, `"monte-carlo:8x0"`.
+pub fn build_backend(spec: &str) -> Result<Arc<dyn BackendDriver>, Error> {
+    let (name, param) = match spec.split_once(':') {
+        None => (spec.trim(), None),
+        Some((name, rest)) => (name.trim(), Some(rest)),
+    };
+    let build = {
+        let registry = REGISTRY.read().expect("backend registry poisoned");
+        registry
+            .iter()
+            .find(|e| e.spec.name == name)
+            .map(|e| e.build)
+    };
+    match build {
+        Some(build) => build(param),
+        None => Err(Error::UnknownBackend {
+            name: name.to_string(),
+            known: backend_names(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_enum_drivers_match_registry_names() {
+        for backend in [
+            Backend::SingleClient,
+            Backend::MultiClient { clients: 3 },
+            Backend::Sharded {
+                shards: 2,
+                clients: 4,
+                placement: Placement::Range,
+            },
+            Backend::MonteCarlo {
+                chunks: 4,
+                threads: 2,
+            },
+        ] {
+            let driver = backend.driver();
+            assert_eq!(driver.name(), backend.name());
+            assert!(
+                backend_names().contains(&driver.name()),
+                "{} not registered",
+                driver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_strings_are_fixed_points() {
+        for spec in [
+            "single-client",
+            "multi-client:5",
+            "sharded:4x16:hot-cold@6",
+            "monte-carlo:8x2",
+        ] {
+            let driver = build_backend(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(driver.spec_string(), spec);
+            let again = build_backend(&driver.spec_string()).unwrap();
+            assert_eq!(again.spec_string(), driver.spec_string());
+        }
+    }
+
+    #[test]
+    fn default_params_fill_in() {
+        assert_eq!(
+            build_backend("multi-client").unwrap().spec_string(),
+            "multi-client:1"
+        );
+        assert_eq!(
+            build_backend("sharded").unwrap().spec_string(),
+            "sharded:1x1:hash"
+        );
+        assert_eq!(
+            build_backend("sharded:2x8").unwrap().spec_string(),
+            "sharded:2x8:hash"
+        );
+        assert_eq!(
+            build_backend("monte-carlo").unwrap().spec_string(),
+            "monte-carlo:8x0"
+        );
+        assert_eq!(
+            build_backend("monte-carlo:4").unwrap().spec_string(),
+            "monte-carlo:4x0"
+        );
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(matches!(
+            build_backend("warp-drive"),
+            Err(Error::UnknownBackend { .. })
+        ));
+        assert!(matches!(
+            build_backend("single-client:3"),
+            Err(Error::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            build_backend("multi-client:none"),
+            Err(Error::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            build_backend("sharded:4"),
+            Err(Error::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            build_backend("sharded:4x2:diagonal"),
+            Err(Error::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            build_backend("monte-carlo:8xfast"),
+            Err(Error::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_degenerate_topologies() {
+        assert!(build_backend("multi-client:0").unwrap().validate().is_err());
+        assert!(build_backend("sharded:0x3").unwrap().validate().is_err());
+        assert!(build_backend("sharded:3x0").unwrap().validate().is_err());
+        assert!(build_backend("sharded:3x3").unwrap().validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let err = register_backend("single-client", "", "dup", build_single_client)
+            .expect_err("must fail");
+        assert!(matches!(err, Error::InvalidParam { .. }));
+    }
+}

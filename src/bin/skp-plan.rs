@@ -1,29 +1,40 @@
-//! `skp-plan` — command-line prefetch planner over the facade API.
+//! `skp-plan` — command-line prefetch planner and workload runner over
+//! the facade API.
 //!
-//! Reads a scenario file (see `speculative_prefetch::scenario_file`) and
-//! prints what each policy would prefetch, with gains, the Eq. 7 bound
-//! and per-item access times. Policies are resolved through the
-//! registry, so every registered spec works, including parameterised
-//! ones (`network-aware:0.4`).
+//! Planning mode reads a scenario file (see
+//! `speculative_prefetch::scenario_file`) and prints what each policy
+//! would prefetch, with gains, the Eq. 7 bound and per-item access
+//! times. Run mode executes a full *workload file* (scenario, workload,
+//! backend and policy/predictor specs in one file) through
+//! `Engine::run` and prints the unified `RunReport`. Policies and
+//! backends are resolved through their registries, so every registered
+//! spec works, including parameterised ones (`network-aware:0.4`,
+//! `sharded:4x8:hash`).
 //!
 //! ```text
 //! skp-plan <scenario-file> [--solver <policy-spec>|all] [--format text|json]
+//! skp-plan run <workload-file> [--format text|json]
 //! skp-plan --list
 //! ```
 
 use speculative_prefetch::{
-    backend_specs, global_applicable, parse_scenario_file, policy_specs, predictor_specs, Engine,
-    Error, PlanReport, Scenario,
+    backend_specs, global_applicable, parse_scenario_file, parse_workload, policy_specs,
+    predictor_specs, Engine, Error, PlanReport, ReportSection, RunReport, Scenario, Workload,
+    WorkloadFile,
 };
 
 fn usage() -> ! {
     eprintln!("usage: skp-plan <scenario-file> [--solver <policy>|all] [--format text|json]");
+    eprintln!("       skp-plan run <workload-file> [--format text|json]");
     eprintln!("       skp-plan --list");
     eprintln!();
     eprintln!("scenario file format:");
     eprintln!("  v 10");
     eprintln!("  item 0.5 8 front-page");
     eprintln!("  item 0.3 6");
+    eprintln!();
+    eprintln!("workload files add e.g. 'workload sharded', 'backend sharded:4x8:hash',");
+    eprintln!("'policy skp-exact', 'chain 24 2 4 5 20 7' lines (see examples/workloads/)");
     eprintln!();
     eprintln!("policies are registry specs (see --list), e.g. 'exact' or 'network-aware:0.4'");
     std::process::exit(2);
@@ -53,7 +64,7 @@ fn print_registry() {
         println!("  {:<18} {}{param}", spec.name, spec.summary);
     }
     println!();
-    println!("registered backends (for the library's SessionBuilder::backend):");
+    println!("registered backends (workload files' 'backend' / SessionBuilder::backend_spec):");
     for spec in backend_specs() {
         let params = if spec.params.is_empty() {
             String::new()
@@ -70,29 +81,49 @@ fn main() {
         print_registry();
         return;
     }
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        usage();
-    };
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
             .map(String::as_str)
     };
-    let solver = flag("--solver").unwrap_or("all").to_string();
     let format = flag("--format").unwrap_or("text").to_string();
     if format != "text" && format != "json" {
         eprintln!("skp-plan: unknown format '{format}' (expected text or json)");
         std::process::exit(2);
     }
 
-    let text = match std::fs::read_to_string(path) {
+    if args.first().map(String::as_str) == Some("run") {
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            usage();
+        };
+        run_workload_file(path, &format);
+        return;
+    }
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let solver = flag("--solver").unwrap_or("all").to_string();
+    plan_scenario_file(path, &solver, &format);
+}
+
+fn read_file(path: &str) -> String {
+    match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("skp-plan: cannot read {path}: {e}");
             std::process::exit(1);
         }
-    };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planning mode: solver comparison on a scenario file.
+// ---------------------------------------------------------------------
+
+fn plan_scenario_file(path: &str, solver: &str, format: &str) {
+    let text = read_file(path);
     let parsed = match parse_scenario_file(&text) {
         Ok(p) => p,
         Err(e) => {
@@ -112,7 +143,7 @@ fn main() {
         }
         all.into_iter().map(String::from).collect()
     } else {
-        vec![solver.clone()]
+        vec![solver.to_string()]
     };
 
     // The global DP falls back to the exact branch-and-bound on
@@ -124,7 +155,7 @@ fn main() {
         } else if engine.policy_is_oracle() {
             Some(
                 "oracle plans per realised request; nothing to plan ahead of time \
-                 (drive it via the library's Engine::step / monte_carlo)"
+                 (drive it via the library's Engine::step / a monte-carlo workload)"
                     .to_string(),
             )
         } else {
@@ -135,9 +166,13 @@ fn main() {
     let mut reports: Vec<(String, PlanReport, Option<String>)> = Vec::new();
     for spec in &specs {
         match Engine::builder().policy(spec).build() {
-            Ok(engine) => {
+            Ok(mut engine) => {
                 let note = note_for(spec, &engine);
-                reports.push((spec.clone(), engine.report(&s), note));
+                let run = engine
+                    .run(&Workload::plan(s.clone()))
+                    .expect("plan workloads are infallible on the default backend");
+                let report = run.plan().expect("plan section").clone();
+                reports.push((spec.clone(), report, note));
             }
             Err(Error::UnknownPolicy { name, known }) => {
                 eprintln!(
@@ -153,13 +188,17 @@ fn main() {
         }
     }
 
-    match format.as_str() {
-        "json" => print_json(&s, &labels, &reports),
-        _ => print_text(&s, &labels, &reports),
+    match format {
+        "json" => print_plans_json(&s, &labels, &reports),
+        _ => print_plans_text(&s, &labels, &reports),
     }
 }
 
-fn print_text(s: &Scenario, labels: &[String], reports: &[(String, PlanReport, Option<String>)]) {
+fn print_plans_text(
+    s: &Scenario,
+    labels: &[String],
+    reports: &[(String, PlanReport, Option<String>)],
+) {
     println!("scenario: {} items, v = {}", s.n(), s.viewing());
     println!(
         "expected access time with no prefetch: {:.4}",
@@ -195,34 +234,11 @@ fn print_text(s: &Scenario, labels: &[String], reports: &[(String, PlanReport, O
     }
 }
 
-/// Minimal JSON encoder for the report structure (no external deps).
-fn print_json(s: &Scenario, labels: &[String], reports: &[(String, PlanReport, Option<String>)]) {
-    fn esc(raw: &str) -> String {
-        let mut out = String::with_capacity(raw.len() + 2);
-        for c in raw.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-    fn num(x: f64) -> String {
-        if x.is_finite() {
-            format!("{x}")
-        } else {
-            "null".to_string()
-        }
-    }
-    fn list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
-        let parts: Vec<String> = items.iter().map(f).collect();
-        format!("[{}]", parts.join(","))
-    }
-
+fn print_plans_json(
+    s: &Scenario,
+    labels: &[String],
+    reports: &[(String, PlanReport, Option<String>)],
+) {
     let bound = reports
         .first()
         .map(|(_, r, _)| r.upper_bound)
@@ -252,4 +268,225 @@ fn print_json(s: &Scenario, labels: &[String], reports: &[(String, PlanReport, O
         )
     });
     println!("{{\"scenario\":{scenario},\"plans\":{plans}}}");
+}
+
+// ---------------------------------------------------------------------
+// Run mode: execute a workload file through Engine::run.
+// ---------------------------------------------------------------------
+
+fn run_workload_file(path: &str, format: &str) {
+    let text = read_file(path);
+    let file = match parse_workload(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("skp-plan: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut engine = match file.build_engine() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("skp-plan: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workload = match file.workload() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("skp-plan: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match engine.run(&workload) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("skp-plan: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match format {
+        "json" => print_run_json(&file, &engine, &report),
+        _ => print_run_text(&file, &engine, &report),
+    }
+}
+
+fn print_run_text(file: &WorkloadFile, engine: &Engine, report: &RunReport) {
+    println!(
+        "workload {} on backend {} (policy: {})",
+        file.kind.name(),
+        engine.backend_spec_string(),
+        engine.policy_name()
+    );
+    let a = &report.access;
+    println!(
+        "access: count {}  mean {:.4}  p50 {:.4}  p99 {:.4}  min {:.4}  max {:.4}",
+        a.count, a.mean, a.p50, a.p99, a.min, a.max
+    );
+    match &report.section {
+        ReportSection::Plan(r) => {
+            let items: Vec<&str> = r
+                .plan
+                .items()
+                .iter()
+                .map(|&i| file.labels[i].as_str())
+                .collect();
+            println!("plan: prefetch {items:?}");
+            println!(
+                "  gain {:.4}  stretch {:.4}  expected T {:.4}  bound {:.4}",
+                r.gain, r.stretch, r.expected_access_time, r.upper_bound
+            );
+        }
+        ReportSection::Trace(r) => {
+            println!(
+                "trace: {} requests  hit rate {:.1}%  wasted/request {:.4}",
+                r.requests,
+                r.hit_rate * 100.0,
+                r.wasted_per_request
+            );
+        }
+        ReportSection::MonteCarlo(r) => {
+            println!(
+                "monte-carlo: {} iterations  mean T {:.4} ± {:.4}  mean gain {:.4}",
+                r.iterations,
+                r.access.mean(),
+                r.access.std_err(),
+                r.gain.mean()
+            );
+        }
+        ReportSection::MultiClient(r) => {
+            println!(
+                "multi-client: {} requests  utilisation {:.1}%  waste {:.4}/{:.4}  queue {:.2}",
+                r.requests(),
+                r.utilisation * 100.0,
+                r.wasted_transfer,
+                r.total_transfer,
+                r.mean_queue_len
+            );
+        }
+        ReportSection::Sharded(r) => {
+            println!(
+                "sharded: {} requests  mean utilisation {:.1}%  waste {:.4}/{:.4}",
+                r.requests(),
+                r.utilisation * 100.0,
+                r.wasted_transfer,
+                r.total_transfer
+            );
+            for shard in &r.shards {
+                println!(
+                    "  shard {}: jobs {}  busy {:.1}%  queue mean {:.2} max {}",
+                    shard.shard,
+                    shard.jobs,
+                    shard.utilisation * 100.0,
+                    shard.mean_queue_depth,
+                    shard.max_queue_depth
+                );
+            }
+        }
+    }
+    if !report.events.is_empty() {
+        println!("events: {} recorded (traced)", report.events.len());
+    }
+}
+
+fn print_run_json(file: &WorkloadFile, engine: &Engine, report: &RunReport) {
+    let a = &report.access;
+    let access = format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+        a.count,
+        num(a.mean),
+        num(a.p50),
+        num(a.p99),
+        num(a.min),
+        num(a.max)
+    );
+    let section = match &report.section {
+        ReportSection::Plan(r) => format!(
+            "{{\"items\":{},\"labels\":{},\"gain\":{},\"stretch\":{},\"expected_access_time\":{},\"upper_bound\":{},\"per_request\":{}}}",
+            list(r.plan.items(), |i| i.to_string()),
+            list(r.plan.items(), |&i| format!("\"{}\"", esc(&file.labels[i]))),
+            num(r.gain),
+            num(r.stretch),
+            num(r.expected_access_time),
+            num(r.upper_bound),
+            list(&r.per_request, |t| num(*t)),
+        ),
+        ReportSection::Trace(r) => format!(
+            "{{\"requests\":{},\"mean_access_time\":{},\"hit_rate\":{},\"wasted_per_request\":{}}}",
+            r.requests,
+            num(r.mean_access_time),
+            num(r.hit_rate),
+            num(r.wasted_per_request),
+        ),
+        ReportSection::MonteCarlo(r) => format!(
+            "{{\"iterations\":{},\"mean_access_time\":{},\"std_err\":{},\"mean_gain\":{}}}",
+            r.iterations,
+            num(r.access.mean()),
+            num(r.access.std_err()),
+            num(r.gain.mean()),
+        ),
+        ReportSection::MultiClient(r) => format!(
+            "{{\"requests\":{},\"utilisation\":{},\"wasted_transfer\":{},\"total_transfer\":{},\"mean_queue_len\":{}}}",
+            r.requests(),
+            num(r.utilisation),
+            num(r.wasted_transfer),
+            num(r.total_transfer),
+            num(r.mean_queue_len),
+        ),
+        ReportSection::Sharded(r) => format!(
+            "{{\"requests\":{},\"utilisation\":{},\"wasted_transfer\":{},\"total_transfer\":{},\"shards\":{}}}",
+            r.requests(),
+            num(r.utilisation),
+            num(r.wasted_transfer),
+            num(r.total_transfer),
+            list(&r.shards, |s| format!(
+                "{{\"shard\":{},\"jobs\":{},\"utilisation\":{},\"mean_queue_depth\":{},\"max_queue_depth\":{}}}",
+                s.shard,
+                s.jobs,
+                num(s.utilisation),
+                num(s.mean_queue_depth),
+                s.max_queue_depth
+            )),
+        ),
+    };
+    println!(
+        "{{\"workload\":\"{}\",\"backend\":\"{}\",\"policy\":\"{}\",\"access\":{access},\"section_kind\":\"{}\",\"section\":{section},\"events\":{}}}",
+        esc(file.kind.name()),
+        esc(&engine.backend_spec_string()),
+        esc(engine.policy_name()),
+        esc(report.section.name()),
+        report.events.len()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON encoding helpers (no external deps), shared by both
+// modes.
+// ---------------------------------------------------------------------
+
+fn esc(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+    let parts: Vec<String> = items.iter().map(f).collect();
+    format!("[{}]", parts.join(","))
 }

@@ -1,31 +1,36 @@
-//! The builder-style prefetch engine: one object composing the four
+//! The workload-first prefetch engine: one object composing the four
 //! seams of the workspace —
 //!
 //! 1. an **access predictor** ([`Predictor`], from `access-model`),
 //! 2. a **prefetch policy** ([`Prefetcher`], resolved through the
 //!    [policy registry](crate::registry)),
 //! 3. a **cache** with Figure-6 arbitration (`cache-sim`), and
-//! 4. a **simulation backend** ([`Backend`]: single-client event
-//!    replay, the shared-channel multi-client system, or the parallel
-//!    Monte-Carlo runner).
+//! 4. a **simulation backend** (a [`BackendDriver`] resolved through
+//!    the [backend registry](crate::backend)),
+//!
+//! and one entry point: [`Engine::run`] takes a [`Workload`] value and
+//! returns a [`RunReport`] whose common [`AccessStats`] block makes any
+//! two runs comparable.
 //!
 //! ```
-//! use speculative_prefetch::{Engine, Scenario};
+//! use speculative_prefetch::{Engine, Scenario, Workload};
 //!
-//! let engine = Engine::builder().policy("skp-exact").build()?;
+//! let mut engine = Engine::builder().policy("skp-exact").build()?;
 //! let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0)?;
-//! let report = engine.report(&s);
-//! assert!(report.gain > 0.0);
+//! let report = engine.run(&Workload::plan(s))?;
+//! assert!(report.plan().expect("plan section").gain > 0.0);
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 
+use std::sync::Arc;
+
 use access_model::MarkovChain;
 use cache_sim::{PrefetchCache, PrefetchCacheConfig, StepOutcome};
-use distsys::multiclient::{ClientWorkload, MultiClientResult, MultiClientSim};
-use distsys::scheduler::{Placement, ShardReport, ShardedSim, SimEvent};
-use distsys::{run_session, Catalog, SessionConfig, Trace};
+use distsys::multiclient::MultiClientResult;
+use distsys::scheduler::{ShardReport, SimEvent};
+use distsys::stats::AccessStats;
+use distsys::{Catalog, SessionConfig, Trace};
 use montecarlo::parallel::par_monte_carlo;
-use montecarlo::probgen::ProbMethod;
 use montecarlo::scenario_gen::ScenarioGen;
 use montecarlo::stats::RunningStats;
 use rand::rngs::SmallRng;
@@ -38,156 +43,12 @@ use skp_core::policy::{PolicyKind, Prefetcher};
 use skp_core::skp::upper_bound;
 use skp_core::{PrefetchPlan, Scenario};
 
+use crate::backend::{build_backend, Backend, BackendDriver, McFanout, PopulationRun};
 use crate::error::Error;
 use crate::predictor::{build_predictor, Predictor};
 use crate::registry::build_policy;
-
-/// Which mechanistic substrate the engine drives.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum Backend {
-    /// One client on a private FIFO channel (`distsys`): replays agree
-    /// exactly with the paper's closed forms.
-    #[default]
-    SingleClient,
-    /// Many clients contending for one shared server channel
-    /// (`distsys::multiclient`) — the `shards = 1` special case of the
-    /// sharded scheduler.
-    MultiClient {
-        /// Number of concurrent clients.
-        clients: usize,
-    },
-    /// The catalog partitioned across `shards` server shards, each with
-    /// its own FIFO retrieval queue and channel, serving `clients`
-    /// browsing clients (`distsys::scheduler`). `shards: 1` reproduces
-    /// [`Backend::MultiClient`] event for event.
-    Sharded {
-        /// Number of server shards.
-        shards: usize,
-        /// Number of concurrent clients.
-        clients: usize,
-        /// How catalog items are placed on shards.
-        placement: Placement,
-    },
-    /// Deterministic parallel Monte-Carlo over random scenarios
-    /// (`montecarlo::parallel`).
-    MonteCarlo {
-        /// Number of independently seeded chunks (fixes the result
-        /// regardless of thread count).
-        chunks: usize,
-        /// Worker threads (0 = auto).
-        threads: usize,
-    },
-}
-
-impl Backend {
-    /// Short backend name for error messages.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Backend::SingleClient => "single-client",
-            Backend::MultiClient { .. } => "multi-client",
-            Backend::Sharded { .. } => "sharded",
-            Backend::MonteCarlo { .. } => "monte-carlo",
-        }
-    }
-}
-
-/// One entry of the backend listing (`skp-plan --list`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BackendSpec {
-    /// Backend name (matches [`Backend::name`]).
-    pub name: &'static str,
-    /// Parameters the variant takes.
-    pub params: &'static str,
-    /// One-line description.
-    pub summary: &'static str,
-}
-
-/// Every simulation backend the engine can drive, with its parameters —
-/// the [`Backend`] counterpart of the policy/predictor registries.
-pub fn backend_specs() -> &'static [BackendSpec] {
-    &[
-        BackendSpec {
-            name: "single-client",
-            params: "",
-            summary: "one client on a private FIFO channel (the paper's model; the default)",
-        },
-        BackendSpec {
-            name: "multi-client",
-            params: "clients",
-            summary: "population sharing one FIFO server channel (sharded with 1 shard)",
-        },
-        BackendSpec {
-            name: "sharded",
-            params: "shards, clients, placement (hash|range|hot-cold)",
-            summary: "catalog partitioned across N server shards, one FIFO channel each",
-        },
-        BackendSpec {
-            name: "monte-carlo",
-            params: "chunks, threads",
-            summary: "deterministic parallel Monte-Carlo over random scenarios",
-        },
-    ]
-}
-
-/// Closed-form evaluation of one prefetch decision (empty-cache view,
-/// Eq. 3 of the paper).
-#[derive(Debug, Clone, PartialEq)]
-pub struct PlanReport {
-    /// The plan evaluated.
-    pub plan: PrefetchPlan,
-    /// Access improvement `g*` (Eq. 3).
-    pub gain: f64,
-    /// Stretch time `st(F)`.
-    pub stretch: f64,
-    /// Expected access time under the plan.
-    pub expected_access_time: f64,
-    /// Expected access time with no prefetching.
-    pub expected_no_prefetch: f64,
-    /// Theorem-2 (Eq. 7) upper bound on any plan's gain.
-    pub upper_bound: f64,
-    /// Per-request access time `T(F, α)` for every item `α`.
-    pub per_request: Vec<f64>,
-}
-
-/// Aggregate outcome of replaying an access trace through the engine.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceReport {
-    /// Requests replayed (trace length − 1; the first record only seeds
-    /// the predictor).
-    pub requests: u64,
-    /// Mean access time per request.
-    pub mean_access_time: f64,
-    /// Fraction of requests served in zero time.
-    pub hit_rate: f64,
-    /// Mean retrieval time wasted on unused prefetches per request.
-    pub wasted_per_request: f64,
-}
-
-/// Parameters of a Monte-Carlo policy evaluation over random scenarios
-/// drawn with the paper's ranges (`r ∈ [1,30]`, `v ∈ [1,100]`).
-#[derive(Debug, Clone, Copy)]
-pub struct MonteCarloSpec {
-    /// Items per scenario.
-    pub n_items: usize,
-    /// Probability generation method (skewy, flat, Zipf, …).
-    pub method: ProbMethod,
-    /// Total iterations across all chunks.
-    pub iterations: u64,
-    /// Root seed; results are a pure function of the spec.
-    pub seed: u64,
-}
-
-/// Result of a Monte-Carlo evaluation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SimReport {
-    /// Access-time statistics over all sampled requests.
-    pub access: RunningStats,
-    /// Realised-gain statistics (no-prefetch retrieval minus access
-    /// time, per sample).
-    pub gain: RunningStats,
-    /// Iterations actually run.
-    pub iterations: u64,
-}
+use crate::report::{PlanReport, ReportSection, RunReport, SimReport, TraceReport};
+use crate::workload::{MonteCarloSpec, Workload};
 
 /// Configures and validates an [`Engine`]. Obtained from
 /// [`Engine::builder`]; every setter is chainable and infallible —
@@ -201,7 +62,8 @@ pub struct SessionBuilder {
     n_items: Option<usize>,
     capacity: Option<usize>,
     sub: SubArbitration,
-    backend: Backend,
+    driver: Option<Arc<dyn BackendDriver>>,
+    backend_spec_err: Option<Error>,
 }
 
 impl Default for SessionBuilder {
@@ -223,7 +85,8 @@ impl SessionBuilder {
             n_items: None,
             capacity: None,
             sub: SubArbitration::DelaySaving,
-            backend: Backend::SingleClient,
+            driver: None,
+            backend_spec_err: None,
         }
     }
 
@@ -292,15 +155,43 @@ impl SessionBuilder {
         self
     }
 
-    /// Selects the simulation backend (default: single client).
+    /// Selects a built-in simulation backend by typed spec (default:
+    /// single client).
     pub fn backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
+        self.driver = Some(backend.driver());
+        self.backend_spec_err = None;
+        self
+    }
+
+    /// Selects the simulation backend by registry spec string (e.g.
+    /// `"sharded:4x16:hash"`; see
+    /// [`backend_specs`](crate::backend::backend_specs)) — the route
+    /// through which runtime-registered backends are reachable.
+    pub fn backend_spec(mut self, spec: &str) -> Self {
+        match build_backend(spec) {
+            Ok(d) => {
+                self.driver = Some(d);
+                self.backend_spec_err = None;
+            }
+            Err(e) => self.backend_spec_err = Some(e),
+        }
+        self
+    }
+
+    /// Installs an already-built backend driver (for custom
+    /// [`BackendDriver`] implementations outside the registry).
+    pub fn backend_driver(mut self, driver: Arc<dyn BackendDriver>) -> Self {
+        self.driver = Some(driver);
+        self.backend_spec_err = None;
         self
     }
 
     /// Validates the configuration and builds the engine.
     pub fn build(self) -> Result<Engine, Error> {
         if let Some(e) = self.policy_spec_err {
+            return Err(e);
+        }
+        if let Some(e) = self.backend_spec_err {
             return Err(e);
         }
         let policy = match self.policy {
@@ -356,49 +247,30 @@ impl SessionBuilder {
                 ))
             }
         };
-        match self.backend {
-            Backend::MultiClient { clients: 0 } => {
-                return Err(Error::InvalidParam {
-                    what: "multi-client backend",
-                    detail: "needs at least one client".into(),
-                });
-            }
-            Backend::Sharded {
-                shards, clients, ..
-            } => {
-                if shards == 0 {
-                    return Err(Error::InvalidParam {
-                        what: "sharded backend",
-                        detail: "needs at least one shard".into(),
-                    });
-                }
-                if clients == 0 {
-                    return Err(Error::InvalidParam {
-                        what: "sharded backend",
-                        detail: "needs at least one client".into(),
-                    });
-                }
-            }
-            _ => {}
-        }
+        let driver = match self.driver {
+            Some(d) => d,
+            None => Backend::SingleClient.driver(),
+        };
+        driver.validate()?;
         Ok(Engine {
             policy,
             predictor,
             client,
             retrievals: self.retrievals,
-            backend: self.backend,
+            driver,
         })
     }
 }
 
-/// The facade engine: plan, evaluate, verify, step and simulate through
-/// one coherent API. Built with [`Engine::builder`].
+/// The facade engine: plan, evaluate, verify, step and [`run`](Engine::run)
+/// whole workloads through one coherent API. Built with
+/// [`Engine::builder`].
 pub struct Engine {
     policy: Box<dyn Prefetcher>,
     predictor: Option<Box<dyn Predictor>>,
     client: Option<PrefetchCache>,
     retrievals: Option<Vec<f64>>,
-    backend: Backend,
+    driver: Arc<dyn BackendDriver>,
 }
 
 impl Engine {
@@ -418,9 +290,15 @@ impl Engine {
         self.policy.is_oracle()
     }
 
-    /// The configured backend.
-    pub fn backend(&self) -> Backend {
-        self.backend
+    /// Registry name of the configured backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.driver.name()
+    }
+
+    /// Canonical spec string of the configured backend (reparses to an
+    /// equivalent driver through [`build_backend`]).
+    pub fn backend_spec_string(&self) -> String {
+        self.driver.spec_string()
     }
 
     /// The cache contents, when a cache is configured.
@@ -431,14 +309,80 @@ impl Engine {
             .unwrap_or_default()
     }
 
+    // -----------------------------------------------------------------
+    // The workload-first entry point.
+    // -----------------------------------------------------------------
+
+    /// Runs one [`Workload`] on the configured backend and returns the
+    /// unified [`RunReport`]: the common [`AccessStats`] block plus the
+    /// workload/backend-specific section (and the event log when the
+    /// workload asked for tracing).
+    ///
+    /// For [`Workload::Plan`] the common stats describe the
+    /// distribution of `T(F, α)` with the realised request `α` drawn
+    /// from the scenario's (normalised) probabilities — directly
+    /// comparable to realised-run statistics. For
+    /// [`Workload::MonteCarlo`] the quantiles require buffering one
+    /// sample per iteration.
+    ///
+    /// This is the one entry point the legacy per-workload methods
+    /// (`report`, `run_trace`, `monte_carlo`, `multi_client`,
+    /// `sharded`) now delegate to.
+    pub fn run(&mut self, workload: &Workload) -> Result<RunReport, Error> {
+        match workload {
+            Workload::Plan(w) => {
+                let report = self.plan_report(&w.scenario);
+                Ok(RunReport {
+                    access: plan_access_stats(&w.scenario, &report.per_request),
+                    section: ReportSection::Plan(report),
+                    events: Vec::new(),
+                })
+            }
+            Workload::Trace(w) => {
+                let (access, report) = self.trace_report(&w.trace)?;
+                Ok(RunReport {
+                    access,
+                    section: ReportSection::Trace(report),
+                    events: Vec::new(),
+                })
+            }
+            Workload::MonteCarlo(w) => {
+                let (access, report) = self.monte_carlo_report(w.spec, true)?;
+                Ok(RunReport {
+                    access: access.expect("collected"),
+                    section: ReportSection::MonteCarlo(report),
+                    events: Vec::new(),
+                })
+            }
+            Workload::MultiClient(w) | Workload::Sharded(w) => {
+                let (access, section, events) = self.population_report(
+                    &w.chain,
+                    w.requests_per_client,
+                    w.seed,
+                    w.traced,
+                    workload.name(),
+                )?;
+                Ok(RunReport {
+                    access,
+                    section,
+                    events,
+                })
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Closed-form planning and evaluation.
+    // -----------------------------------------------------------------
+
     /// Plans a prefetch for the scenario. With a cache configured, the
     /// plan covers only non-cached items (Section 5); otherwise all
     /// items are candidates.
     ///
     /// Oracle policies (`"perfect"`) plan against the *realised*
     /// request, which is unknown here: they return the empty plan.
-    /// Drive them through [`step`](Engine::step) or
-    /// [`monte_carlo`](Engine::monte_carlo), which know the request.
+    /// Drive them through [`step`](Engine::step) or a Monte-Carlo
+    /// [`Workload`], which know the request.
     pub fn plan(&self, s: &Scenario) -> PrefetchPlan {
         match &self.client {
             Some(client) => self.policy.plan_candidates(s, &client.candidate_mask()),
@@ -446,10 +390,20 @@ impl Engine {
         }
     }
 
-    /// Plans and evaluates in closed form (empty-cache view).
-    pub fn report(&self, s: &Scenario) -> PlanReport {
+    /// Plans and evaluates in closed form — the engine of
+    /// [`Workload::Plan`].
+    fn plan_report(&self, s: &Scenario) -> PlanReport {
         let plan = self.plan(s);
         self.report_plan(s, plan)
+    }
+
+    /// Plans and evaluates in closed form (empty-cache view).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::plan(scenario)) and read the plan section"
+    )]
+    pub fn report(&self, s: &Scenario) -> PlanReport {
+        self.plan_report(s)
     }
 
     /// Evaluates a given plan in closed form (empty-cache view).
@@ -487,23 +441,7 @@ impl Engine {
             request,
             cached,
         };
-        match self.backend {
-            // The private FIFO channel of the paper's model.
-            Backend::SingleClient | Backend::MonteCarlo { .. } => {
-                run_session(&catalog, &cfg).access_time
-            }
-            // Per-shard FIFO channels transferring concurrently; a miss
-            // queues behind only the owning shard's prefetches.
-            Backend::Sharded {
-                shards, placement, ..
-            } => distsys::access_time_sharded(
-                &catalog,
-                &cfg,
-                &distsys::ShardMap::new(shards, s.n(), placement),
-            ),
-            // Fair-share fluid channel.
-            Backend::MultiClient { .. } => distsys::access_time_shared(&catalog, &cfg),
-        }
+        self.driver.session_access_time(&catalog, &cfg)
     }
 
     /// Plans, evaluates, and verifies the closed forms against an
@@ -511,16 +449,17 @@ impl Engine {
     /// [`Error::Mismatch`] if formula and replay ever disagree (which
     /// would indicate a model bug).
     ///
-    /// Only exact on the single-client backend, whose channel model is
-    /// the one the closed forms describe.
+    /// Only exact on backends whose channel model is the one the closed
+    /// forms describe ([`BackendDriver::closed_form_exact`]; the
+    /// single-client backend).
     pub fn verified_report(&self, s: &Scenario) -> Result<PlanReport, Error> {
-        if !matches!(self.backend, Backend::SingleClient) {
+        if !self.driver.closed_form_exact() {
             return Err(Error::UnsupportedBackend {
                 operation: "verified_report",
-                backend: self.backend.name(),
+                backend: self.driver.name(),
             });
         }
-        let report = self.report(s);
+        let report = self.plan_report(s);
         for (request, &formula) in report.per_request.iter().enumerate() {
             // The report is the empty-cache view (Eq. 3), so the replay
             // must start from an empty cache too, whatever the engine's
@@ -536,6 +475,10 @@ impl Engine {
         }
         Ok(report)
     }
+
+    // -----------------------------------------------------------------
+    // Online stepping (predictor + cache).
+    // -----------------------------------------------------------------
 
     /// Feeds one realised access to the predictor (no-op without one).
     pub fn observe(&mut self, item: usize) {
@@ -635,21 +578,23 @@ impl Engine {
         }
     }
 
-    /// Replays a recorded trace: per record, forecast with the
-    /// predictor, plan with the policy, arbitrate against the cache,
-    /// serve, then learn the realised access. Requires a predictor and a
-    /// catalog.
-    pub fn run_trace(&mut self, trace: &Trace) -> Result<TraceReport, Error> {
+    // -----------------------------------------------------------------
+    // Trace replay.
+    // -----------------------------------------------------------------
+
+    /// The engine of [`Workload::Trace`]: replays the records, returning
+    /// the common stats plus the legacy report shape.
+    fn trace_report(&mut self, trace: &Trace) -> Result<(AccessStats, TraceReport), Error> {
         if self.predictor.is_none() {
             return Err(Error::MissingComponent {
                 component: "predictor",
-                needed_for: "run_trace",
+                needed_for: "trace workload",
             });
         }
         if self.retrievals.is_none() {
             return Err(Error::MissingComponent {
                 component: "catalog",
-                needed_for: "run_trace",
+                needed_for: "trace workload",
             });
         }
         let records = trace.records();
@@ -671,6 +616,7 @@ impl Engine {
         }
 
         let mut access = RunningStats::new();
+        let mut samples = Vec::with_capacity(records.len() - 1);
         let mut wasted = RunningStats::new();
         let mut hits = 0u64;
         self.observe(records[0].item);
@@ -679,6 +625,7 @@ impl Engine {
             let s = self.scenario(here.item, here.viewing)?;
             let out = self.step(&s, next.item);
             access.push(out.access_time);
+            samples.push(out.access_time);
             wasted.push(out.wasted_retrieval);
             if out.hit {
                 hits += 1;
@@ -686,20 +633,42 @@ impl Engine {
             self.observe(next.item);
         }
         let requests = (records.len() - 1) as u64;
-        Ok(TraceReport {
+        let report = TraceReport {
             requests,
             mean_access_time: access.mean(),
             hit_rate: hits as f64 / requests as f64,
             wasted_per_request: wasted.mean(),
-        })
+        };
+        Ok((AccessStats::from_samples(&mut samples), report))
     }
 
-    /// Evaluates the policy over random scenarios with the paper's
-    /// parameter ranges. On the [`Backend::MonteCarlo`] backend the
-    /// iterations fan out over the deterministic parallel runner
-    /// (bit-identical to sequential for a fixed spec); on
-    /// [`Backend::SingleClient`] they run sequentially.
-    pub fn monte_carlo(&self, spec: MonteCarloSpec) -> Result<SimReport, Error> {
+    /// Replays a recorded trace: per record, forecast with the
+    /// predictor, plan with the policy, arbitrate against the cache,
+    /// serve, then learn the realised access. Requires a predictor and a
+    /// catalog.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::trace(trace)) and read the trace section"
+    )]
+    pub fn run_trace(&mut self, trace: &Trace) -> Result<TraceReport, Error> {
+        Ok(self.trace_report(trace)?.1)
+    }
+
+    // -----------------------------------------------------------------
+    // Monte-Carlo.
+    // -----------------------------------------------------------------
+
+    /// The engine of [`Workload::MonteCarlo`]: the sampling loop, fanned
+    /// out as the backend's [`McFanout`] dictates. With `collect_stats`
+    /// every access time is buffered (one `f64` per iteration) to
+    /// compute the exact common quantiles; without it the path stays
+    /// O(1) in memory and the stats slot is `None` (the deprecated
+    /// wrapper, which discards them).
+    fn monte_carlo_report(
+        &self,
+        spec: MonteCarloSpec,
+        collect_stats: bool,
+    ) -> Result<(Option<AccessStats>, SimReport), Error> {
         if spec.iterations == 0 {
             return Err(Error::InvalidParam {
                 what: "monte-carlo iterations",
@@ -709,11 +678,19 @@ impl Engine {
         // The oracle plans per realised request; everything else plans
         // from the scenario alone.
         let oracle = self.policy.is_oracle();
-        let sim = |chunk_seed: u64, iters: u64| -> SimReport {
+        let sim = |chunk_seed: u64, iters: u64| -> (SimReport, Vec<f64>) {
             let mut rng = SmallRng::seed_from_u64(chunk_seed);
             let gen = ScenarioGen::paper(spec.n_items, spec.method);
             let mut access = RunningStats::new();
             let mut gain = RunningStats::new();
+            // Capacity hint only — capped so an absurd `iterations`
+            // value cannot abort on one huge eager allocation; the
+            // buffer grows with samples actually produced.
+            let mut samples = Vec::with_capacity(if collect_stats {
+                iters.min(1 << 20) as usize
+            } else {
+                0
+            });
             for _ in 0..iters {
                 let s = gen.generate(&mut rng);
                 let alpha = ScenarioGen::draw_request(&s, &mut rng);
@@ -724,46 +701,55 @@ impl Engine {
                 };
                 let t = access_time_empty(&s, plan.items(), alpha);
                 access.push(t);
+                if collect_stats {
+                    samples.push(t);
+                }
                 gain.push(s.retrieval(alpha) - t);
             }
-            SimReport {
-                access,
-                gain,
-                iterations: iters,
-            }
+            (
+                SimReport {
+                    access,
+                    gain,
+                    iterations: iters,
+                },
+                samples,
+            )
         };
-        let merge = |mut a: SimReport, b: SimReport| {
+        let merge = |(mut a, mut sa): (SimReport, Vec<f64>), (b, sb): (SimReport, Vec<f64>)| {
             a.access.merge(&b.access);
             a.gain.merge(&b.gain);
             a.iterations += b.iterations;
-            a
+            sa.extend(sb);
+            (a, sa)
         };
-        match self.backend {
-            Backend::MultiClient { .. } => Err(Error::UnsupportedBackend {
-                operation: "monte_carlo (use multi_client)",
-                backend: self.backend.name(),
-            }),
-            Backend::Sharded { .. } => Err(Error::UnsupportedBackend {
-                operation: "monte_carlo (use sharded)",
-                backend: self.backend.name(),
-            }),
-            Backend::SingleClient => Ok(sim(spec.seed, spec.iterations)),
-            Backend::MonteCarlo { chunks, threads } => {
-                let chunks = chunks.max(1);
-                let threads = if threads == 0 {
-                    montecarlo::parallel::default_threads(chunks)
-                } else {
-                    threads
-                };
+        let (report, mut samples) = match self.driver.monte_carlo_fanout()? {
+            McFanout::Sequential => sim(spec.seed, spec.iterations),
+            McFanout::Parallel { chunks, threads } => {
                 par_monte_carlo(spec.iterations, chunks, spec.seed, threads, sim, merge).ok_or(
                     Error::InvalidParam {
                         what: "monte-carlo split",
                         detail: "produced no chunks".into(),
                     },
-                )
+                )?
             }
-        }
+        };
+        let stats = collect_stats.then(|| AccessStats::from_samples(&mut samples));
+        Ok((stats, report))
     }
+
+    /// Evaluates the policy over random scenarios with the paper's
+    /// parameter ranges.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::monte_carlo(spec)) and read the monte-carlo section"
+    )]
+    pub fn monte_carlo(&self, spec: MonteCarloSpec) -> Result<SimReport, Error> {
+        Ok(self.monte_carlo_report(spec, false)?.1)
+    }
+
+    // -----------------------------------------------------------------
+    // Population replays (multi-client / sharded).
+    // -----------------------------------------------------------------
 
     /// The catalog, checked to cover the chain's state universe.
     fn catalog_for(&self, chain: &MarkovChain, needed_for: &'static str) -> Result<&[f64], Error> {
@@ -784,14 +770,30 @@ impl Engine {
         Ok(retrievals)
     }
 
-    /// Per-round planning closure: forecast from the chain's row, plan
-    /// with this engine's policy.
-    fn markov_planner<'a>(
-        &'a self,
-        chain: &'a MarkovChain,
-        retrievals: &'a [f64],
-    ) -> impl FnMut(usize, usize) -> Vec<usize> + 'a {
-        move |_client: usize, state: usize| {
+    /// The engine of the population workloads: builds the per-round
+    /// planner from this engine's policy and hands the replay to the
+    /// backend driver.
+    fn population_report(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+        traced: bool,
+        operation: &'static str,
+    ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        let retrievals = match self.catalog_for(chain, operation) {
+            Ok(r) => r,
+            // A backend that cannot run populations at all outranks a
+            // missing catalog (the legacy error order).
+            Err(_) if !self.driver.supports_population() => {
+                return Err(Error::UnsupportedBackend {
+                    operation,
+                    backend: self.driver.name(),
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        let mut planner = |_client: usize, state: usize| {
             let scenario = Scenario::new(
                 chain.row_probs(state),
                 retrievals[..chain.n_states()].to_vec(),
@@ -799,26 +801,44 @@ impl Engine {
             )
             .expect("markov rows are valid scenarios");
             self.policy.plan(&scenario).into_items()
-        }
+        };
+        self.driver.run_population(PopulationRun {
+            chain,
+            retrievals,
+            planner: &mut planner,
+            requests_per_client,
+            seed,
+            traced,
+            operation,
+        })
     }
 
     /// Runs the shared-channel multi-client system: every client browses
     /// the Markov `chain` and plans with this engine's policy. Requires
-    /// the [`Backend::MultiClient`] backend and a catalog.
+    /// a population backend and a catalog.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::multi_client(chain, requests, seed))"
+    )]
     pub fn multi_client(
         &self,
         chain: &MarkovChain,
         requests_per_client: u64,
         seed: u64,
     ) -> Result<MultiClientResult, Error> {
+        #[allow(deprecated)]
         Ok(self
             .multi_client_traced(chain, requests_per_client, seed, false)?
             .0)
     }
 
-    /// Like [`multi_client`](Engine::multi_client), optionally recording
-    /// the mechanistic event log (`trace = true`) for event-for-event
-    /// comparison against the sharded backend.
+    /// Like `multi_client`, optionally recording the mechanistic event
+    /// log (`trace = true`) for event-for-event comparison against the
+    /// sharded backend.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::multi_client(chain, requests, seed).traced(true))"
+    )]
     pub fn multi_client_traced(
         &self,
         chain: &MarkovChain,
@@ -826,50 +846,51 @@ impl Engine {
         seed: u64,
         trace: bool,
     ) -> Result<(MultiClientResult, Vec<SimEvent>), Error> {
-        let Backend::MultiClient { clients } = self.backend else {
+        // The legacy contract is strict about the substrate; fail before
+        // running the (possibly expensive) simulation on anything else.
+        if self.driver.name() != "multi-client" {
             return Err(Error::UnsupportedBackend {
                 operation: "multi_client",
-                backend: self.backend.name(),
+                backend: self.driver.name(),
             });
-        };
-        let retrievals = self.catalog_for(chain, "multi_client")?;
-        let workload = MarkovWorkload(chain);
-        let sim = MultiClientSim {
-            workload: &workload,
-            retrievals,
-            clients,
-            requests_per_client,
-            seed,
-        };
-        let mut policy = self.markov_planner(chain, retrievals);
-        if trace {
-            Ok(sim.run_traced(&mut policy))
-        } else {
-            Ok((sim.run(&mut policy), Vec::new()))
+        }
+        let (_, section, events) =
+            self.population_report(chain, requests_per_client, seed, trace, "multi-client")?;
+        match section {
+            ReportSection::MultiClient(r) => Ok((r, events)),
+            _ => Err(Error::UnsupportedBackend {
+                operation: "multi_client",
+                backend: self.driver.name(),
+            }),
         }
     }
 
     /// Runs the sharded distributed system: the catalog is partitioned
-    /// across server shards (per the backend's [`Placement`]), every
-    /// client browses the Markov `chain`, and plans come from this
-    /// engine's policy. Requires the [`Backend::Sharded`] backend and a
-    /// catalog.
-    ///
-    /// With `shards: 1` the report matches the
-    /// [`Backend::MultiClient`] system event for event.
+    /// across server shards, every client browses the Markov `chain`,
+    /// and plans come from this engine's policy. Requires the sharded
+    /// backend and a catalog.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::sharded(chain, requests, seed))"
+    )]
     pub fn sharded(
         &self,
         chain: &MarkovChain,
         requests_per_client: u64,
         seed: u64,
     ) -> Result<ShardReport, Error> {
+        #[allow(deprecated)]
         Ok(self
             .sharded_traced(chain, requests_per_client, seed, false)?
             .0)
     }
 
-    /// Like [`sharded`](Engine::sharded), optionally recording the
-    /// mechanistic event log (`trace = true`).
+    /// Like `sharded`, optionally recording the mechanistic event log
+    /// (`trace = true`).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Engine::run(&Workload::sharded(chain, requests, seed).traced(true))"
+    )]
     pub fn sharded_traced(
         &self,
         chain: &MarkovChain,
@@ -877,56 +898,68 @@ impl Engine {
         seed: u64,
         trace: bool,
     ) -> Result<(ShardReport, Vec<SimEvent>), Error> {
-        let Backend::Sharded {
-            shards,
-            clients,
-            placement,
-        } = self.backend
-        else {
+        // The legacy contract is strict about the substrate; fail before
+        // running the (possibly expensive) simulation on anything else.
+        if self.driver.name() != "sharded" {
             return Err(Error::UnsupportedBackend {
                 operation: "sharded",
-                backend: self.backend.name(),
+                backend: self.driver.name(),
             });
-        };
-        let retrievals = self.catalog_for(chain, "sharded")?;
-        let workload = MarkovWorkload(chain);
-        let sim = ShardedSim {
-            workload: &workload,
-            retrievals,
-            clients,
-            shards,
-            placement,
-            requests_per_client,
-            seed,
-        };
-        let mut policy = self.markov_planner(chain, retrievals);
-        if trace {
-            Ok(sim.run_traced(&mut policy))
-        } else {
-            Ok((sim.run(&mut policy), Vec::new()))
+        }
+        let (_, section, events) =
+            self.population_report(chain, requests_per_client, seed, trace, "sharded")?;
+        match section {
+            ReportSection::Sharded(r) => Ok((r, events)),
+            _ => Err(Error::UnsupportedBackend {
+                operation: "sharded",
+                backend: self.driver.name(),
+            }),
         }
     }
 }
 
-/// [`ClientWorkload`] view of a Markov chain, shared by the
-/// multi-client and sharded backends.
-struct MarkovWorkload<'a>(&'a MarkovChain);
-
-impl ClientWorkload for MarkovWorkload<'_> {
-    fn viewing(&self, state: usize) -> f64 {
-        self.0.viewing(state)
+/// The common stats of a [`Workload::Plan`] run: the distribution of
+/// `T(F, α)` with the realised request `α` drawn from the scenario's
+/// probabilities (normalised over the candidate mass), so the block is
+/// directly comparable to realised-run statistics. `count` is the
+/// number of candidate requests with positive probability; quantiles
+/// are probability-weighted nearest-rank.
+fn plan_access_stats(s: &Scenario, per_request: &[f64]) -> AccessStats {
+    let mass: f64 = (0..s.n()).map(|i| s.prob(i)).sum();
+    let mut weighted: Vec<(f64, f64)> = (0..s.n())
+        .filter(|&i| s.prob(i) > 0.0)
+        .map(|i| (per_request[i], s.prob(i) / mass))
+        .collect();
+    if weighted.is_empty() {
+        return AccessStats::default();
     }
-    fn next(&self, state: usize, rng: &mut SmallRng) -> usize {
-        self.0.next_state(state, rng)
-    }
-    fn n_items(&self) -> usize {
-        self.0.n_states()
+    weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let quantile = |q: f64| {
+        let mut acc = 0.0;
+        for &(t, p) in &weighted {
+            acc += p;
+            if acc >= q - 1e-12 {
+                return t;
+            }
+        }
+        weighted.last().expect("non-empty").0
+    };
+    AccessStats {
+        count: weighted.len() as u64,
+        mean: weighted.iter().map(|&(t, p)| t * p).sum(),
+        p50: quantile(0.50),
+        p99: quantile(0.99),
+        min: weighted.first().expect("non-empty").0,
+        max: weighted.last().expect("non-empty").0,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::backend_specs;
+    use distsys::scheduler::Placement;
+    use montecarlo::probgen::ProbMethod;
 
     fn scenario() -> Scenario {
         Scenario::new(
@@ -947,6 +980,39 @@ mod tests {
     }
 
     #[test]
+    fn run_plan_carries_common_stats() {
+        let mut engine = Engine::builder().build().unwrap();
+        let report = engine.run(&Workload::plan(scenario())).unwrap();
+        let plan = report.plan().expect("plan section").clone();
+        assert_eq!(report.access.count, 5);
+        assert!(report.access.p99 >= report.access.p50);
+        // The probabilities sum to 1 here, so the probability-weighted
+        // mean is exactly the plan's expected access time — the block is
+        // comparable to realised-run statistics.
+        assert!((report.access.mean - plan.expected_access_time).abs() < 1e-12);
+        assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn plan_stats_weight_by_request_probability() {
+        // probs [0.9, 0.1], per-request T [0, 100]: the weighted view
+        // must report mean 10 and p50 0, not the unweighted 50/50.
+        let s = Scenario::new(vec![0.9, 0.1], vec![1.0, 100.0], 0.0).unwrap();
+        let stats = plan_access_stats(&s, &[0.0, 100.0]);
+        assert_eq!(stats.count, 2);
+        assert!((stats.mean - 10.0).abs() < 1e-12);
+        assert_eq!(stats.p50, 0.0);
+        assert_eq!(stats.p99, 100.0);
+        assert_eq!(stats.min, 0.0);
+        assert_eq!(stats.max, 100.0);
+        // Zero-probability candidates are excluded from the support.
+        let sub = Scenario::new(vec![0.5, 0.0], vec![1.0, 100.0], 0.0).unwrap();
+        let stats = plan_access_stats(&sub, &[3.0, 100.0]);
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.max, 3.0);
+    }
+
+    #[test]
     fn unknown_policy_surfaces_at_build() {
         let err = Engine::builder()
             .policy("wizardry")
@@ -954,6 +1020,25 @@ mod tests {
             .err()
             .expect("must fail");
         assert!(matches!(err, Error::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn unknown_backend_spec_surfaces_at_build() {
+        let err = Engine::builder()
+            .backend_spec("warp-drive")
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, Error::UnknownBackend { .. }));
+        // A later valid spec clears the error.
+        let engine = Engine::builder()
+            .backend_spec("warp-drive")
+            .backend_spec("sharded:2x3:range")
+            .catalog(vec![1.0; 8])
+            .build()
+            .expect("valid spec wins");
+        assert_eq!(engine.backend_name(), "sharded");
+        assert_eq!(engine.backend_spec_string(), "sharded:2x3:range");
     }
 
     #[test]
@@ -1018,52 +1103,49 @@ mod tests {
             iterations: 400,
             seed: 77,
         };
-        let par = Engine::builder()
-            .backend(Backend::MonteCarlo {
-                chunks: 8,
-                threads: 4,
-            })
-            .build()
-            .unwrap()
-            .monte_carlo(spec)
-            .unwrap();
-        let par2 = Engine::builder()
-            .backend(Backend::MonteCarlo {
-                chunks: 8,
-                threads: 1,
-            })
-            .build()
-            .unwrap()
-            .monte_carlo(spec)
-            .unwrap();
+        let run = |threads| {
+            Engine::builder()
+                .backend(Backend::MonteCarlo { chunks: 8, threads })
+                .build()
+                .unwrap()
+                .run(&Workload::monte_carlo(spec))
+                .unwrap()
+        };
+        let par = run(4);
+        let par2 = run(1);
         assert_eq!(par, par2, "thread count must not change the result");
-        assert_eq!(par.iterations, 400);
-        assert!(par.access.mean() >= 0.0);
+        let sim = par.monte_carlo().expect("monte-carlo section");
+        assert_eq!(sim.iterations, 400);
+        assert_eq!(par.access.count, 400);
+        assert!((par.access.mean - sim.access.mean()).abs() < 1e-9);
+        assert!(par.access.p99 >= par.access.p50);
     }
 
     #[test]
-    fn multi_client_requires_backend_and_catalog() {
-        let engine = Engine::builder().build().unwrap();
+    fn multi_client_requires_population_backend_and_catalog() {
+        let mut engine = Engine::builder().build().unwrap();
         let chain = MarkovChain::random(6, 2, 4, 5, 20, 3).unwrap();
         assert!(matches!(
-            engine.multi_client(&chain, 10, 1),
+            engine.run(&Workload::multi_client(chain.clone(), 10, 1)),
             Err(Error::UnsupportedBackend { .. })
         ));
 
-        let engine = Engine::builder()
+        let mut engine = Engine::builder()
             .backend(Backend::MultiClient { clients: 3 })
             .catalog((0..6).map(|i| 2.0 + i as f64).collect())
             .build()
             .unwrap();
-        let out = engine.multi_client(&chain, 20, 1).unwrap();
+        let report = engine.run(&Workload::multi_client(chain, 20, 1)).unwrap();
+        let out = report.multi_client().expect("multi-client section");
         assert_eq!(out.requests(), 60);
+        assert_eq!(report.access, out.access);
         assert!(out.utilisation <= 1.0 + 1e-9);
     }
 
     #[test]
     fn sharded_backend_runs_and_reports_per_shard() {
         let chain = MarkovChain::random(12, 2, 4, 5, 20, 5).unwrap();
-        let engine = Engine::builder()
+        let mut engine = Engine::builder()
             .backend(Backend::Sharded {
                 shards: 3,
                 clients: 4,
@@ -1072,16 +1154,62 @@ mod tests {
             .catalog((0..12).map(|i| 2.0 + i as f64).collect())
             .build()
             .unwrap();
-        let report = engine.sharded(&chain, 20, 1).unwrap();
+        let run = engine
+            .run(&Workload::sharded(chain.clone(), 20, 1))
+            .unwrap();
+        let report = run.sharded().expect("sharded section");
         assert_eq!(report.requests(), 80);
         assert_eq!(report.shards.len(), 3);
+        assert_eq!(run.access, report.access);
         assert!(report.access.p99 >= report.access.p50);
-        // Running it on the wrong backend is a typed error.
-        let wrong = Engine::builder().build().unwrap();
+        // Running it on a non-population backend is a typed error.
+        let mut wrong = Engine::builder().build().unwrap();
         assert!(matches!(
-            wrong.sharded(&chain, 5, 1),
+            wrong.run(&Workload::sharded(chain, 5, 1)),
             Err(Error::UnsupportedBackend { .. })
         ));
+    }
+
+    #[test]
+    fn population_workloads_cross_run_on_either_substrate() {
+        // The workload names mirror the legacy methods, but either shape
+        // runs on any population backend; the section reflects the
+        // substrate.
+        let chain = MarkovChain::random(10, 2, 4, 5, 20, 5).unwrap();
+        let mut sharded = Engine::builder()
+            .backend(Backend::Sharded {
+                shards: 2,
+                clients: 3,
+                placement: Placement::Hash,
+            })
+            .catalog((0..10).map(|i| 2.0 + i as f64).collect())
+            .build()
+            .unwrap();
+        let report = sharded.run(&Workload::multi_client(chain, 10, 1)).unwrap();
+        assert_eq!(report.section.name(), "sharded");
+        assert!(report.sharded().is_some());
+    }
+
+    #[test]
+    fn traced_population_records_events() {
+        let chain = MarkovChain::random(8, 2, 4, 5, 20, 5).unwrap();
+        let mut engine = Engine::builder()
+            .backend(Backend::MultiClient { clients: 2 })
+            .catalog((0..8).map(|i| 2.0 + i as f64).collect())
+            .build()
+            .unwrap();
+        let quiet = engine
+            .run(&Workload::multi_client(chain.clone(), 10, 1))
+            .unwrap();
+        assert!(quiet.events.is_empty());
+        let traced = engine
+            .run(&Workload::multi_client(chain, 10, 1).traced(true))
+            .unwrap();
+        assert!(!traced.events.is_empty());
+        assert_eq!(
+            quiet.section, traced.section,
+            "tracing must not change results"
+        );
     }
 
     #[test]
@@ -1140,7 +1268,7 @@ mod tests {
     }
 
     #[test]
-    fn backend_specs_cover_every_variant() {
+    fn backend_specs_cover_every_builtin_variant() {
         let specs = backend_specs();
         for backend in [
             Backend::SingleClient,
@@ -1176,9 +1304,13 @@ mod tests {
             .cache(2)
             .build()
             .unwrap();
-        let report = engine.run_trace(&trace).unwrap();
+        let run = engine.run(&Workload::trace(trace)).unwrap();
+        let report = run.trace().expect("trace section");
         assert_eq!(report.requests, 299);
         assert!(report.hit_rate > 0.9, "hit rate {}", report.hit_rate);
         assert!(report.mean_access_time < 0.5);
+        assert_eq!(run.access.count, 299);
+        assert!((run.access.mean - report.mean_access_time).abs() < 1e-9);
+        assert_eq!(run.access.min, 0.0, "hits are zero-time accesses");
     }
 }

@@ -33,6 +33,13 @@ pub enum Error {
         /// Every registered predictor name.
         known: Vec<&'static str>,
     },
+    /// A backend name was not found in the registry.
+    UnknownBackend {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered backend name.
+        known: Vec<&'static str>,
+    },
     /// A registry or builder parameter was malformed.
     InvalidParam {
         /// What was being configured.
@@ -83,6 +90,9 @@ impl fmt::Display for Error {
                     "unknown predictor '{name}' (known: {})",
                     known.join(", ")
                 )
+            }
+            Error::UnknownBackend { name, known } => {
+                write!(f, "unknown backend '{name}' (known: {})", known.join(", "))
             }
             Error::InvalidParam { what, detail } => {
                 write!(f, "invalid {what}: {detail}")

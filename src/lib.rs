@@ -4,99 +4,104 @@
 //! Model of Speculative Prefetching in Distributed Information
 //! Systems"* (Tuah, Kumar & Venkatesh, IPPS/SPDP 1999).
 //!
-//! The centrepiece is the builder-style [`Engine`], which composes the
-//! four seams of the system:
+//! The centrepiece is the workload-first [`Engine`]: compose a session
+//! with the builder, then hand [`Engine::run`] a [`Workload`] value —
+//! one closed-form decision, a recorded trace, a Monte-Carlo sweep or a
+//! browsing population — and read back a [`RunReport`] whose common
+//! [`AccessStats`] block (count/mean/p50/p99/min/max) makes any two
+//! runs directly comparable. The four seams are all string-keyed
+//! registries:
 //!
-//! 1. an **access predictor** (the [`Predictor`] trait over
-//!    `access-model`'s n-gram / dependency-graph / Markov / frequency
-//!    estimators, constructible by name via [`build_predictor`]);
-//! 2. a **prefetch policy** (the [`Prefetcher`] trait, with every
-//!    solver and Section-6 extension registered by name in
-//!    [`policy_specs`] and constructible via [`build_policy`]);
-//! 3. a **client cache** with Figure-6 arbitration (`cache-sim`);
-//! 4. a **simulation backend** ([`Backend`]: the private-channel
-//!    single-client substrate, the shared-channel multi-client system,
-//!    the sharded multi-server system, or the deterministic parallel
-//!    Monte-Carlo runner — all running on the one `distsys` scheduler).
+//! 1. an **access predictor** ([`Predictor`]; [`build_predictor`]),
+//! 2. a **prefetch policy** ([`Prefetcher`]; [`build_policy`]),
+//! 3. a **client cache** with Figure-6 arbitration (`cache-sim`),
+//! 4. a **simulation backend** ([`BackendDriver`]; [`build_backend`] —
+//!    private-channel single client, shared channel, sharded farm,
+//!    parallel Monte-Carlo, plus anything you [`register_backend`]).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use speculative_prefetch::{Engine, Scenario};
+//! use speculative_prefetch::{Engine, Scenario, Workload};
 //!
 //! // The user views the current page for 10 time units; three items
 //! // could be requested next, with known probabilities and retrieval
 //! // times.
 //! let s = Scenario::new(vec![0.5, 0.3, 0.2], vec![8.0, 6.0, 9.0], 10.0)?;
 //!
-//! // Compose a session: the corrected SKP solver, no cache, the
-//! // single-client backend.
-//! let engine = Engine::builder().policy("skp-exact").build()?;
+//! // Compose a session (corrected SKP solver, single-client backend)
+//! // and run the closed-form plan workload.
+//! let mut engine = Engine::builder().policy("skp-exact").build()?;
+//! let report = engine.run(&Workload::plan(s))?;
 //!
-//! // Closed-form evaluation, mechanically verified against an
-//! // event-by-event replay of the distributed system.
-//! let report = engine.verified_report(&s)?;
-//! assert!(report.gain > 0.0 && report.gain <= report.upper_bound + 1e-9);
+//! let plan = report.plan().expect("plan section");
+//! assert!(plan.gain > 0.0 && plan.gain <= plan.upper_bound + 1e-9);
+//! assert_eq!(report.access.count, 3); // the common stats block
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 //!
-//! A learned, cached session — predictor and policy resolved from
+//! A learned, cached trace replay — predictor and policy resolved from
 //! strings, the Section-5 client arbitrating every round:
 //!
 //! ```
-//! use speculative_prefetch::Engine;
+//! use speculative_prefetch::{Engine, Trace, Workload};
 //!
+//! let mut trace = Trace::new();
+//! for i in 0..300 {
+//!     trace.push(i % 3, 10.0); // the user walks a cycle
+//! }
 //! let mut engine = Engine::builder()
 //!     .policy("skp-exact")
 //!     .predictor("ngram:1")
 //!     .catalog(vec![3.0, 3.0, 3.0]) // retrieval time per item
 //!     .cache(2)                     // slots
 //!     .build()?;
-//! for i in 0..61 {
-//!     engine.observe(i % 3); // the user walks a cycle, ending on item 0
-//! }
-//! let s = engine.scenario(0, 10.0)?; // forecast after item 0
-//! assert!(engine.plan(&s).contains(1)); // ... so prefetch item 1
+//! let report = engine.run(&Workload::trace(trace))?;
+//! assert!(report.trace().expect("trace section").hit_rate > 0.9);
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 //!
 //! Scaling out: the same policy against a sharded server farm, the
-//! catalog partitioned across per-shard FIFO channels (`shards: 1` is
-//! the paper's single shared channel, event for event):
+//! catalog partitioned across per-shard FIFO channels (`1` shard is the
+//! paper's single shared channel, event for event):
 //!
 //! ```
-//! use speculative_prefetch::{Backend, Engine, MarkovChain, Placement};
+//! use speculative_prefetch::{Engine, MarkovChain, Workload};
 //!
 //! let chain = MarkovChain::random(24, 2, 4, 5, 20, 7).expect("valid chain");
-//! let engine = Engine::builder()
+//! let mut engine = Engine::builder()
 //!     .policy("skp-exact")
 //!     .catalog((0..24).map(|i| 1.0 + (i % 8) as f64).collect())
-//!     .backend(Backend::Sharded { shards: 4, clients: 8, placement: Placement::Hash })
+//!     .backend_spec("sharded:4x8:hash") // registry spec string
 //!     .build()?;
-//! let report = engine.sharded(&chain, 50, 1999)?;
-//! assert_eq!(report.shards.len(), 4);          // per-shard queue/stall stats
+//! let report = engine.run(&Workload::sharded(chain, 50, 1999))?;
+//! let sharded = report.sharded().expect("sharded section");
+//! assert_eq!(sharded.shards.len(), 4);             // per-shard stats
 //! assert!(report.access.p99 >= report.access.p50); // common stats block
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 //!
+//! Workloads are also *files*: the [`scenario_file`] format carries
+//! scenario + workload + backend + policy/predictor specs in one
+//! checked-in file, and `skp-plan run <file>` (or
+//! [`WorkloadFile::execute`]) replays it — see `examples/workloads/`.
+//!
 //! Every fallible facade call returns the unified [`Error`].
 //!
-//! ## Migration from the deep paths
+//! ## Migration from the legacy per-workload methods
 //!
-//! Consumers of the pre-facade layout should switch to root items:
+//! The bespoke `Engine` methods remain as deprecated wrappers; each is
+//! one [`Workload`] value under `run`:
 //!
-//! | old deep path | new facade path |
+//! | legacy method | workload |
 //! |---|---|
-//! | `speculative_prefetch::core::skp::solve_exact` | `Engine::builder().policy("skp-exact")` or [`solve_exact`] |
-//! | `speculative_prefetch::core::policy::{PolicyKind, Prefetcher}` | [`PolicyKind`], [`Prefetcher`], [`build_policy`] |
-//! | `speculative_prefetch::core::gain::access_time_empty` | [`access_time_empty`] (or [`PlanReport::per_request`]) |
-//! | `speculative_prefetch::core::skp::upper_bound` | [`upper_bound`] (or [`PlanReport::upper_bound`]) |
-//! | `speculative_prefetch::core::ext::NetworkAwarePolicy` | `build_policy("network-aware:0.4")` |
-//! | `speculative_prefetch::core::arbitration::{PlanSolver, SubArbitration}` | [`PlanSolver`], [`SubArbitration`] |
-//! | `speculative_prefetch::access::{NgramPredictor, …}` | [`build_predictor`]`("ngram:2", n)` / root re-exports |
-//! | `speculative_prefetch::cache::{PrefetchCache, …}` | `Engine::builder().cache(k)` / root re-exports |
-//! | `speculative_prefetch::distsys::{run_session, Catalog}` | [`Engine::replay`] / root re-exports |
-//! | `speculative_prefetch::mc::trace_replay::replay` | [`Engine::run_trace`] |
+//! | `Engine::report(&s)` | `run(&Workload::plan(s))` → [`RunReport::plan`] |
+//! | `Engine::run_trace(&t)` | `run(&Workload::trace(t))` → [`RunReport::trace`] |
+//! | `Engine::monte_carlo(spec)` | `run(&Workload::monte_carlo(spec))` → [`RunReport::monte_carlo`] |
+//! | `Engine::multi_client(&c, n, s)` | `run(&Workload::multi_client(c, n, s))` → [`RunReport::multi_client`] |
+//! | `Engine::multi_client_traced(.., true)` | `run(&Workload::multi_client(..).traced(true))` + [`RunReport::events`] |
+//! | `Engine::sharded(&c, n, s)` | `run(&Workload::sharded(c, n, s))` → [`RunReport::sharded`] |
+//! | `Engine::sharded_traced(.., true)` | `run(&Workload::sharded(..).traced(true))` + [`RunReport::events`] |
 //!
 //! The per-crate module re-exports ([`core`], [`access`], [`cache`],
 //! [`distsys`], [`mc`]) remain available for power users; new code and
@@ -105,11 +110,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod predictor;
 pub mod registry;
+pub mod report;
 pub mod scenario_file;
+pub mod workload;
 
 // ---- module re-exports (advanced / legacy surface) -------------------
 pub use access_model as access;
@@ -119,14 +127,22 @@ pub use montecarlo as mc;
 pub use skp_core as core;
 
 // ---- the facade ------------------------------------------------------
-pub use engine::{
-    backend_specs, Backend, BackendSpec, Engine, MonteCarloSpec, PlanReport, SessionBuilder,
-    SimReport, TraceReport,
+pub use backend::{
+    backend_names, backend_specs, build_backend, register_backend, Backend, BackendBuilder,
+    BackendDriver, BackendSpec, McFanout, PopulationRun,
 };
+pub use engine::{Engine, SessionBuilder};
 pub use error::Error;
 pub use predictor::{build_predictor, predictor_names, predictor_specs, Predictor, PredictorSpec};
 pub use registry::{build_policy, policy_names, policy_specs, PolicySpec};
-pub use scenario_file::{parse as parse_scenario_file, ParseError, ScenarioFile};
+pub use report::{PlanReport, ReportSection, RunReport, SimReport, TraceReport};
+pub use scenario_file::{
+    parse as parse_scenario_file, parse_workload, render_workload, ChainSpec, ParseError,
+    ScenarioFile, WorkloadFile, WorkloadKind,
+};
+pub use workload::{
+    MonteCarloSpec, MonteCarloWorkload, PlanWorkload, PopulationWorkload, TraceWorkload, Workload,
+};
 
 // ---- model layer (skp-core) ------------------------------------------
 pub use skp_core::arbitration::{arbitrate, CacheEntry, PlanSolver, SubArbitration};

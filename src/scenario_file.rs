@@ -1,5 +1,10 @@
-//! A tiny text format for prefetching scenarios, so the CLI (and users'
-//! scripts) can describe decision problems without writing Rust:
+//! A tiny text format for prefetching scenarios — and, as a superset,
+//! full *workload files*: scenario + workload + backend + policy /
+//! predictor specs in one checked-in file that `skp-plan run <file>`
+//! executes, so experiments are reproducible from data instead of
+//! bespoke binaries.
+//!
+//! The scenario core ([`parse`]):
 //!
 //! ```text
 //! # comment
@@ -11,9 +16,36 @@
 //!
 //! One `v <viewing>` line (anywhere) and one `item <P> <r> [label]` line
 //! per candidate. Labels are optional and default to `item<k>`.
+//!
+//! A workload file ([`parse_workload`]) adds engine and run directives:
+//!
+//! ```text
+//! workload sharded          # plan|trace|monte-carlo|multi-client|sharded
+//! traced                    # record the mechanistic event log
+//! backend sharded:4x8:hash  # backend registry spec
+//! policy skp-exact          # policy registry spec
+//! predictor ngram:2         # predictor registry spec
+//! cache 8                   # prefetch-cache slots
+//! requests 200              # requests per client (population workloads)
+//! seed 1999                 # run seed
+//! iterations 400            # monte-carlo iterations
+//! mc-method skewy:16        # skewy[:e] | flat | zipf:<s> | dirichlet:<a>
+//! chain 24 2 4 5 20 7       # states min_fanout max_fanout v_min v_max seed
+//! access 0 10               # one trace record (trace workloads)
+//! ```
+//!
+//! The `item` lines double as the engine's catalog (retrieval time per
+//! item); population workloads browse a `chain` over that catalog, and
+//! trace workloads replay the `access` lines.
 
+use montecarlo::probgen::ProbMethod;
 use skp_core::{ModelError, Scenario};
 use std::fmt;
+
+use crate::engine::Engine;
+use crate::error::Error;
+use crate::report::RunReport;
+use crate::workload::{MonteCarloSpec, Workload};
 
 /// A parsed scenario plus the item labels from the file.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,12 +103,174 @@ impl From<ModelError> for ParseError {
     }
 }
 
-/// Parses the scenario file format from a string.
+/// Parses the scenario file format from a string (the strict scenario
+/// core: `v` and `item` lines only; see [`parse_workload`] for the full
+/// workload format).
 pub fn parse(text: &str) -> Result<ScenarioFile, ParseError> {
+    let file = parse_lines(text, false)?;
+    Ok(ScenarioFile {
+        scenario: file.scenario,
+        labels: file.labels,
+    })
+}
+
+/// Which workload shape a workload file requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadKind {
+    /// One closed-form prefetch decision on the file's scenario.
+    #[default]
+    Plan,
+    /// Replay of the file's `access` records.
+    Trace,
+    /// Monte-Carlo sweep over random scenarios of the catalog's size.
+    MonteCarlo,
+    /// Shared-channel population replay of the file's `chain`.
+    MultiClient,
+    /// Sharded population replay of the file's `chain`.
+    Sharded,
+}
+
+impl WorkloadKind {
+    /// Canonical directive text (`workload <name>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Plan => "plan",
+            WorkloadKind::Trace => "trace",
+            WorkloadKind::MonteCarlo => "monte-carlo",
+            WorkloadKind::MultiClient => "multi-client",
+            WorkloadKind::Sharded => "sharded",
+        }
+    }
+
+    /// Parses the directive text.
+    pub fn parse(text: &str) -> Option<WorkloadKind> {
+        match text {
+            "plan" => Some(WorkloadKind::Plan),
+            "trace" => Some(WorkloadKind::Trace),
+            "monte-carlo" => Some(WorkloadKind::MonteCarlo),
+            "multi-client" => Some(WorkloadKind::MultiClient),
+            "sharded" => Some(WorkloadKind::Sharded),
+            _ => None,
+        }
+    }
+}
+
+/// The `chain` directive: parameters of
+/// [`MarkovChain::random`](access_model::MarkovChain::random), so a
+/// population workload's browsing site is reproducible from the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// Number of Markov states (catalog items browsed).
+    pub states: usize,
+    /// Minimum out-degree per state.
+    pub min_fanout: usize,
+    /// Maximum out-degree per state.
+    pub max_fanout: usize,
+    /// Minimum per-state viewing time.
+    pub v_min: u32,
+    /// Maximum per-state viewing time.
+    pub v_max: u32,
+    /// Chain construction seed.
+    pub seed: u64,
+}
+
+/// A parsed workload file: the scenario core plus engine composition
+/// (policy / predictor / cache / backend specs) and the workload
+/// description. Produced by [`parse_workload`]; rendered back by
+/// [`render_workload`] (and `Display`); executed by
+/// [`WorkloadFile::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadFile {
+    /// The validated scenario (doubles as the engine catalog).
+    pub scenario: Scenario,
+    /// One label per item, file order.
+    pub labels: Vec<String>,
+    /// Which workload shape to run (default: plan).
+    pub kind: WorkloadKind,
+    /// Record the mechanistic event log.
+    pub traced: bool,
+    /// Backend registry spec (default: single-client).
+    pub backend: Option<String>,
+    /// Policy registry spec (default: skp-exact).
+    pub policy: Option<String>,
+    /// Predictor registry spec (required by trace workloads).
+    pub predictor: Option<String>,
+    /// Prefetch-cache slots.
+    pub cache: Option<usize>,
+    /// Requests per client for population workloads (default: 100).
+    pub requests: Option<u64>,
+    /// Run seed (default: 1999).
+    pub seed: Option<u64>,
+    /// Monte-Carlo iterations (default: 1000).
+    pub iterations: Option<u64>,
+    /// Monte-Carlo probability-generation method (default: skewy).
+    pub method: Option<ProbMethod>,
+    /// Browsing chain for population workloads.
+    pub chain: Option<ChainSpec>,
+    /// Trace records (`access <item> <viewing>` lines, file order).
+    pub accesses: Vec<(usize, f64)>,
+}
+
+/// Renders the workload-file format (inverse of [`parse_workload`]).
+impl fmt::Display for WorkloadFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render_workload(self))
+    }
+}
+
+fn parse_method(text: &str) -> Option<ProbMethod> {
+    let (name, param) = match text.split_once(':') {
+        None => (text, None),
+        Some((name, raw)) => (name, Some(raw.parse::<f64>().ok()?)),
+    };
+    match (name, param) {
+        ("skewy", None) => Some(ProbMethod::skewy()),
+        ("skewy", Some(exponent)) => Some(ProbMethod::Skewy { exponent }),
+        ("flat", None) => Some(ProbMethod::Flat),
+        ("zipf", Some(s)) => Some(ProbMethod::Zipf { s }),
+        ("dirichlet", Some(alpha)) => Some(ProbMethod::Dirichlet { alpha }),
+        _ => None,
+    }
+}
+
+fn render_method(method: &ProbMethod) -> String {
+    match method {
+        ProbMethod::Skewy { exponent } => format!("skewy:{exponent}"),
+        ProbMethod::Flat => "flat".to_string(),
+        ProbMethod::Zipf { s } => format!("zipf:{s}"),
+        ProbMethod::Dirichlet { alpha } => format!("dirichlet:{alpha}"),
+    }
+}
+
+/// Parses the full workload-file format (a superset of [`parse`]'s
+/// scenario format: a plain scenario file is a `plan` workload with all
+/// defaults).
+pub fn parse_workload(text: &str) -> Result<WorkloadFile, ParseError> {
+    parse_lines(text, true)
+}
+
+fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
     let mut viewing: Option<f64> = None;
     let mut probs = Vec::new();
     let mut retrievals = Vec::new();
     let mut labels = Vec::new();
+    let mut file = WorkloadFile {
+        scenario: Scenario::new(vec![1.0], vec![1.0], 0.0).expect("placeholder scenario"),
+        labels: Vec::new(),
+        kind: WorkloadKind::Plan,
+        traced: false,
+        backend: None,
+        policy: None,
+        predictor: None,
+        cache: None,
+        requests: None,
+        seed: None,
+        iterations: None,
+        method: None,
+        chain: None,
+        accesses: Vec::new(),
+    };
+    let mut saw_kind = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -89,18 +283,26 @@ pub fn parse(text: &str) -> Result<ScenarioFile, ParseError> {
             line: lineno,
             reason: reason.to_string(),
         };
-        match parts.next() {
-            Some("v") => {
-                let value: f64 = parts
+        let directive = parts.next();
+        // One scalar token after the directive, rejecting trailing junk.
+        macro_rules! one_token {
+            ($what:literal) => {{
+                let token = parts
                     .next()
-                    .ok_or_else(|| bad("'v' needs a value"))?
+                    .ok_or_else(|| bad(concat!("'", $what, "' needs a value")))?;
+                if parts.next().is_some() {
+                    return Err(bad(concat!("trailing tokens after '", $what, "'")));
+                }
+                token
+            }};
+        }
+        match directive {
+            Some("v") => {
+                let value: f64 = one_token!("v")
                     .parse()
                     .map_err(|_| bad("'v' value is not a number"))?;
                 if viewing.replace(value).is_some() {
                     return Err(bad("duplicate 'v' line"));
-                }
-                if parts.next().is_some() {
-                    return Err(bad("trailing tokens after 'v <viewing>'"));
                 }
             }
             Some("item") => {
@@ -125,10 +327,138 @@ pub fn parse(text: &str) -> Result<ScenarioFile, ParseError> {
                 retrievals.push(r);
                 labels.push(label);
             }
+            Some("workload") if workload => {
+                let kind = WorkloadKind::parse(one_token!("workload")).ok_or_else(|| {
+                    bad("'workload' expects plan|trace|monte-carlo|multi-client|sharded")
+                })?;
+                if saw_kind {
+                    return Err(bad("duplicate 'workload' line"));
+                }
+                saw_kind = true;
+                file.kind = kind;
+            }
+            Some("traced") if workload => {
+                if parts.next().is_some() {
+                    return Err(bad("trailing tokens after 'traced'"));
+                }
+                file.traced = true;
+            }
+            Some("backend") if workload => {
+                if file
+                    .backend
+                    .replace(one_token!("backend").to_string())
+                    .is_some()
+                {
+                    return Err(bad("duplicate 'backend' line"));
+                }
+            }
+            Some("policy") if workload => {
+                if file
+                    .policy
+                    .replace(one_token!("policy").to_string())
+                    .is_some()
+                {
+                    return Err(bad("duplicate 'policy' line"));
+                }
+            }
+            Some("predictor") if workload => {
+                if file
+                    .predictor
+                    .replace(one_token!("predictor").to_string())
+                    .is_some()
+                {
+                    return Err(bad("duplicate 'predictor' line"));
+                }
+            }
+            Some("cache") if workload => {
+                let slots = one_token!("cache")
+                    .parse()
+                    .map_err(|_| bad("'cache' expects a slot count"))?;
+                if file.cache.replace(slots).is_some() {
+                    return Err(bad("duplicate 'cache' line"));
+                }
+            }
+            Some("requests") if workload => {
+                let n = one_token!("requests")
+                    .parse()
+                    .map_err(|_| bad("'requests' expects a count"))?;
+                if file.requests.replace(n).is_some() {
+                    return Err(bad("duplicate 'requests' line"));
+                }
+            }
+            Some("seed") if workload => {
+                let n = one_token!("seed")
+                    .parse()
+                    .map_err(|_| bad("'seed' expects an integer"))?;
+                if file.seed.replace(n).is_some() {
+                    return Err(bad("duplicate 'seed' line"));
+                }
+            }
+            Some("iterations") if workload => {
+                let n = one_token!("iterations")
+                    .parse()
+                    .map_err(|_| bad("'iterations' expects a count"))?;
+                if file.iterations.replace(n).is_some() {
+                    return Err(bad("duplicate 'iterations' line"));
+                }
+            }
+            Some("mc-method") if workload => {
+                let method = parse_method(one_token!("mc-method"))
+                    .ok_or_else(|| bad("'mc-method' expects skewy[:e]|flat|zipf:s|dirichlet:a"))?;
+                if file.method.replace(method).is_some() {
+                    return Err(bad("duplicate 'mc-method' line"));
+                }
+            }
+            Some("chain") if workload => {
+                let mut int = |what: &str| -> Result<u64, ParseError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| {
+                            bad("'chain' needs <states> <min_fanout> <max_fanout> <v_min> <v_max> <seed>")
+                        })?
+                        .parse()
+                        .map_err(|_| bad(&format!("chain {what} is not an integer")))
+                };
+                let spec = ChainSpec {
+                    states: int("states")? as usize,
+                    min_fanout: int("min_fanout")? as usize,
+                    max_fanout: int("max_fanout")? as usize,
+                    v_min: int("v_min")? as u32,
+                    v_max: int("v_max")? as u32,
+                    seed: int("seed")?,
+                };
+                if parts.next().is_some() {
+                    return Err(bad("trailing tokens after 'chain'"));
+                }
+                if file.chain.replace(spec).is_some() {
+                    return Err(bad("duplicate 'chain' line"));
+                }
+            }
+            Some("access") if workload => {
+                let item: usize = parts
+                    .next()
+                    .ok_or_else(|| bad("'access' needs <item> <viewing>"))?
+                    .parse()
+                    .map_err(|_| bad("access item is not an index"))?;
+                let view: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad("'access' needs <item> <viewing>"))?
+                    .parse()
+                    .map_err(|_| bad("access viewing is not a number"))?;
+                if parts.next().is_some() {
+                    return Err(bad("trailing tokens after 'access'"));
+                }
+                file.accesses.push((item, view));
+            }
             Some(other) => {
-                return Err(bad(&format!(
-                    "unknown directive '{other}' (expected 'v' or 'item')"
-                )))
+                let expected = if workload {
+                    "expected a scenario ('v', 'item') or workload directive \
+                     ('workload', 'traced', 'backend', 'policy', 'predictor', 'cache', \
+                     'requests', 'seed', 'iterations', 'mc-method', 'chain', 'access')"
+                } else {
+                    "expected 'v' or 'item'"
+                };
+                return Err(bad(&format!("unknown directive '{other}' ({expected})")));
             }
             None => unreachable!("blank lines filtered"),
         }
@@ -138,8 +468,9 @@ pub fn parse(text: &str) -> Result<ScenarioFile, ParseError> {
     if probs.is_empty() {
         return Err(ParseError::NoItems);
     }
-    let scenario = Scenario::new(probs, retrievals, viewing)?;
-    Ok(ScenarioFile { scenario, labels })
+    file.scenario = Scenario::new(probs, retrievals, viewing)?;
+    file.labels = labels;
+    Ok(file)
 }
 
 /// Renders a scenario back into the file format (inverse of [`parse`]).
@@ -156,6 +487,154 @@ pub fn render(s: &Scenario, labels: &[String]) -> String {
         ));
     }
     out
+}
+
+/// Renders a workload file back into the text format (inverse of
+/// [`parse_workload`]).
+pub fn render_workload(file: &WorkloadFile) -> String {
+    let mut out = String::from("# speculative-prefetch workload\n");
+    out.push_str(&format!("workload {}\n", file.kind.name()));
+    if file.traced {
+        out.push_str("traced\n");
+    }
+    if let Some(backend) = &file.backend {
+        out.push_str(&format!("backend {backend}\n"));
+    }
+    if let Some(policy) = &file.policy {
+        out.push_str(&format!("policy {policy}\n"));
+    }
+    if let Some(predictor) = &file.predictor {
+        out.push_str(&format!("predictor {predictor}\n"));
+    }
+    if let Some(cache) = file.cache {
+        out.push_str(&format!("cache {cache}\n"));
+    }
+    if let Some(requests) = file.requests {
+        out.push_str(&format!("requests {requests}\n"));
+    }
+    if let Some(seed) = file.seed {
+        out.push_str(&format!("seed {seed}\n"));
+    }
+    if let Some(iterations) = file.iterations {
+        out.push_str(&format!("iterations {iterations}\n"));
+    }
+    if let Some(method) = &file.method {
+        out.push_str(&format!("mc-method {}\n", render_method(method)));
+    }
+    if let Some(c) = &file.chain {
+        out.push_str(&format!(
+            "chain {} {} {} {} {} {}\n",
+            c.states, c.min_fanout, c.max_fanout, c.v_min, c.v_max, c.seed
+        ));
+    }
+    out.push_str(&format!("v {}\n", file.scenario.viewing()));
+    for i in 0..file.scenario.n() {
+        let label = file
+            .labels
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("item{i}"));
+        out.push_str(&format!(
+            "item {} {} {}\n",
+            file.scenario.prob(i),
+            file.scenario.retrieval(i),
+            label
+        ));
+    }
+    for (item, viewing) in &file.accesses {
+        out.push_str(&format!("access {item} {viewing}\n"));
+    }
+    out
+}
+
+impl WorkloadFile {
+    /// Default run seed for files that omit `seed`.
+    pub const DEFAULT_SEED: u64 = 1999;
+    /// Default requests per client for files that omit `requests`.
+    pub const DEFAULT_REQUESTS: u64 = 100;
+    /// Default Monte-Carlo iterations for files that omit `iterations`.
+    pub const DEFAULT_ITERATIONS: u64 = 1000;
+
+    /// Builds the [`Workload`] value this file describes (constructing
+    /// the browsing chain / trace where needed).
+    pub fn workload(&self) -> Result<Workload, Error> {
+        use access_model::MarkovChain;
+        let workload = match self.kind {
+            WorkloadKind::Plan => Workload::plan(self.scenario.clone()),
+            WorkloadKind::Trace => {
+                let mut trace = distsys::Trace::new();
+                for &(item, viewing) in &self.accesses {
+                    trace.push(item, viewing);
+                }
+                if trace.len() < 2 {
+                    return Err(Error::InvalidParam {
+                        what: "trace workload",
+                        detail: "needs at least two 'access' lines".into(),
+                    });
+                }
+                Workload::trace(trace)
+            }
+            WorkloadKind::MonteCarlo => Workload::monte_carlo(MonteCarloSpec {
+                n_items: self.scenario.n(),
+                method: self.method.unwrap_or_else(ProbMethod::skewy),
+                iterations: self.iterations.unwrap_or(Self::DEFAULT_ITERATIONS),
+                seed: self.seed.unwrap_or(Self::DEFAULT_SEED),
+            }),
+            WorkloadKind::MultiClient | WorkloadKind::Sharded => {
+                let spec = self.chain.ok_or(Error::InvalidParam {
+                    what: "population workload",
+                    detail: "needs a 'chain <states> <min_fanout> <max_fanout> \
+                             <v_min> <v_max> <seed>' line"
+                        .into(),
+                })?;
+                let chain = MarkovChain::random(
+                    spec.states,
+                    spec.min_fanout,
+                    spec.max_fanout,
+                    spec.v_min,
+                    spec.v_max,
+                    spec.seed,
+                )
+                .map_err(|e| Error::InvalidParam {
+                    what: "workload chain",
+                    detail: e.to_string(),
+                })?;
+                let requests = self.requests.unwrap_or(Self::DEFAULT_REQUESTS);
+                let seed = self.seed.unwrap_or(Self::DEFAULT_SEED);
+                if self.kind == WorkloadKind::MultiClient {
+                    Workload::multi_client(chain, requests, seed)
+                } else {
+                    Workload::sharded(chain, requests, seed)
+                }
+            }
+        };
+        Ok(workload.traced(self.traced))
+    }
+
+    /// Builds the [`Engine`] this file composes: the `item` lines as
+    /// catalog, plus the file's policy / predictor / cache / backend
+    /// specs (engine defaults where omitted).
+    pub fn build_engine(&self) -> Result<Engine, Error> {
+        let mut builder = Engine::builder().catalog(self.scenario.retrievals().to_vec());
+        if let Some(policy) = &self.policy {
+            builder = builder.policy(policy);
+        }
+        if let Some(predictor) = &self.predictor {
+            builder = builder.predictor(predictor);
+        }
+        if let Some(cache) = self.cache {
+            builder = builder.cache(cache);
+        }
+        if let Some(backend) = &self.backend {
+            builder = builder.backend_spec(backend);
+        }
+        builder.build()
+    }
+
+    /// One-shot execution: build the engine, build the workload, run.
+    pub fn execute(&self) -> Result<RunReport, Error> {
+        self.build_engine()?.run(&self.workload()?)
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +716,135 @@ mod tests {
             parse("v 5\nitem 1 1 label extra\n").unwrap_err(),
             ParseError::BadLine { line: 2, .. }
         ));
+    }
+
+    // ---- workload files -------------------------------------------------
+
+    const WORKLOAD_SAMPLE: &str = "\
+workload sharded
+traced
+backend sharded:2x4:range
+policy network-aware:0.4
+requests 50
+seed 7
+chain 3 1 2 2 8 11
+v 10
+item 0.5 8 front
+item 0.3 6 sports
+item 0.2 9 video
+";
+
+    #[test]
+    fn workload_file_parses_and_roundtrips() {
+        let f = parse_workload(WORKLOAD_SAMPLE).unwrap();
+        assert_eq!(f.kind, WorkloadKind::Sharded);
+        assert!(f.traced);
+        assert_eq!(f.backend.as_deref(), Some("sharded:2x4:range"));
+        assert_eq!(f.policy.as_deref(), Some("network-aware:0.4"));
+        assert_eq!(f.requests, Some(50));
+        assert_eq!(f.seed, Some(7));
+        assert_eq!(
+            f.chain,
+            Some(ChainSpec {
+                states: 3,
+                min_fanout: 1,
+                max_fanout: 2,
+                v_min: 2,
+                v_max: 8,
+                seed: 11,
+            })
+        );
+        assert_eq!(f.scenario.n(), 3);
+        let again = parse_workload(&f.to_string()).unwrap();
+        assert_eq!(again, f);
+    }
+
+    #[test]
+    fn plain_scenario_is_a_default_plan_workload() {
+        let f = parse_workload(SAMPLE).unwrap();
+        assert_eq!(f.kind, WorkloadKind::Plan);
+        assert!(!f.traced);
+        assert!(f.backend.is_none() && f.policy.is_none());
+        assert!(f.accesses.is_empty());
+    }
+
+    #[test]
+    fn strict_parse_rejects_workload_directives() {
+        let e = parse("v 5\nitem 1 1\nworkload plan\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadLine { line: 3, .. }));
+    }
+
+    #[test]
+    fn workload_duplicates_and_bad_values_rejected() {
+        let base = "v 5\nitem 1 1\n";
+        for extra in [
+            "workload plan\nworkload trace\n",
+            "workload warp\n",
+            "backend a\nbackend b\n",
+            "cache none\n",
+            "chain 3 1 2 2\n",
+            "mc-method cubic\n",
+            "access 1\n",
+            "traced yes\n",
+        ] {
+            let text = format!("{base}{extra}");
+            assert!(
+                matches!(parse_workload(&text), Err(ParseError::BadLine { .. })),
+                "{extra:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn mc_method_syntax_roundtrips() {
+        for (text, canonical) in [
+            ("skewy", "skewy:16"),
+            ("skewy:4", "skewy:4"),
+            ("flat", "flat"),
+            ("zipf:1.1", "zipf:1.1"),
+            ("dirichlet:0.5", "dirichlet:0.5"),
+        ] {
+            let m = parse_method(text).unwrap_or_else(|| panic!("{text} must parse"));
+            assert_eq!(render_method(&m), canonical);
+            assert_eq!(parse_method(&render_method(&m)), Some(m));
+        }
+        assert_eq!(parse_method("zipf"), None);
+        assert_eq!(parse_method("skewy:x"), None);
+    }
+
+    #[test]
+    fn workload_builds_trace_and_rejects_short_traces() {
+        let text = "v 5\nitem 0.5 2\nitem 0.5 3\nworkload trace\npredictor ngram:1\n\
+                    access 0 5\naccess 1 5\naccess 0 5\n";
+        let f = parse_workload(text).unwrap();
+        let w = f.workload().unwrap();
+        assert_eq!(w.name(), "trace");
+        let short = parse_workload("v 5\nitem 1 1\nworkload trace\naccess 0 5\n").unwrap();
+        assert!(short.workload().is_err());
+    }
+
+    #[test]
+    fn population_workload_requires_a_chain() {
+        let f = parse_workload("v 5\nitem 1 1\nworkload multi-client\n").unwrap();
+        assert!(matches!(
+            f.workload(),
+            Err(crate::Error::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn execute_runs_a_plan_file_end_to_end() {
+        let report = parse_workload(SAMPLE).unwrap().execute().unwrap();
+        let plan = report.plan().expect("plan section");
+        assert!(plan.gain > 0.0);
+        assert_eq!(report.access.count, 3);
+    }
+
+    #[test]
+    fn execute_runs_a_sharded_file_end_to_end() {
+        let report = parse_workload(WORKLOAD_SAMPLE).unwrap().execute().unwrap();
+        let sharded = report.sharded().expect("sharded section");
+        assert_eq!(sharded.requests(), 4 * 50);
+        assert!(!report.events.is_empty(), "traced file records events");
     }
 }

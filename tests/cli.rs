@@ -1,4 +1,7 @@
-//! End-to-end test of the `skp-plan` CLI binary.
+//! End-to-end test of the `skp-plan` CLI binary: planning mode, the
+//! `run <workload-file>` mode, JSON output (validated with a tiny
+//! in-test JSON parser — the workspace is offline-shim only, no serde),
+//! and consistency between `--list` and the backend registry.
 
 use std::process::Command;
 
@@ -98,4 +101,283 @@ fn list_enumerates_policies_predictors_and_backends() {
         );
     }
     assert!(stdout.contains("hash|range|hot-cold"));
+}
+
+/// Registry consistency: `--list` enumerates *exactly* the backend
+/// registry (no drift between `backend_specs()` and the list
+/// subcommand), and every registered backend's spec round-trips
+/// through parse → `name()` → parse to a fixed point.
+#[test]
+fn list_backends_match_the_registry_exactly() {
+    let (stdout, _, ok) = run_cli(&["--list"]);
+    assert!(ok);
+    let listed: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("registered backends"))
+        .skip(1)
+        .take_while(|l| l.starts_with("  "))
+        .map(|l| l.split_whitespace().next().expect("name column"))
+        .collect();
+    let registry: Vec<&str> = speculative_prefetch::backend_specs()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(listed, registry, "--list drifted from backend_specs()");
+
+    for spec in speculative_prefetch::backend_specs() {
+        // Registry name → driver → name(): the identity.
+        let driver = speculative_prefetch::build_backend(spec.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(driver.name(), spec.name);
+        // Canonical spec string → driver: a fixed point.
+        let canonical = driver.spec_string();
+        let again = speculative_prefetch::build_backend(&canonical)
+            .unwrap_or_else(|e| panic!("{canonical}: {e}"));
+        assert_eq!(again.name(), spec.name);
+        assert_eq!(again.spec_string(), canonical);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The `run <workload-file>` mode.
+// ---------------------------------------------------------------------
+
+#[test]
+fn run_executes_a_plan_workload_file() {
+    let path = write_scenario(
+        "wf_plan.skp",
+        "workload plan\npolicy exact\nv 10\nitem 0.5 8 front\nitem 0.3 6 sports\nitem 0.2 9 video\n",
+    );
+    let (stdout, stderr, ok) = run_cli(&["run", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("workload plan on backend single-client"));
+    assert!(stdout.contains(r#"prefetch ["front"]"#), "{stdout}");
+    assert!(stdout.contains("access: count 3"));
+}
+
+#[test]
+fn run_executes_a_sharded_workload_file() {
+    let path = write_scenario(
+        "wf_sharded.skp",
+        "workload sharded\ntraced\nbackend sharded:2x4:range\nrequests 20\nseed 7\n\
+         chain 4 1 2 2 8 11\nv 5\nitem 0.25 3 a\nitem 0.25 4 b\nitem 0.25 5 c\nitem 0.25 6 d\n",
+    );
+    let (stdout, stderr, ok) = run_cli(&["run", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("backend sharded:2x4:range"), "{stdout}");
+    assert!(stdout.contains("sharded: 80 requests"), "{stdout}");
+    assert!(stdout.contains("shard 0:") && stdout.contains("shard 1:"));
+    assert!(stdout.contains("events:"), "traced file must report events");
+}
+
+#[test]
+fn run_reports_workload_file_errors() {
+    let path = write_scenario(
+        "wf_bad.skp",
+        "workload multi-client\nv 5\nitem 1 1\n", // population without a chain
+    );
+    let (_, stderr, ok) = run_cli(&["run", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("chain"), "stderr: {stderr}");
+
+    let (_, stderr, ok) = run_cli(&["run", "/nonexistent/wf.skp"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn run_json_output_parses_for_every_workload_shape() {
+    let files = [
+        (
+            "wf_json_plan.skp",
+            "workload plan\nv 10\nitem 0.5 8 fr\u{f8}nt\"q\nitem 0.5 6\n",
+        ),
+        (
+            "wf_json_trace.skp",
+            "workload trace\npredictor ngram:1\ncache 2\nv 5\nitem 0.5 3 a\nitem 0.5 4 b\n\
+             access 0 5\naccess 1 5\naccess 0 5\naccess 1 5\n",
+        ),
+        (
+            "wf_json_mc.skp",
+            "workload monte-carlo\nbackend monte-carlo:4x1\niterations 50\nseed 3\n\
+             mc-method flat\nv 5\nitem 0.5 3 a\nitem 0.5 4 b\n",
+        ),
+        (
+            "wf_json_multi.skp",
+            "workload multi-client\nbackend multi-client:3\nrequests 15\nchain 3 1 2 2 8 1\n\
+             v 5\nitem 0.3 3 a\nitem 0.3 4 b\nitem 0.4 5 c\n",
+        ),
+        (
+            "wf_json_sharded.skp",
+            "workload sharded\nbackend sharded:2x3:hash\nrequests 15\nchain 3 1 2 2 8 1\n\
+             v 5\nitem 0.3 3 a\nitem 0.3 4 b\nitem 0.4 5 c\n",
+        ),
+    ];
+    for (name, body) in files {
+        let path = write_scenario(name, body);
+        let (stdout, stderr, ok) = run_cli(&["run", path.to_str().unwrap(), "--format", "json"]);
+        assert!(ok, "{name} stderr: {stderr}");
+        let json = stdout.trim();
+        json::check(json).unwrap_or_else(|e| panic!("{name}: invalid JSON ({e}):\n{json}"));
+        assert!(json.starts_with("{\"workload\":\""), "{name}: {json}");
+        assert!(json.contains("\"access\":{\"count\":"), "{name}: {json}");
+        assert!(json.contains("\"section\":{"), "{name}: {json}");
+    }
+}
+
+/// Planning mode's `--format json` must stay valid JSON too.
+#[test]
+fn plan_json_output_parses() {
+    let path = write_scenario(
+        "json_plan.scn",
+        "# demo\nv 10\nitem 0.5 8 front\nitem 0.3 6 sports\nitem 0.2 9 video\n",
+    );
+    let (stdout, stderr, ok) = run_cli(&[path.to_str().unwrap(), "--format", "json"]);
+    assert!(ok, "stderr: {stderr}");
+    let json = stdout.trim();
+    json::check(json).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{json}"));
+    assert!(json.contains("\"plans\":["));
+}
+
+/// A minimal recursive-descent JSON syntax checker — just enough to
+/// assert the CLI's hand-rolled encoder emits well-formed JSON (the
+/// workspace is offline-shim only; no serde).
+mod json {
+    pub fn check(text: &str) -> Result<(), String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => string(b, pos),
+            Some(b't') => literal(b, pos, "true"),
+            Some(b'f') => literal(b, pos, "false"),
+            Some(b'n') => literal(b, pos, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+            other => Err(format!("unexpected {other:?} at byte {pos}")),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len()
+            && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // opening quote
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                        Some(b'u') => {
+                            if b.len() < *pos + 5
+                                || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                            {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                            *pos += 5;
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {pos}")),
+                    }
+                }
+                0x00..=0x1f => return Err(format!("raw control byte in string at {pos}")),
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // '{'
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {pos}"));
+            }
+            string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {pos}"));
+            }
+            *pos += 1;
+            value(b, pos)?;
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?} at byte {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // '['
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            value(b, pos)?;
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?} at byte {pos}")),
+            }
+        }
+    }
 }

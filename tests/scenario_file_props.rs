@@ -1,8 +1,12 @@
 //! Property tests for the scenario-file format: parse/render roundtrips
-//! and robustness against arbitrary text.
+//! and robustness against arbitrary text — for the plain scenario core
+//! and for full workload files over every `Workload` variant.
 
 use proptest::prelude::*;
-use speculative_prefetch::scenario_file::{parse, render};
+use speculative_prefetch::scenario_file::{
+    parse, parse_workload, render, render_workload, ChainSpec, WorkloadKind,
+};
+use speculative_prefetch::ProbMethod;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -83,5 +87,175 @@ proptest! {
     ) {
         let text = tokens.join(" ");
         let _ = parse(&text);
+    }
+
+    /// Workload-file parse ∘ render is the identity over every
+    /// `Workload` variant, with randomly present engine directives.
+    #[test]
+    fn workload_roundtrip(
+        weights in proptest::collection::vec(1u32..1000, 2..10),
+        retrievals in proptest::collection::vec(1u32..100, 10),
+        viewing in 0u32..200,
+        kind_pick in 0usize..5,
+        traced in proptest::bool::ANY,
+        backend_pick in 0usize..5,
+        policy_pick in 0usize..3,
+        predictor_present in proptest::bool::ANY,
+        cache_pick in 0usize..33,
+        requests_pick in 0u64..5000,
+        seed_present in proptest::bool::ANY,
+        seed_val in 0u64..1_000_000,
+        iterations_pick in 0u64..100_000,
+        method_pick in 0usize..5,
+        chain_seed in 0u64..10_000,
+        accesses in proptest::collection::vec((0usize..10, 0u32..50), 0..20),
+    ) {
+        let kind = [
+            WorkloadKind::Plan,
+            WorkloadKind::Trace,
+            WorkloadKind::MonteCarlo,
+            WorkloadKind::MultiClient,
+            WorkloadKind::Sharded,
+        ][kind_pick];
+        // Index 0 of each pick means "directive absent".
+        let backend = [
+            None,
+            Some("single-client".to_string()),
+            Some("multi-client:6".to_string()),
+            Some("sharded:4x8:hot-cold@3".to_string()),
+            Some("monte-carlo:8x0".to_string()),
+        ][backend_pick]
+            .clone();
+        let policy = [
+            None,
+            Some("skp-exact".to_string()),
+            Some("network-aware:0.4".to_string()),
+        ][policy_pick]
+            .clone();
+        let predictor = predictor_present.then(|| "ngram:2".to_string());
+        let cache = (cache_pick > 0).then_some(cache_pick);
+        let requests = (requests_pick > 0).then_some(requests_pick);
+        let seed = seed_present.then_some(seed_val);
+        let iterations = (iterations_pick > 0).then_some(iterations_pick);
+        let n = weights.len();
+        let sum: f64 = weights.iter().map(|&w| w as f64).sum();
+        let mut text = format!("workload {}\n", kind.name());
+        if traced {
+            text.push_str("traced\n");
+        }
+        for (directive, value) in [
+            ("backend", &backend),
+            ("policy", &policy),
+            ("predictor", &predictor),
+        ] {
+            if let Some(v) = value {
+                text.push_str(&format!("{directive} {v}\n"));
+            }
+        }
+        for (directive, value) in [
+            ("cache", cache.map(|c| c as u64)),
+            ("requests", requests),
+            ("seed", seed),
+            ("iterations", iterations),
+        ] {
+            if let Some(v) = value {
+                text.push_str(&format!("{directive} {v}\n"));
+            }
+        }
+        let method = (method_pick > 0).then(|| [
+            ProbMethod::skewy(),
+            ProbMethod::Flat,
+            ProbMethod::Zipf { s: 1.5 },
+            ProbMethod::Dirichlet { alpha: 0.5 },
+        ][method_pick - 1]);
+        match method {
+            Some(ProbMethod::Skewy { exponent }) => {
+                text.push_str(&format!("mc-method skewy:{exponent}\n"));
+            }
+            Some(ProbMethod::Flat) => text.push_str("mc-method flat\n"),
+            Some(ProbMethod::Zipf { s }) => text.push_str(&format!("mc-method zipf:{s}\n")),
+            Some(ProbMethod::Dirichlet { alpha }) => {
+                text.push_str(&format!("mc-method dirichlet:{alpha}\n"));
+            }
+            None => {}
+        }
+        let chain = if matches!(kind, WorkloadKind::MultiClient | WorkloadKind::Sharded) {
+            let spec = ChainSpec {
+                states: n.max(2),
+                min_fanout: 1,
+                max_fanout: n.max(2) - 1,
+                v_min: 1,
+                v_max: 9,
+                seed: chain_seed,
+            };
+            text.push_str(&format!(
+                "chain {} {} {} {} {} {}\n",
+                spec.states, spec.min_fanout, spec.max_fanout, spec.v_min, spec.v_max, spec.seed
+            ));
+            Some(spec)
+        } else {
+            None
+        };
+        text.push_str(&format!("v {viewing}\n"));
+        for i in 0..n {
+            text.push_str(&format!(
+                "item {} {} it{}\n",
+                weights[i] as f64 / sum,
+                retrievals[i],
+                i
+            ));
+        }
+        for (item, view) in &accesses {
+            text.push_str(&format!("access {item} {view}\n"));
+        }
+
+        let parsed = parse_workload(&text).expect("well-formed workload file");
+        prop_assert_eq!(parsed.kind, kind);
+        prop_assert_eq!(parsed.traced, traced);
+        prop_assert_eq!(&parsed.backend, &backend);
+        prop_assert_eq!(&parsed.policy, &policy);
+        prop_assert_eq!(&parsed.predictor, &predictor);
+        prop_assert_eq!(parsed.cache, cache);
+        prop_assert_eq!(parsed.requests, requests);
+        prop_assert_eq!(parsed.seed, seed);
+        prop_assert_eq!(parsed.iterations, iterations);
+        prop_assert_eq!(parsed.method, method);
+        prop_assert_eq!(parsed.chain, chain);
+        prop_assert_eq!(parsed.accesses.len(), accesses.len());
+        prop_assert_eq!(parsed.scenario.n(), n);
+
+        // parse ∘ render is the identity on the parsed value (both the
+        // free function and the Display impl).
+        let rendered = render_workload(&parsed);
+        let again = parse_workload(&rendered).expect("render emits valid workload files");
+        prop_assert_eq!(&again, &parsed);
+        let display = parse_workload(&parsed.to_string()).expect("Display emits valid files");
+        prop_assert_eq!(&display, &parsed);
+    }
+
+    /// Workload-directive token soup never panics: it parses or errors.
+    #[test]
+    fn workload_token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("v".to_string()),
+                Just("item".to_string()),
+                Just("workload".to_string()),
+                Just("traced".to_string()),
+                Just("backend".to_string()),
+                Just("chain".to_string()),
+                Just("access".to_string()),
+                Just("mc-method".to_string()),
+                Just("sharded".to_string()),
+                Just("\n".to_string()),
+                Just("0.5".to_string()),
+                Just("7".to_string()),
+                Just("nan".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let text = tokens.join(" ");
+        let _ = parse_workload(&text);
     }
 }

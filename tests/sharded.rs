@@ -1,8 +1,9 @@
 //! Acceptance tests for the sharded backend: the `shards = 1` system
 //! reproduces the legacy shared-channel backend **event for event**, and
-//! sharding monotonically relieves contention on a uniform workload.
+//! sharding monotonically relieves contention on a uniform workload —
+//! all driven through the unified `Engine::run` / `Workload` surface.
 
-use speculative_prefetch::{Backend, Engine, EventKind, MarkovChain, Placement};
+use speculative_prefetch::{Backend, Engine, EventKind, MarkovChain, Placement, Workload};
 
 const N: usize = 32;
 
@@ -27,18 +28,19 @@ fn engine(backend: Backend, policy: &str) -> Engine {
 fn one_shard_reproduces_multi_client_event_for_event() {
     let chain = MarkovChain::random(N, 3, 6, 4, 12, 21).expect("valid chain");
     for policy in ["skp-exact", "no-prefetch"] {
-        let legacy = engine(Backend::MultiClient { clients: 5 }, policy);
-        let (legacy_result, legacy_log) = legacy
-            .multi_client_traced(&chain, 30, 1999, true)
-            .expect("legacy backend runs");
-        assert!(!legacy_log.is_empty());
+        let mc_workload = Workload::multi_client(chain.clone(), 30, 1999).traced(true);
+        let mut legacy = engine(Backend::MultiClient { clients: 5 }, policy);
+        let legacy_run = legacy.run(&mc_workload).expect("legacy backend runs");
+        let legacy_result = legacy_run.multi_client().expect("multi-client section");
+        assert!(!legacy_run.events.is_empty());
 
+        let sh_workload = Workload::sharded(chain.clone(), 30, 1999).traced(true);
         for placement in [
             Placement::Hash,
             Placement::Range,
             Placement::HotCold { hot_items: 8 },
         ] {
-            let sharded = engine(
+            let mut sharded = engine(
                 Backend::Sharded {
                     shards: 1,
                     clients: 5,
@@ -46,13 +48,16 @@ fn one_shard_reproduces_multi_client_event_for_event() {
                 },
                 policy,
             );
-            let (report, log) = sharded
-                .sharded_traced(&chain, 30, 1999, true)
-                .expect("sharded backend runs");
+            let run = sharded.run(&sh_workload).expect("sharded backend runs");
+            let report = run.sharded().expect("sharded section");
             // Exact event order, timestamps included.
-            assert_eq!(legacy_log, log, "{policy}/{placement:?} diverged");
+            assert_eq!(
+                legacy_run.events, run.events,
+                "{policy}/{placement:?} diverged"
+            );
             // And the aggregate reports carry the same common stats.
             assert_eq!(legacy_result.access, report.access);
+            assert_eq!(legacy_run.access, run.access);
             assert_eq!(legacy_result.wasted_transfer, report.wasted_transfer);
             assert_eq!(legacy_result.total_transfer, report.total_transfer);
             assert_eq!(legacy_result.utilisation, report.utilisation);
@@ -68,6 +73,7 @@ fn mean_stall_time_non_increasing_in_shards() {
     // Near-uniform workload: full fan-out, short viewing times, so the
     // single channel is heavily contended and capacity dominates.
     let chain = MarkovChain::random(N, N - 1, N - 1, 2, 6, 9).expect("valid chain");
+    let workload = Workload::sharded(chain, 150, 1999);
     let mut last = f64::INFINITY;
     for shards in [1usize, 2, 4, 8] {
         let report = engine(
@@ -78,7 +84,7 @@ fn mean_stall_time_non_increasing_in_shards() {
             },
             "skp-exact",
         )
-        .sharded(&chain, 150, 1999)
+        .run(&workload)
         .expect("runs");
         assert!(
             report.access.mean <= last + 1e-9,
@@ -97,7 +103,7 @@ fn mean_stall_time_non_increasing_in_shards() {
 fn reports_share_the_common_stats_block() {
     let chain = MarkovChain::random(N, 3, 6, 4, 12, 3).expect("valid chain");
     let mc = engine(Backend::MultiClient { clients: 4 }, "skp-exact")
-        .multi_client(&chain, 25, 7)
+        .run(&Workload::multi_client(chain.clone(), 25, 7))
         .expect("runs");
     let sh = engine(
         Backend::Sharded {
@@ -107,7 +113,7 @@ fn reports_share_the_common_stats_block() {
         },
         "skp-exact",
     )
-    .sharded(&chain, 25, 7)
+    .run(&Workload::sharded(chain.clone(), 25, 7))
     .expect("runs");
     // Same fields, same meaning: requests and orderings hold on both.
     assert_eq!(mc.access.count, sh.access.count);
@@ -119,7 +125,7 @@ fn reports_share_the_common_stats_block() {
     assert!(sh.access.mean <= mc.access.mean + 1e-9);
 
     // Event-log consistency: requests alternate with services per client.
-    let (report, log) = engine(
+    let run = engine(
         Backend::Sharded {
             shards: 2,
             clients: 3,
@@ -127,11 +133,16 @@ fn reports_share_the_common_stats_block() {
         },
         "skp-exact",
     )
-    .sharded_traced(&chain, 10, 7, true)
+    .run(&Workload::sharded(chain, 10, 7).traced(true))
     .expect("runs");
-    let served = log.iter().filter(|e| e.kind == EventKind::Served).count();
+    let report = run.sharded().expect("sharded section");
+    let served = run
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Served)
+        .count();
     assert_eq!(served as u64, report.requests());
-    for e in &log {
+    for e in &run.events {
         assert!(e.shard < 2 && e.item < N && e.client < 3);
     }
 }
