@@ -1,0 +1,106 @@
+//! Sequential vs parallel sharded executor across the clients × shards
+//! grid — the wall-clock acceptance bench of the parallel subsystem.
+//!
+//! Every cell runs the identical workload on `sharded:SxC:hash` and
+//! `parallel:SxC:hash:0` and (a) asserts the two `RunReport`s are
+//! bit-identical — the equivalence path CI exercises with `--quick` —
+//! and (b) reports both wall-clock times and the speed-up. The custom
+//! `main` (no criterion harness) is what lets `--quick` shrink the grid
+//! for CI while keeping the equivalence assertion.
+
+use speculative_prefetch::{Engine, MarkovChain, RunReport, Workload};
+use std::time::{Duration, Instant};
+
+const N: usize = 48;
+
+fn engine(backend_spec: &str) -> Engine {
+    Engine::builder()
+        .policy("skp-exact")
+        .backend_spec(backend_spec)
+        .catalog((0..N).map(|i| 1.0 + (i % 30) as f64).collect())
+        .build()
+        .expect("valid session")
+}
+
+fn timed(engine: &mut Engine, workload: &Workload, samples: usize) -> (RunReport, Duration) {
+    let report = engine.run(workload).expect("runs"); // warm-up + result
+    let start = Instant::now();
+    for _ in 0..samples {
+        std::hint::black_box(engine.run(workload).expect("runs"));
+    }
+    (report, start.elapsed() / samples as u32)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (requests, samples): (u64, usize) = if quick { (150, 1) } else { (300, 3) };
+    // Uniform workload: full fan-out, uniform-ish retrievals (the
+    // acceptance grid of the parallel subsystem).
+    let chain = MarkovChain::random(N, N - 1, N - 1, 3, 8, 3).expect("valid chain");
+    let shard_grid: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8, 16] };
+    let client_grid: &[usize] = if quick { &[8] } else { &[8, 32] };
+
+    println!("sequential-vs-parallel sharded executor (requests/client = {requests})");
+    let mut at_4_or_more = Vec::new();
+    for &clients in client_grid {
+        for &shards in shard_grid {
+            let workload = Workload::sharded(chain.clone(), requests, 1999);
+            let (seq_report, seq_time) = timed(
+                &mut engine(&format!("sharded:{shards}x{clients}:hash")),
+                &workload,
+                samples,
+            );
+            // Single-worker parallel spec: plan memoisation without
+            // threading — the middle column that separates the two
+            // contributions so a threading regression is visible.
+            let (one_report, one_time) = timed(
+                &mut engine(&format!("parallel:{shards}x{clients}:hash:1")),
+                &workload,
+                samples,
+            );
+            let (par_report, par_time) = timed(
+                &mut engine(&format!("parallel:{shards}x{clients}:hash:0")),
+                &workload,
+                samples,
+            );
+            // The equivalence path: identical reports, always.
+            assert_eq!(
+                seq_report, par_report,
+                "parallel diverged from sequential at {shards}x{clients}"
+            );
+            assert_eq!(
+                seq_report, one_report,
+                "single-worker parallel diverged from sequential at {shards}x{clients}"
+            );
+            let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-12);
+            let threading = one_time.as_secs_f64() / par_time.as_secs_f64().max(1e-12);
+            println!(
+                "  {shards:>2} shards x {clients:>2} clients: sequential {:>8.3} ms  \
+                 memoised-1w {:>8.3} ms  parallel {:>8.3} ms  \
+                 ({speedup:.2}x total, {threading:.2}x from threads)",
+                seq_time.as_secs_f64() * 1e3,
+                one_time.as_secs_f64() * 1e3,
+                par_time.as_secs_f64() * 1e3,
+            );
+            if shards >= 4 {
+                at_4_or_more.push((shards, clients, seq_time, par_time));
+            }
+        }
+    }
+    // The acceptance claim: at >= 4 shards the parallel executor is no
+    // slower than the sequential one on the uniform workload. Reported
+    // (and asserted outside --quick, where timings are stable enough).
+    let ok = at_4_or_more
+        .iter()
+        .all(|&(_, _, seq, par)| par <= seq + Duration::from_millis(1));
+    println!(
+        "parallel <= sequential at >= 4 shards: {}",
+        if ok { "yes" } else { "NO" }
+    );
+    if !quick {
+        assert!(
+            ok,
+            "parallel executor slower than sequential at >= 4 shards"
+        );
+    }
+}

@@ -17,6 +17,13 @@
 //!   (hash / range / hot–cold [`Placement`]), and the sharded
 //!   multi-client simulation [`ShardedSim`] with per-shard queues,
 //!   service channels and [`ShardReport`] statistics;
+//! - [`parallel`] — the conservative parallel executor
+//!   [`ParallelShardedSim`]: per-shard worker threads synchronised by
+//!   lookahead-derived epoch barriers, bit-identical to the sequential
+//!   scheduler on the same seed;
+//! - [`exec`] — shared deterministic-parallel plumbing (thread-pool
+//!   sizing, ordered parallel map, seed derivation) used by the
+//!   parallel executor and the Monte-Carlo runner alike;
 //! - [`network`] — links (latency + bandwidth) and item catalogs mapping
 //!   items to retrieval times, including the paper's `r ∈ [1, 30]`
 //!   uniform catalog;
@@ -48,8 +55,10 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod exec;
 pub mod multiclient;
 pub mod network;
+pub mod parallel;
 pub mod scheduler;
 pub mod session;
 pub mod shared;
@@ -58,6 +67,7 @@ pub mod trace;
 
 pub use engine::EventQueue;
 pub use network::{Catalog, Link, RetrievalModel};
+pub use parallel::ParallelShardedSim;
 pub use scheduler::{
     access_time_sharded, EventKind, Flow, Placement, Scheduler, ShardMap, ShardReport, ShardStats,
     ShardedSim, SimEvent,

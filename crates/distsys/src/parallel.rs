@@ -1,0 +1,541 @@
+//! Conservative parallel execution of the sharded discrete-event
+//! simulation.
+//!
+//! [`ParallelShardedSim`] runs the same workload as
+//! [`ShardedSim`](crate::scheduler::ShardedSim) — same clients, same
+//! shards, same seed — but fans the per-shard work out across worker
+//! threads (crossbeam scoped threads + channels), synchronised by epoch
+//! barriers derived from the simulation's **lookahead**: the minimum
+//! cross-shard event latency,
+//!
+//! ```text
+//! L = min( min_i retrieval(i), min_s viewing(s) ) .
+//! ```
+//!
+//! Handling an event at time `t` can only schedule follow-up events at
+//! `t + retrieval ≥ t + L` (a transfer) or `t + viewing ≥ t + L` (the
+//! next request), so once the simulation clock crosses an epoch boundary
+//! `k·L` the window `[(k-1)·L, k·L)` is **causally closed**: nothing
+//! processed later can affect it. That conservative guarantee is what
+//! lets each closed epoch's per-shard operations ship to the shard's
+//! worker as one batch while the coordinator races ahead — at most a
+//! bounded number of epochs (the barrier window) in front of the slowest
+//! worker.
+//!
+//! ## Work split and the determinism contract
+//!
+//! The run is decomposed along the only seams that preserve exact
+//! floating-point behaviour:
+//!
+//! - the **coordinator** drives the event loop itself — the identical
+//!   [`SimState`](crate::scheduler) handlers the sequential executor
+//!   uses, so the event sequence, tie-breaks, RNG draws, trace log and
+//!   global accumulators are the same by construction;
+//! - each **shard worker** owns its shards' measurement state (busy
+//!   time, queue-depth accounting, stall histograms) and folds the
+//!   epoch batches in per-shard order — the same floating-point
+//!   additions in the same order as the sequential fold;
+//! - **planning is memoised** per `(client, state)`: each distinct pair
+//!   is planned once and the plan reused for every later round, which
+//!   is both a large speed win (the policy solves a knapsack per plan)
+//!   and exactly result-preserving for policies that are pure functions
+//!   of `(client, state)` — every registry policy is.
+//!
+//! The contract, pinned by the workspace equivalence tests
+//! (`tests/parallel.rs`): **on the same seed, a parallel run's report
+//! and event log are bit-identical to the sequential scheduler's,
+//! whatever the thread count.** Workloads with zero lookahead (a zero
+//! viewing time or retrieval time) have no conservative window and fall
+//! back to the sequential core — results are still identical, only the
+//! overlap is lost.
+
+use std::collections::HashMap;
+
+use crossbeam::channel;
+
+use crate::exec;
+use crate::scheduler::{
+    ChannelStats, ClientPolicy, ClientWorkload, Ev, Flow, Placement, Scheduler, ShardObserver,
+    ShardReport, ShardedSim, SimEvent, SimState,
+};
+
+/// How many closed epochs the coordinator may run ahead of the slowest
+/// shard worker before blocking on its barrier acknowledgement.
+const BARRIER_WINDOW: u64 = 8;
+
+/// One per-shard measurement operation — the wire form of the
+/// [`ShardObserver`] stream a worker folds.
+#[derive(Debug, Clone, Copy)]
+enum ShardOp {
+    /// A job entered the queue, which now holds `depth` jobs.
+    Queued { depth: usize },
+    /// A transfer started, occupying the channel for `duration`.
+    Started { duration: f64 },
+    /// A transfer finished; the queue held `depth` jobs at that instant.
+    Finished { depth: usize },
+    /// A request owned by this shard stalled for this long.
+    Stall(f64),
+}
+
+/// Coordinator → worker messages.
+enum Msg {
+    /// The closed epoch's operations for one of the worker's shards,
+    /// in per-shard stream order.
+    Ops { shard: usize, ops: Vec<ShardOp> },
+    /// Epoch barrier: everything up to epoch `epoch` has been sent.
+    Barrier { epoch: u64 },
+}
+
+/// The batching observer: buffers each shard's operations until the
+/// epoch closes, then the coordinator flushes the buffers to the owning
+/// workers.
+struct BatchObserver {
+    buffers: Vec<Vec<ShardOp>>,
+}
+
+/// Ships every non-empty shard buffer to the worker owning that shard —
+/// the one definition of the shard → worker routing (`shard % workers`,
+/// matching the `w, w + workers, …` ownership stride in `run_core`).
+fn flush_ops(buffers: &mut [Vec<ShardOp>], worker_tx: &[channel::Sender<Msg>]) {
+    for (shard, buffer) in buffers.iter_mut().enumerate() {
+        if !buffer.is_empty() {
+            worker_tx[shard % worker_tx.len()]
+                .send(Msg::Ops {
+                    shard,
+                    ops: std::mem::take(buffer),
+                })
+                .expect("worker alive");
+        }
+    }
+}
+
+impl BatchObserver {
+    fn new(shards: usize) -> Self {
+        Self {
+            buffers: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+impl ShardObserver for BatchObserver {
+    fn queued(&mut self, shard: usize, depth: usize) {
+        self.buffers[shard].push(ShardOp::Queued { depth });
+    }
+    fn started(&mut self, shard: usize, duration: f64) {
+        self.buffers[shard].push(ShardOp::Started { duration });
+    }
+    fn finished(&mut self, shard: usize, depth: usize) {
+        self.buffers[shard].push(ShardOp::Finished { depth });
+    }
+    fn stall(&mut self, shard: usize, stall: f64) {
+        self.buffers[shard].push(ShardOp::Stall(stall));
+    }
+}
+
+/// Memoises plans per `(client, state)` — the parallel executor's
+/// planning cache (see the module docs for the purity contract).
+struct CachedPolicy<'a> {
+    inner: &'a mut dyn ClientPolicy,
+    plans: HashMap<(usize, usize), Vec<usize>>,
+    /// Keys whose memoised plan was cross-checked against a fresh plan
+    /// (debug builds only — see [`ClientPolicy::plan`] below).
+    verified: std::collections::HashSet<(usize, usize)>,
+}
+
+impl<'a> CachedPolicy<'a> {
+    fn new(inner: &'a mut dyn ClientPolicy) -> Self {
+        Self {
+            inner,
+            plans: HashMap::new(),
+            verified: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl ClientPolicy for CachedPolicy<'_> {
+    fn plan(&mut self, client: usize, state: usize) -> Vec<usize> {
+        if let Some(plan) = self.plans.get(&(client, state)) {
+            let plan = plan.clone();
+            // Debug builds re-plan each key's first cache hit and
+            // verify the purity contract, so a stateful policy fails
+            // loudly in tests instead of silently diverging from the
+            // sequential run.
+            if cfg!(debug_assertions) && self.verified.insert((client, state)) {
+                assert_eq!(
+                    plan,
+                    self.inner.plan(client, state),
+                    "the parallel executor memoises plans: the policy must be \
+                     a pure function of (client, state)"
+                );
+            }
+            return plan;
+        }
+        let plan = self.inner.plan(client, state);
+        self.plans.insert((client, state), plan.clone());
+        plan
+    }
+}
+
+/// The parallel sharded simulation: the configuration of
+/// [`ShardedSim`](crate::scheduler::ShardedSim) plus a worker-thread
+/// count, producing **bit-identical** results on the same seed.
+///
+/// `threads = 0` resolves to [`exec::default_threads`] over the shard
+/// count; the effective worker count is always capped by the number of
+/// shards (one worker owns one or more whole shards, never half of
+/// one).
+pub struct ParallelShardedSim<'a, W: ClientWorkload> {
+    /// Shared workload definition (per-state viewing and transitions).
+    pub workload: &'a W,
+    /// Retrieval time of each item on its shard's channel.
+    pub retrievals: &'a [f64],
+    /// Number of clients.
+    pub clients: usize,
+    /// Number of server shards.
+    pub shards: usize,
+    /// How items are placed on shards.
+    pub placement: Placement,
+    /// Requests to serve per client.
+    pub requests_per_client: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto: hardware parallelism capped by the
+    /// shard count).
+    pub threads: usize,
+}
+
+impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
+    /// Runs the simulation with the given planning policy.
+    ///
+    /// # Panics
+    /// Panics when `clients == 0`, `shards == 0`, or retrieval data does
+    /// not cover the workload's items.
+    pub fn run(&self, policy: &mut dyn ClientPolicy) -> ShardReport {
+        self.run_core(policy, None)
+    }
+
+    /// Like [`run`](Self::run), but also records the full mechanistic
+    /// event log — identical, event for event, to the sequential
+    /// executor's.
+    pub fn run_traced(&self, policy: &mut dyn ClientPolicy) -> (ShardReport, Vec<SimEvent>) {
+        let mut log = Vec::new();
+        let report = self.run_core(policy, Some(&mut log));
+        (report, log)
+    }
+
+    /// The conservative lookahead: the minimum latency between an event
+    /// and any event it can schedule.
+    fn lookahead(&self) -> f64 {
+        let min_retrieval = self
+            .retrievals
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let min_viewing = (0..self.workload.n_items())
+            .map(|s| self.workload.viewing(s))
+            .fold(f64::INFINITY, f64::min);
+        min_retrieval.min(min_viewing)
+    }
+
+    /// Effective worker count: the requested (or auto) thread count,
+    /// capped by the shard count.
+    fn workers(&self) -> usize {
+        let requested = if self.threads == 0 {
+            exec::default_threads(self.shards)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, self.shards.max(1))
+    }
+
+    fn run_core(
+        &self,
+        policy: &mut dyn ClientPolicy,
+        trace: Option<&mut Vec<SimEvent>>,
+    ) -> ShardReport {
+        let mut cached = CachedPolicy::new(policy);
+        let lookahead = self.lookahead();
+        let workers = self.workers();
+        if workers <= 1 || !(lookahead > 0.0 && lookahead.is_finite()) {
+            // No conservative window (or nothing to overlap with): run
+            // the sequential core — same handlers, same results.
+            let sequential = ShardedSim {
+                workload: self.workload,
+                retrievals: self.retrievals,
+                clients: self.clients,
+                shards: self.shards,
+                placement: self.placement,
+                requests_per_client: self.requests_per_client,
+                seed: self.seed,
+            };
+            return match trace {
+                None => sequential.run(&mut cached),
+                Some(log) => {
+                    let (report, events) = sequential.run_traced(&mut cached);
+                    *log = events;
+                    report
+                }
+            };
+        }
+
+        let shards = self.shards;
+        let total_requests = self.requests_per_client * self.clients as u64;
+        crossbeam::thread::scope(|scope| {
+            let (ack_tx, ack_rx) = channel::unbounded::<(usize, u64)>();
+            let (res_tx, res_rx) = channel::unbounded::<(usize, ChannelStats)>();
+            let mut worker_tx = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (tx, rx) = channel::unbounded::<Msg>();
+                worker_tx.push(tx);
+                let ack_tx = ack_tx.clone();
+                let res_tx = res_tx.clone();
+                // Worker w owns shards w, w + workers, w + 2·workers, …
+                scope.spawn(move |_| {
+                    let mut owned: Vec<ChannelStats> = (w..shards)
+                        .step_by(workers)
+                        .map(|_| ChannelStats::new())
+                        .collect();
+                    for msg in rx {
+                        match msg {
+                            Msg::Ops { shard, ops } => {
+                                let stats = &mut owned[(shard - w) / workers];
+                                for op in ops {
+                                    match op {
+                                        ShardOp::Queued { depth } => stats.queued(depth),
+                                        ShardOp::Started { duration } => stats.started(duration),
+                                        ShardOp::Finished { depth } => stats.finished(depth),
+                                        ShardOp::Stall(stall) => stats.stall(stall),
+                                    }
+                                }
+                            }
+                            // The coordinator may already have exited the
+                            // run loop and dropped the ack receiver.
+                            Msg::Barrier { epoch } => {
+                                let _ = ack_tx.send((w, epoch));
+                            }
+                        }
+                    }
+                    // Input closed: the run is over. Report each owned
+                    // shard's accumulated statistics.
+                    for (i, stats) in owned.into_iter().enumerate() {
+                        let _ = res_tx.send((w + i * workers, stats));
+                    }
+                });
+            }
+            drop(ack_tx);
+            drop(res_tx);
+
+            // The coordinator: the exact sequential event loop, with
+            // measurements streaming out through the batching observer.
+            let mut obs = BatchObserver::new(shards);
+            let mut st = SimState::new(
+                self.workload,
+                self.retrievals,
+                self.clients,
+                shards,
+                self.placement,
+                self.seed,
+                trace,
+            );
+            let mut sched: Scheduler<Ev> = Scheduler::new();
+            st.kickoff(&mut cached, &mut sched, &mut obs);
+
+            let mut epoch: u64 = 0;
+            let mut boundary = lookahead;
+            let mut acked = vec![0u64; workers];
+            let span = sched.run(|now, ev, q| {
+                if now >= boundary {
+                    // The window behind `boundary` is causally closed:
+                    // flush it and advance to the boundary just past
+                    // `now` (idle stretches close many epochs at once).
+                    epoch += 1;
+                    flush_ops(&mut obs.buffers, &worker_tx);
+                    for tx in &worker_tx {
+                        tx.send(Msg::Barrier { epoch }).expect("worker alive");
+                    }
+                    boundary = ((now / lookahead).floor() + 1.0) * lookahead;
+                    // Conservative synchronisation: stay at most
+                    // BARRIER_WINDOW closed epochs ahead of the slowest
+                    // worker.
+                    while acked.iter().copied().min().expect("workers exist") + BARRIER_WINDOW
+                        < epoch
+                    {
+                        let (w, e) = ack_rx.recv().expect("worker alive");
+                        acked[w] = acked[w].max(e);
+                    }
+                }
+                match ev {
+                    Ev::Request(c) => st.on_request(c, now, q, &mut cached, &mut obs),
+                    Ev::JobDone(shard) => st.on_job_done(shard, now, q, &mut cached, &mut obs),
+                }
+                if st.served() >= total_requests {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            });
+
+            // Final (possibly partial) epoch, then close the streams.
+            flush_ops(&mut obs.buffers, &worker_tx);
+            drop(worker_tx);
+
+            let mut per_shard: Vec<Option<ChannelStats>> = (0..shards).map(|_| None).collect();
+            for (shard, stats) in res_rx {
+                per_shard[shard] = Some(stats);
+            }
+            let stats: Vec<ChannelStats> = per_shard
+                .into_iter()
+                .map(|s| s.expect("every shard reported"))
+                .collect();
+            st.build_report(span, stats)
+        })
+        .expect("no worker panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    /// Deterministic round-robin workload (mirrors the scheduler tests).
+    struct RoundRobin {
+        viewing: f64,
+        n: usize,
+    }
+    impl ClientWorkload for RoundRobin {
+        fn viewing(&self, _state: usize) -> f64 {
+            self.viewing
+        }
+        fn next(&self, state: usize, _rng: &mut SmallRng) -> usize {
+            (state + 1) % self.n
+        }
+        fn n_items(&self) -> usize {
+            self.n
+        }
+    }
+
+    fn sequential<'a>(
+        workload: &'a RoundRobin,
+        retrievals: &'a [f64],
+        shards: usize,
+    ) -> ShardedSim<'a, RoundRobin> {
+        ShardedSim {
+            workload,
+            retrievals,
+            clients: 6,
+            shards,
+            placement: Placement::Hash,
+            requests_per_client: 50,
+            seed: 42,
+        }
+    }
+
+    fn parallel<'a>(
+        workload: &'a RoundRobin,
+        retrievals: &'a [f64],
+        shards: usize,
+        threads: usize,
+    ) -> ParallelShardedSim<'a, RoundRobin> {
+        ParallelShardedSim {
+            workload,
+            retrievals,
+            clients: 6,
+            shards,
+            placement: Placement::Hash,
+            requests_per_client: 50,
+            seed: 42,
+            threads,
+        }
+    }
+
+    #[test]
+    fn matches_sequential_bit_for_bit() {
+        let rr = RoundRobin {
+            viewing: 2.0,
+            n: 12,
+        };
+        let retrievals: Vec<f64> = (0..12).map(|i| 1.0 + (i % 5) as f64).collect();
+        for shards in [2usize, 3, 5] {
+            let mut p1 = |_c: usize, s: usize| vec![(s + 1) % 12];
+            let (seq, seq_log) = sequential(&rr, &retrievals, shards).run_traced(&mut p1);
+            let mut p2 = |_c: usize, s: usize| vec![(s + 1) % 12];
+            let (par, par_log) = parallel(&rr, &retrievals, shards, 3).run_traced(&mut p2);
+            assert_eq!(seq, par, "{shards} shards diverged");
+            assert_eq!(seq_log, par_log, "{shards} shards: event logs diverged");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let rr = RoundRobin {
+            viewing: 3.0,
+            n: 10,
+        };
+        let retrievals = vec![2.0; 10];
+        let mut reports = Vec::new();
+        for threads in [0usize, 1, 2, 4, 9] {
+            let mut policy = |_c: usize, s: usize| vec![(s + 1) % 10, (s + 2) % 10];
+            reports.push(parallel(&rr, &retrievals, 4, threads).run(&mut policy));
+        }
+        for r in &reports[1..] {
+            assert_eq!(reports[0], *r);
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_falls_back_to_the_sequential_core() {
+        // A zero viewing time leaves no conservative window; the run
+        // must still complete and agree with the sequential executor.
+        let rr = RoundRobin { viewing: 0.0, n: 6 };
+        let retrievals = vec![3.0; 6];
+        let mut p1 = |_c: usize, _s: usize| Vec::new();
+        let seq = sequential(&rr, &retrievals, 3).run(&mut p1);
+        let mut p2 = |_c: usize, _s: usize| Vec::new();
+        let par = parallel(&rr, &retrievals, 3, 4).run(&mut p2);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn plans_are_memoised_per_client_and_state() {
+        let rr = RoundRobin { viewing: 2.0, n: 4 };
+        let retrievals = vec![1.0; 4];
+        let mut calls = 0u64;
+        let mut policy = |_c: usize, s: usize| {
+            calls += 1;
+            vec![(s + 1) % 4]
+        };
+        let report = parallel(&rr, &retrievals, 2, 2).run(&mut policy);
+        assert_eq!(report.requests(), 6 * 50);
+        // At most one planner call per (client, state) pair, plus one
+        // purity cross-check per pair in debug builds — never the
+        // 6 * 50 per-round calls of the sequential executor.
+        assert!(calls <= 6 * 4 * 2, "planner called {calls} times");
+    }
+
+    /// The debug purity cross-check: a stateful policy violates the
+    /// memoisation contract and must fail loudly (in debug builds)
+    /// rather than silently diverge from the sequential executor.
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "purity check is debug-only")]
+    #[should_panic] // message is rewrapped by the scope's panic handling
+    fn stateful_policy_fails_the_purity_check() {
+        let rr = RoundRobin { viewing: 2.0, n: 4 };
+        let retrievals = vec![1.0; 4];
+        let mut round = 0usize;
+        let mut policy = |_c: usize, _s: usize| {
+            round += 1;
+            vec![round % 4] // depends on call history, not (client, state)
+        };
+        let _ = parallel(&rr, &retrievals, 2, 2).run(&mut policy);
+    }
+
+    #[test]
+    fn workers_cap_at_the_shard_count() {
+        let rr = RoundRobin { viewing: 2.0, n: 8 };
+        let retrievals = vec![2.0; 8];
+        let sim = parallel(&rr, &retrievals, 3, 64);
+        assert_eq!(sim.workers(), 3);
+        assert!(parallel(&rr, &retrievals, 3, 0).workers() >= 1);
+    }
+}

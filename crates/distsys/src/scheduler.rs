@@ -289,9 +289,10 @@ struct Job {
     round: u64,
 }
 
-/// Scheduler event payload of the sharded system.
+/// Scheduler event payload of the sharded system (shared with the
+/// [parallel executor](crate::parallel)).
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
+pub(crate) enum Ev {
     /// Client finished viewing and requests its next item.
     Request(usize),
     /// A shard finished the job at the head of its channel.
@@ -407,44 +408,119 @@ pub struct ShardedSim<'a, W: ClientWorkload> {
     pub seed: u64,
 }
 
-/// One shard's channel state during a run.
-struct Channel {
+/// Scheduling state of one shard channel: the FIFO queue and the job in
+/// service — exactly what the event loop needs to decide *when* things
+/// happen. Measurement counters live in [`ChannelStats`], reached
+/// through a [`ShardObserver`], so the sequential and parallel executors
+/// drive one state machine and differ only in where the statistics fold.
+struct ChannelSched {
     queue: VecDeque<Job>,
     in_service: Option<Job>,
     busy_until: f64,
-    busy_time: f64,
-    total_transfer: f64,
-    jobs: u64,
-    queue_len_sum: f64,
-    queue_samples: u64,
-    max_queue_depth: usize,
-    stalls: Histogram,
 }
 
-impl Channel {
+impl ChannelSched {
     fn new() -> Self {
         Self {
             queue: VecDeque::new(),
             in_service: None,
             busy_until: 0.0,
+        }
+    }
+}
+
+/// The per-shard measurement stream of a run: every statistics mutation,
+/// in per-shard order. The sequential executor applies each operation
+/// inline (`Vec<ChannelStats>`); the parallel executor batches them to
+/// the owning shard's worker thread. Both fold the identical stream with
+/// the identical floating-point operation order, which is what makes the
+/// two executors' reports bit-equal.
+pub(crate) trait ShardObserver {
+    /// A job entered the shard's queue, which now holds `depth` jobs.
+    fn queued(&mut self, shard: usize, depth: usize);
+    /// A transfer started, occupying the channel for `duration`.
+    fn started(&mut self, shard: usize, duration: f64);
+    /// A transfer finished; the queue held `depth` jobs at that instant.
+    fn finished(&mut self, shard: usize, depth: usize);
+    /// A request owned by this shard was served after `stall` time units.
+    fn stall(&mut self, shard: usize, stall: f64);
+}
+
+/// Measurement accumulator of one shard channel — the fold target of the
+/// [`ShardObserver`] stream.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChannelStats {
+    pub(crate) jobs: u64,
+    pub(crate) busy_time: f64,
+    pub(crate) total_transfer: f64,
+    pub(crate) queue_len_sum: f64,
+    pub(crate) queue_samples: u64,
+    pub(crate) max_queue_depth: usize,
+    pub(crate) stalls: Histogram,
+}
+
+impl ChannelStats {
+    pub(crate) fn new() -> Self {
+        Self {
+            jobs: 0,
             busy_time: 0.0,
             total_transfer: 0.0,
-            jobs: 0,
             queue_len_sum: 0.0,
             queue_samples: 0,
             max_queue_depth: 0,
             stalls: Histogram::stalls(),
         }
     }
+
+    pub(crate) fn queued(&mut self, depth: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    pub(crate) fn started(&mut self, duration: f64) {
+        self.busy_time += duration;
+        self.total_transfer += duration;
+        self.jobs += 1;
+    }
+
+    pub(crate) fn finished(&mut self, depth: usize) {
+        self.queue_len_sum += depth as f64;
+        self.queue_samples += 1;
+    }
+
+    pub(crate) fn stall(&mut self, stall: f64) {
+        self.stalls.record(stall);
+    }
+}
+
+/// The inline (sequential) observer: fold straight into the per-shard
+/// accumulators.
+impl ShardObserver for Vec<ChannelStats> {
+    fn queued(&mut self, shard: usize, depth: usize) {
+        self[shard].queued(depth);
+    }
+    fn started(&mut self, shard: usize, duration: f64) {
+        self[shard].started(duration);
+    }
+    fn finished(&mut self, shard: usize, depth: usize) {
+        self[shard].finished(depth);
+    }
+    fn stall(&mut self, shard: usize, stall: f64) {
+        self[shard].stall(stall);
+    }
 }
 
 /// All mutable state of one run, so the event handlers can live as
 /// methods instead of a closure juggling a dozen `&mut` locals.
-struct SimState<'a, 'p, W: ClientWorkload> {
+///
+/// Shared by the sequential [`ShardedSim`] and the parallel executor in
+/// [`crate::parallel`]: both drive exactly these handlers, so the event
+/// sequence (and therefore every derived number) cannot drift between
+/// the two.
+pub(crate) struct SimState<'a, 'p, W: ClientWorkload> {
     workload: &'a W,
     retrievals: &'a [f64],
     map: ShardMap,
-    channels: Vec<Channel>,
+    channels: Vec<ChannelSched>,
     rngs: Vec<SmallRng>,
     state: Vec<usize>,
     round: Vec<u64>,
@@ -462,7 +538,126 @@ struct SimState<'a, 'p, W: ClientWorkload> {
     trace: Option<&'p mut Vec<SimEvent>>,
 }
 
-impl<W: ClientWorkload> SimState<'_, '_, W> {
+impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
+    /// Validates the topology and seeds the per-client RNGs and start
+    /// states — the common prologue of both executors.
+    ///
+    /// # Panics
+    /// Panics when `clients == 0` or retrieval data does not cover the
+    /// workload's items (`shards == 0` panics in [`ShardMap::new`]).
+    pub(crate) fn new(
+        workload: &'a W,
+        retrievals: &'a [f64],
+        clients: usize,
+        shards: usize,
+        placement: Placement,
+        seed: u64,
+        trace: Option<&'p mut Vec<SimEvent>>,
+    ) -> Self {
+        assert!(clients >= 1, "need at least one client");
+        assert!(
+            retrievals.len() >= workload.n_items(),
+            "retrievals must cover the item universe"
+        );
+        let map = ShardMap::new(shards, retrievals.len(), placement);
+        let mut rngs: Vec<SmallRng> = (0..clients)
+            .map(|c| SmallRng::seed_from_u64(seed ^ (0xC11E * (c as u64 + 1))))
+            .collect();
+        let state = rngs
+            .iter_mut()
+            .map(|r| r.random_range(0..workload.n_items()))
+            .collect();
+        Self {
+            workload,
+            retrievals,
+            map,
+            channels: (0..shards).map(|_| ChannelSched::new()).collect(),
+            rngs,
+            state,
+            round: vec![0; clients],
+            pending_alpha: vec![None; clients],
+            done_this_round: vec![Vec::new(); clients],
+            planned_this_round: vec![Vec::new(); clients],
+            served: 0,
+            samples: Vec::new(),
+            wasted_transfer: 0.0,
+            dirty: Vec::new(),
+            scratch: Vec::new(),
+            trace,
+        }
+    }
+
+    /// Requests served so far (both executors stop on the same count).
+    #[inline]
+    pub(crate) fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Plans and queues every client's opening round at `t = 0` and
+    /// schedules the first requests.
+    pub(crate) fn kickoff(
+        &mut self,
+        policy: &mut dyn ClientPolicy,
+        sched: &mut Scheduler<Ev>,
+        obs: &mut dyn ShardObserver,
+    ) {
+        for c in 0..self.state.len() {
+            let plan = policy.plan(c, self.state[c]);
+            self.planned_this_round[c] = plan.clone();
+            for item in plan {
+                self.push_job(
+                    Job {
+                        client: c,
+                        item,
+                        kind: JobKind::Prefetch,
+                        duration: self.retrievals[item],
+                        round: self.round[c],
+                    },
+                    obs,
+                );
+            }
+            sched.schedule(self.workload.viewing(self.state[c]), Ev::Request(c));
+        }
+        self.start_dirty(0.0, sched.queue_mut(), obs);
+    }
+
+    /// Folds the run's outcome into the report, identically on every
+    /// executor: per-shard stats in shard order, then the aggregate
+    /// sums — the floating-point operation order is part of the
+    /// bit-equality contract.
+    pub(crate) fn build_report(mut self, span: f64, stats: Vec<ChannelStats>) -> ShardReport {
+        let n_shards = stats.len();
+        let shards: Vec<ShardStats> = stats
+            .into_iter()
+            .enumerate()
+            .map(|(i, ch)| ShardStats {
+                shard: i,
+                jobs: ch.jobs,
+                busy_time: ch.busy_time,
+                utilisation: if span > 0.0 {
+                    ch.busy_time.min(span) / span
+                } else {
+                    0.0
+                },
+                mean_queue_depth: if ch.queue_samples == 0 {
+                    0.0
+                } else {
+                    ch.queue_len_sum / ch.queue_samples as f64
+                },
+                max_queue_depth: ch.max_queue_depth,
+                total_transfer: ch.total_transfer,
+                stalls: ch.stalls,
+            })
+            .collect();
+        ShardReport {
+            access: AccessStats::from_samples(&mut self.samples),
+            utilisation: shards.iter().map(|s| s.utilisation).sum::<f64>() / n_shards as f64,
+            wasted_transfer: self.wasted_transfer,
+            total_transfer: shards.iter().map(|s| s.total_transfer).sum(),
+            shards,
+        }
+    }
+
     fn record(&mut self, at: f64, client: usize, item: usize, kind: EventKind) {
         if let Some(log) = self.trace.as_deref_mut() {
             log.push(SimEvent {
@@ -476,11 +671,11 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
     }
 
     /// Queues a job on its owning shard.
-    fn push_job(&mut self, job: Job) {
+    fn push_job(&mut self, job: Job, obs: &mut dyn ShardObserver) {
         let shard = self.map.shard_of(job.item);
         let ch = &mut self.channels[shard];
         ch.queue.push_back(job);
-        ch.max_queue_depth = ch.max_queue_depth.max(ch.queue.len());
+        obs.queued(shard, ch.queue.len());
         self.dirty.push(shard);
     }
 
@@ -489,7 +684,7 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
     /// per event — in ascending shard order so the event sequence is
     /// identical to a full scan; duplicate marks are harmless (the
     /// channel is busy by the second attempt).
-    fn start_dirty(&mut self, now: f64, q: &mut EventQueue<Ev>) {
+    fn start_dirty(&mut self, now: f64, q: &mut EventQueue<Ev>, obs: &mut dyn ShardObserver) {
         if self.dirty.is_empty() {
             return;
         }
@@ -503,10 +698,8 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
                 if let Some(job) = ch.queue.pop_front() {
                     let start = now.max(ch.busy_until);
                     ch.busy_until = start + job.duration;
-                    ch.busy_time += job.duration;
-                    ch.total_transfer += job.duration;
-                    ch.jobs += 1;
                     ch.in_service = Some(job);
+                    obs.started(shard, job.duration);
                     q.schedule(ch.busy_until, Ev::JobDone(shard));
                     if tracing {
                         started.push((start, job));
@@ -520,45 +713,49 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
         }
     }
 
-    fn on_request(
+    pub(crate) fn on_request(
         &mut self,
         c: usize,
         now: f64,
         q: &mut EventQueue<Ev>,
         policy: &mut dyn ClientPolicy,
+        obs: &mut dyn ShardObserver,
     ) {
         let alpha = self.workload.next(self.state[c], &mut self.rngs[c]);
         self.record(now, c, alpha, EventKind::Request);
         if self.done_this_round[c].contains(&alpha) {
             // Served instantly from this round's completed transfers.
-            self.finish_request(c, alpha, now, now, q, policy);
+            self.finish_request(c, alpha, now, now, q, policy, obs);
         } else if self.planned_this_round[c].contains(&alpha) {
             // In flight or queued: wait for its completion.
             self.pending_alpha[c] = Some((alpha, now));
         } else {
             // Demand fetch at the owning shard's queue tail (FIFO).
-            self.push_job(Job {
-                client: c,
-                item: alpha,
-                kind: JobKind::Demand,
-                duration: self.retrievals[alpha],
-                round: self.round[c],
-            });
+            self.push_job(
+                Job {
+                    client: c,
+                    item: alpha,
+                    kind: JobKind::Demand,
+                    duration: self.retrievals[alpha],
+                    round: self.round[c],
+                },
+                obs,
+            );
             self.pending_alpha[c] = Some((alpha, now));
         }
-        self.start_dirty(now, q);
+        self.start_dirty(now, q, obs);
     }
 
-    fn on_job_done(
+    pub(crate) fn on_job_done(
         &mut self,
         shard: usize,
         now: f64,
         q: &mut EventQueue<Ev>,
         policy: &mut dyn ClientPolicy,
+        obs: &mut dyn ShardObserver,
     ) {
         let ch = &mut self.channels[shard];
-        ch.queue_len_sum += ch.queue.len() as f64;
-        ch.queue_samples += 1;
+        obs.finished(shard, ch.queue.len());
         let job = ch.in_service.take().expect("a job was in service");
         // The channel is free again: re-mark it so queued work restarts.
         self.dirty.push(shard);
@@ -568,17 +765,18 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
             if let Some((alpha, req_at)) = self.pending_alpha[job.client] {
                 if alpha == job.item {
                     self.pending_alpha[job.client] = None;
-                    self.finish_request(job.client, alpha, now, req_at, q, policy);
+                    self.finish_request(job.client, alpha, now, req_at, q, policy, obs);
                 }
             }
         } else if job.kind == JobKind::Prefetch {
             // Stale prefetch from a previous round: pure waste.
             self.wasted_transfer += job.duration;
         }
-        self.start_dirty(now, q);
+        self.start_dirty(now, q, obs);
     }
 
     /// A request was served: account for it and start the next round.
+    #[allow(clippy::too_many_arguments)]
     fn finish_request(
         &mut self,
         c: usize,
@@ -587,11 +785,11 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
         requested_at: f64,
         q: &mut EventQueue<Ev>,
         policy: &mut dyn ClientPolicy,
+        obs: &mut dyn ShardObserver,
     ) {
         let stall = now - requested_at;
         self.samples.push(stall);
-        let shard = self.map.shard_of(alpha);
-        self.channels[shard].stalls.record(stall);
+        obs.stall(self.map.shard_of(alpha), stall);
         self.record(now, c, alpha, EventKind::Served);
         self.served += 1;
         // Waste accounting: completed transfers of this round that were
@@ -609,13 +807,16 @@ impl<W: ClientWorkload> SimState<'_, '_, W> {
         let plan = policy.plan(c, self.state[c]);
         self.planned_this_round[c] = plan.clone();
         for item in plan {
-            self.push_job(Job {
-                client: c,
-                item,
-                kind: JobKind::Prefetch,
-                duration: self.retrievals[item],
-                round: self.round[c],
-            });
+            self.push_job(
+                Job {
+                    client: c,
+                    item,
+                    kind: JobKind::Prefetch,
+                    duration: self.retrievals[item],
+                    round: self.round[c],
+                },
+                obs,
+            );
         }
         q.schedule(now + self.workload.viewing(self.state[c]), Ev::Request(c));
     }
@@ -644,102 +845,32 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
         policy: &mut dyn ClientPolicy,
         trace: Option<&mut Vec<SimEvent>>,
     ) -> ShardReport {
-        assert!(self.clients >= 1, "need at least one client");
-        assert!(
-            self.retrievals.len() >= self.workload.n_items(),
-            "retrievals must cover the item universe"
-        );
-        let map = ShardMap::new(self.shards, self.retrievals.len(), self.placement);
-        let n_clients = self.clients;
-        let total_requests = self.requests_per_client * n_clients as u64;
-
-        let rngs: Vec<SmallRng> = (0..n_clients)
-            .map(|c| SmallRng::seed_from_u64(self.seed ^ (0xC11E * (c as u64 + 1))))
-            .collect();
-        let mut st = SimState {
-            workload: self.workload,
-            retrievals: self.retrievals,
-            map,
-            channels: (0..self.shards).map(|_| Channel::new()).collect(),
-            rngs,
-            state: Vec::new(),
-            round: vec![0; n_clients],
-            pending_alpha: vec![None; n_clients],
-            done_this_round: vec![Vec::new(); n_clients],
-            planned_this_round: vec![Vec::new(); n_clients],
-            served: 0,
-            samples: Vec::new(),
-            wasted_transfer: 0.0,
-            dirty: Vec::new(),
-            scratch: Vec::new(),
+        let total_requests = self.requests_per_client * self.clients as u64;
+        let mut stats: Vec<ChannelStats> = (0..self.shards).map(|_| ChannelStats::new()).collect();
+        let mut st = SimState::new(
+            self.workload,
+            self.retrievals,
+            self.clients,
+            self.shards,
+            self.placement,
+            self.seed,
             trace,
-        };
-        st.state = st
-            .rngs
-            .iter_mut()
-            .map(|r| r.random_range(0..self.workload.n_items()))
-            .collect();
-
+        );
         let mut sched: Scheduler<Ev> = Scheduler::new();
-        // Kick off: every client starts a round at t = 0.
-        for c in 0..n_clients {
-            let plan = policy.plan(c, st.state[c]);
-            st.planned_this_round[c] = plan.clone();
-            for item in plan {
-                st.push_job(Job {
-                    client: c,
-                    item,
-                    kind: JobKind::Prefetch,
-                    duration: self.retrievals[item],
-                    round: st.round[c],
-                });
-            }
-            sched.schedule(self.workload.viewing(st.state[c]), Ev::Request(c));
-        }
-        st.start_dirty(0.0, sched.queue_mut());
+        st.kickoff(policy, &mut sched, &mut stats);
 
         let span = sched.run(|now, ev, q| {
             match ev {
-                Ev::Request(c) => st.on_request(c, now, q, policy),
-                Ev::JobDone(shard) => st.on_job_done(shard, now, q, policy),
+                Ev::Request(c) => st.on_request(c, now, q, policy, &mut stats),
+                Ev::JobDone(shard) => st.on_job_done(shard, now, q, policy, &mut stats),
             }
-            if st.served >= total_requests {
+            if st.served() >= total_requests {
                 Flow::Stop
             } else {
                 Flow::Continue
             }
         });
-
-        let shards: Vec<ShardStats> = st
-            .channels
-            .iter()
-            .enumerate()
-            .map(|(i, ch)| ShardStats {
-                shard: i,
-                jobs: ch.jobs,
-                busy_time: ch.busy_time,
-                utilisation: if span > 0.0 {
-                    ch.busy_time.min(span) / span
-                } else {
-                    0.0
-                },
-                mean_queue_depth: if ch.queue_samples == 0 {
-                    0.0
-                } else {
-                    ch.queue_len_sum / ch.queue_samples as f64
-                },
-                max_queue_depth: ch.max_queue_depth,
-                total_transfer: ch.total_transfer,
-                stalls: ch.stalls.clone(),
-            })
-            .collect();
-        ShardReport {
-            access: AccessStats::from_samples(&mut st.samples),
-            utilisation: shards.iter().map(|s| s.utilisation).sum::<f64>() / self.shards as f64,
-            wasted_transfer: st.wasted_transfer,
-            total_transfer: shards.iter().map(|s| s.total_transfer).sum(),
-            shards,
-        }
+        st.build_report(span, stats)
     }
 }
 

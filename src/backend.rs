@@ -15,8 +15,16 @@
 //! single-client
 //! multi-client:<clients>
 //! sharded:<shards>x<clients>[:<hash|range|hot-cold@K>]
+//! parallel:<shards>x<clients>[:<hash|range|hot-cold@K>[:<threads>]]
 //! monte-carlo:<chunks>[x<threads>]
 //! ```
+//!
+//! The `parallel:` family is the sharded substrate on the conservative
+//! parallel executor ([`ParallelShardedSim`]): per-shard worker threads
+//! synchronised by lookahead epochs, **bit-identical** to the matching
+//! `sharded:` spec on the same seed (`threads` 0 = auto). It is wired
+//! up purely through this registry — `engine.rs` needed no edits,
+//! exactly the extension seam PR 3 promised.
 
 use std::sync::{Arc, LazyLock, RwLock};
 
@@ -24,7 +32,7 @@ use access_model::MarkovChain;
 use distsys::multiclient::{ClientPolicy, ClientWorkload, MultiClientSim};
 use distsys::scheduler::{Placement, ShardedSim, SimEvent};
 use distsys::stats::AccessStats;
-use distsys::{run_session, Catalog, SessionConfig, ShardMap};
+use distsys::{run_session, Catalog, ParallelShardedSim, SessionConfig, ShardMap};
 use montecarlo::parallel::default_threads;
 use rand::rngs::SmallRng;
 
@@ -303,6 +311,23 @@ impl BackendDriver for MultiClientDriver {
     }
 }
 
+/// The sharded substrate's session timing model, shared by the
+/// sequential and parallel drivers (one definition: the executors
+/// differ, the simulated system does not).
+fn sharded_session_access_time(
+    shards: usize,
+    placement: Placement,
+    catalog: &Catalog,
+    cfg: &SessionConfig<'_>,
+) -> f64 {
+    use distsys::RetrievalModel;
+    distsys::access_time_sharded(
+        catalog,
+        cfg,
+        &ShardMap::new(shards, catalog.n_items(), placement),
+    )
+}
+
 /// The catalog partitioned across per-shard FIFO channels.
 struct ShardedDriver {
     shards: usize,
@@ -339,12 +364,7 @@ impl BackendDriver for ShardedDriver {
     }
 
     fn session_access_time(&self, catalog: &Catalog, cfg: &SessionConfig<'_>) -> f64 {
-        use distsys::RetrievalModel;
-        distsys::access_time_sharded(
-            catalog,
-            cfg,
-            &ShardMap::new(self.shards, catalog.n_items(), self.placement),
-        )
+        sharded_session_access_time(self.shards, self.placement, catalog, cfg)
     }
 
     fn supports_population(&self) -> bool {
@@ -370,6 +390,84 @@ impl BackendDriver for ShardedDriver {
         } else {
             (sim.run(run.planner), Vec::new())
         };
+        Ok((report.access, ReportSection::Sharded(report), log))
+    }
+}
+
+/// The sharded substrate on the conservative parallel executor:
+/// per-shard worker threads behind lookahead-derived epoch barriers,
+/// bit-identical to [`ShardedDriver`] on the same seed (pinned by
+/// `tests/parallel.rs`). Registered purely through the backend
+/// registry — the engine has no knowledge of it.
+struct ParallelDriver {
+    shards: usize,
+    clients: usize,
+    placement: Placement,
+    /// Worker threads (0 = auto: hardware parallelism capped by shards).
+    threads: usize,
+}
+
+impl BackendDriver for ParallelDriver {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn spec_string(&self) -> String {
+        format!(
+            "parallel:{}x{}:{}:{}",
+            self.shards, self.clients, self.placement, self.threads
+        )
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if self.shards == 0 {
+            return Err(Error::InvalidParam {
+                what: "parallel backend",
+                detail: "needs at least one shard".into(),
+            });
+        }
+        if self.clients == 0 {
+            return Err(Error::InvalidParam {
+                what: "parallel backend",
+                detail: "needs at least one client".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn session_access_time(&self, catalog: &Catalog, cfg: &SessionConfig<'_>) -> f64 {
+        // Same substrate timing model as the sharded backend — the
+        // executors differ, the simulated system does not.
+        sharded_session_access_time(self.shards, self.placement, catalog, cfg)
+    }
+
+    fn supports_population(&self) -> bool {
+        true
+    }
+
+    fn run_population(
+        &self,
+        run: PopulationRun<'_>,
+    ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        let workload = MarkovWorkload(run.chain);
+        let sim = ParallelShardedSim {
+            workload: &workload,
+            retrievals: run.retrievals,
+            clients: self.clients,
+            shards: self.shards,
+            placement: self.placement,
+            requests_per_client: run.requests_per_client,
+            seed: run.seed,
+            threads: self.threads,
+        };
+        let (report, log) = if run.traced {
+            sim.run_traced(run.planner)
+        } else {
+            (sim.run(run.planner), Vec::new())
+        };
+        // The section is `Sharded` deliberately: the run *is* a sharded
+        // run, so the whole `RunReport` is bit-comparable to the
+        // sequential backend's.
         Ok((report.access, ReportSection::Sharded(report), log))
     }
 }
@@ -424,48 +522,112 @@ struct BackendEntry {
     build: BackendBuilder,
 }
 
-fn param_err(what: &'static str, raw: &str) -> Error {
+fn param_err(what: &'static str, detail: String) -> Error {
     Error::InvalidParam {
         what,
-        detail: format!("cannot parse '{raw}' (see `skp-plan --list` for the syntax)"),
+        detail: format!("{detail} (see `skp-plan --list` for the syntax)"),
+    }
+}
+
+/// A spec field that must be a positive integer — errors name the field
+/// and the offending text, never just "cannot parse".
+fn parse_positive(what: &'static str, field: &str, raw: &str) -> Result<usize, Error> {
+    let text = raw.trim();
+    match text.parse::<usize>() {
+        Ok(0) => Err(param_err(
+            what,
+            format!("{field} must be at least 1, got '0'"),
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(param_err(
+            what,
+            format!("{field} '{text}' is not a positive integer"),
+        )),
+    }
+}
+
+/// A `<shards>x<clients>` topology field.
+fn parse_topology(what: &'static str, raw: &str) -> Result<(usize, usize), Error> {
+    let text = raw.trim();
+    let (shards, clients) = text.split_once('x').ok_or_else(|| {
+        param_err(
+            what,
+            format!("topology '{text}' must be '<shards>x<clients>' (e.g. 4x16)"),
+        )
+    })?;
+    Ok((
+        parse_positive(what, "shard count", shards)?,
+        parse_positive(what, "client count", clients)?,
+    ))
+}
+
+/// A placement field (`hash | range | hot-cold@K`).
+fn parse_placement(what: &'static str, raw: &str) -> Result<Placement, Error> {
+    Placement::parse(raw).ok_or_else(|| {
+        param_err(
+            what,
+            format!(
+                "placement '{}' must be hash, range or hot-cold@<K>",
+                raw.trim()
+            ),
+        )
+    })
+}
+
+/// Rejects anything after the last recognised field.
+fn reject_trailing<'p>(
+    what: &'static str,
+    after: &'static str,
+    parts: &mut impl Iterator<Item = &'p str>,
+) -> Result<(), Error> {
+    match parts.next() {
+        None => Ok(()),
+        Some(junk) => Err(param_err(
+            what,
+            format!("trailing ':{junk}' after the {after}"),
+        )),
     }
 }
 
 fn build_single_client(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
     if let Some(raw) = param {
-        return Err(param_err("single-client backend spec", raw));
+        return Err(param_err(
+            "single-client backend spec",
+            format!("takes no parameters, got ':{raw}'"),
+        ));
     }
     Ok(Arc::new(SingleClientDriver))
 }
 
 fn build_multi_client(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    const WHAT: &str = "multi-client backend spec";
     let clients = match param {
         None => 1,
-        Some(raw) => raw
-            .trim()
-            .parse()
-            .map_err(|_| param_err("multi-client backend spec", raw))?,
+        Some(raw) => {
+            let mut parts = raw.split(':');
+            let clients = parse_positive(WHAT, "client count", parts.next().unwrap_or_default())?;
+            reject_trailing(WHAT, "client count", &mut parts)?;
+            clients
+        }
     };
     Ok(Arc::new(MultiClientDriver { clients }))
 }
 
 fn build_sharded(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
-    let (topology, placement) = match param {
-        None => ("1x1", Placement::default()),
-        Some(raw) => match raw.split_once(':') {
-            None => (raw, Placement::default()),
-            Some((topology, placement_text)) => (
-                topology,
-                Placement::parse(placement_text)
-                    .ok_or_else(|| param_err("sharded backend placement", placement_text))?,
-            ),
-        },
+    const WHAT: &str = "sharded backend spec";
+    let (shards, clients, placement) = match param {
+        None => (1, 1, Placement::default()),
+        Some(raw) => {
+            let mut parts = raw.split(':');
+            let (shards, clients) = parse_topology(WHAT, parts.next().unwrap_or_default())?;
+            let placement = match parts.next() {
+                None => Placement::default(),
+                Some(text) => parse_placement(WHAT, text)?,
+            };
+            reject_trailing(WHAT, "placement", &mut parts)?;
+            (shards, clients, placement)
+        }
     };
-    let (shards, clients) = topology
-        .trim()
-        .split_once('x')
-        .and_then(|(s, c)| Some((s.trim().parse().ok()?, c.trim().parse().ok()?)))
-        .ok_or_else(|| param_err("sharded backend spec", topology))?;
     Ok(Arc::new(ShardedDriver {
         shards,
         clients,
@@ -473,23 +635,62 @@ fn build_sharded(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
     }))
 }
 
+fn build_parallel(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    const WHAT: &str = "parallel backend spec";
+    let (shards, clients, placement, threads) = match param {
+        None => (1, 1, Placement::default(), 0),
+        Some(raw) => {
+            let mut parts = raw.split(':');
+            let (shards, clients) = parse_topology(WHAT, parts.next().unwrap_or_default())?;
+            let placement = match parts.next() {
+                None => Placement::default(),
+                Some(text) => parse_placement(WHAT, text)?,
+            };
+            let threads = match parts.next() {
+                None => 0,
+                Some(text) => text.trim().parse::<usize>().map_err(|_| {
+                    param_err(
+                        WHAT,
+                        format!(
+                            "thread count '{}' is not an integer (0 = auto)",
+                            text.trim()
+                        ),
+                    )
+                })?,
+            };
+            reject_trailing(WHAT, "thread count", &mut parts)?;
+            (shards, clients, placement, threads)
+        }
+    };
+    Ok(Arc::new(ParallelDriver {
+        shards,
+        clients,
+        placement,
+        threads,
+    }))
+}
+
 fn build_monte_carlo(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    const WHAT: &str = "monte-carlo backend spec";
     let (chunks, threads) = match param {
         None => (8, 0),
-        Some(raw) => match raw.split_once('x') {
-            None => (
-                raw.trim()
-                    .parse()
-                    .map_err(|_| param_err("monte-carlo backend spec", raw))?,
-                0,
-            ),
-            Some((c, t)) => c
-                .trim()
-                .parse()
-                .ok()
-                .and_then(|c| Some((c, t.trim().parse().ok()?)))
-                .ok_or_else(|| param_err("monte-carlo backend spec", raw))?,
-        },
+        Some(raw) => {
+            let mut parts = raw.split(':');
+            let field = parts.next().unwrap_or_default();
+            reject_trailing(WHAT, "chunk/thread counts", &mut parts)?;
+            match field.split_once('x') {
+                None => (parse_positive(WHAT, "chunk count", field)?, 0),
+                Some((c, t)) => (
+                    parse_positive(WHAT, "chunk count", c)?,
+                    t.trim().parse::<usize>().map_err(|_| {
+                        param_err(
+                            WHAT,
+                            format!("thread count '{}' is not an integer (0 = auto)", t.trim()),
+                        )
+                    })?,
+                ),
+            }
+        }
     };
     Ok(Arc::new(MonteCarloDriver { chunks, threads }))
 }
@@ -527,6 +728,19 @@ fn builtin_entries() -> Vec<BackendEntry> {
                 summary: "deterministic parallel Monte-Carlo over random scenarios",
             },
             build: build_monte_carlo,
+        },
+        // The parallel executor rides the registry exactly like a
+        // runtime-registered plug-in would (same entry shape, zero
+        // engine edits); it ships in the builtin table so `skp-plan
+        // --list` and workload files see it out of the box.
+        BackendEntry {
+            spec: BackendSpec {
+                name: "parallel",
+                params: "shards x clients : placement : threads (0 = auto)",
+                summary: "sharded farm on the conservative parallel executor \
+                          (bit-identical to sharded:)",
+            },
+            build: build_parallel,
         },
     ]
 }
@@ -639,6 +853,8 @@ mod tests {
             "multi-client:5",
             "sharded:4x16:hot-cold@6",
             "monte-carlo:8x2",
+            "parallel:4x16:hot-cold@6:3",
+            "parallel:2x8:range:0",
         ] {
             let driver = build_backend(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(driver.spec_string(), spec);
@@ -669,6 +885,18 @@ mod tests {
             build_backend("monte-carlo:4").unwrap().spec_string(),
             "monte-carlo:4x0"
         );
+        assert_eq!(
+            build_backend("parallel").unwrap().spec_string(),
+            "parallel:1x1:hash:0"
+        );
+        assert_eq!(
+            build_backend("parallel:4x8").unwrap().spec_string(),
+            "parallel:4x8:hash:0"
+        );
+        assert_eq!(
+            build_backend("parallel:4x8:range").unwrap().spec_string(),
+            "parallel:4x8:range:0"
+        );
     }
 
     #[test]
@@ -677,34 +905,78 @@ mod tests {
             build_backend("warp-drive"),
             Err(Error::UnknownBackend { .. })
         ));
-        assert!(matches!(
-            build_backend("single-client:3"),
-            Err(Error::InvalidParam { .. })
-        ));
-        assert!(matches!(
-            build_backend("multi-client:none"),
-            Err(Error::InvalidParam { .. })
-        ));
-        assert!(matches!(
-            build_backend("sharded:4"),
-            Err(Error::InvalidParam { .. })
-        ));
-        assert!(matches!(
-            build_backend("sharded:4x2:diagonal"),
-            Err(Error::InvalidParam { .. })
-        ));
-        assert!(matches!(
-            build_backend("monte-carlo:8xfast"),
-            Err(Error::InvalidParam { .. })
-        ));
+        for spec in [
+            "single-client:3",
+            "multi-client:none",
+            "sharded:4",
+            "sharded:4x2:diagonal",
+            "monte-carlo:8xfast",
+            "parallel:4x2:diagonal",
+            "parallel:4x2:hash:many",
+        ] {
+            assert!(
+                matches!(build_backend(spec), Err(Error::InvalidParam { .. })),
+                "{spec} must be rejected"
+            );
+        }
+    }
+
+    /// The satellite contract: malformed specs produce descriptive
+    /// errors that name the offending field, not a generic parse
+    /// failure.
+    #[test]
+    fn malformed_specs_name_the_bad_field() {
+        let detail = |spec: &str| match build_backend(spec) {
+            Err(Error::InvalidParam { detail, .. }) => detail,
+            Err(other) => panic!("{spec}: expected InvalidParam, got {other:?}"),
+            Ok(_) => panic!("{spec}: expected InvalidParam, got a driver"),
+        };
+        // Zero counts name the field and the bound.
+        assert!(detail("parallel:0x4").contains("shard count must be at least 1"));
+        assert!(detail("sharded:0x4").contains("shard count must be at least 1"));
+        assert!(detail("sharded:4x0").contains("client count must be at least 1"));
+        assert!(detail("multi-client:0").contains("client count must be at least 1"));
+        // Missing / non-numeric fields are named too.
+        assert!(detail("sharded:4x").contains("client count ''"));
+        assert!(detail("sharded:4xmany").contains("client count 'many'"));
+        assert!(detail("sharded:4").contains("topology '4'"));
+        assert!(detail("multi-client:none").contains("client count 'none'"));
+        assert!(detail("monte-carlo:8xfast").contains("thread count 'fast'"));
+        assert!(detail("monte-carlo:0").contains("chunk count must be at least 1"));
+        assert!(detail("parallel:4x2:diagonal").contains("placement 'diagonal'"));
+        assert!(detail("parallel:4x2:hash:many").contains("thread count 'many'"));
+        // Trailing junk after the last recognised field.
+        assert!(detail("sharded:4x2:hash:junk").contains("trailing ':junk'"));
+        assert!(detail("parallel:4x2:hash:3:junk").contains("trailing ':junk'"));
+        assert!(detail("multi-client:3:junk").contains("trailing ':junk'"));
+        assert!(detail("monte-carlo:8x2:junk").contains("trailing ':junk'"));
     }
 
     #[test]
     fn validation_catches_degenerate_topologies() {
-        assert!(build_backend("multi-client:0").unwrap().validate().is_err());
-        assert!(build_backend("sharded:0x3").unwrap().validate().is_err());
-        assert!(build_backend("sharded:3x0").unwrap().validate().is_err());
+        // The spec parser already rejects zero counts with a named
+        // field; `validate()` still guards programmatically-built
+        // drivers (`Backend::Sharded { shards: 0, .. }`).
+        assert!(matches!(
+            build_backend("sharded:0x3"),
+            Err(Error::InvalidParam { .. })
+        ));
+        assert!(Backend::MultiClient { clients: 0 }
+            .driver()
+            .validate()
+            .is_err());
+        for (shards, clients) in [(0usize, 3usize), (3, 0)] {
+            assert!(Backend::Sharded {
+                shards,
+                clients,
+                placement: Placement::Hash,
+            }
+            .driver()
+            .validate()
+            .is_err());
+        }
         assert!(build_backend("sharded:3x3").unwrap().validate().is_ok());
+        assert!(build_backend("parallel:3x3").unwrap().validate().is_ok());
     }
 
     #[test]

@@ -400,7 +400,8 @@ impl Engine {
     /// Plans and evaluates in closed form (empty-cache view).
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::plan(scenario)) and read the plan section"
+        note = "use Engine::run(&Workload::plan(scenario)) and read the plan section; \
+                removed in 0.5"
     )]
     pub fn report(&self, s: &Scenario) -> PlanReport {
         self.plan_report(s)
@@ -648,7 +649,8 @@ impl Engine {
     /// catalog.
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::trace(trace)) and read the trace section"
+        note = "use Engine::run(&Workload::trace(trace)) and read the trace section; \
+                removed in 0.5"
     )]
     pub fn run_trace(&mut self, trace: &Trace) -> Result<TraceReport, Error> {
         Ok(self.trace_report(trace)?.1)
@@ -741,7 +743,8 @@ impl Engine {
     /// parameter ranges.
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::monte_carlo(spec)) and read the monte-carlo section"
+        note = "use Engine::run(&Workload::monte_carlo(spec)) and read the monte-carlo section; \
+                removed in 0.5"
     )]
     pub fn monte_carlo(&self, spec: MonteCarloSpec) -> Result<SimReport, Error> {
         Ok(self.monte_carlo_report(spec, false)?.1)
@@ -818,7 +821,7 @@ impl Engine {
     /// a population backend and a catalog.
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::multi_client(chain, requests, seed))"
+        note = "use Engine::run(&Workload::multi_client(chain, requests, seed)); removed in 0.5"
     )]
     pub fn multi_client(
         &self,
@@ -826,9 +829,8 @@ impl Engine {
         requests_per_client: u64,
         seed: u64,
     ) -> Result<MultiClientResult, Error> {
-        #[allow(deprecated)]
         Ok(self
-            .multi_client_traced(chain, requests_per_client, seed, false)?
+            .multi_client_impl(chain, requests_per_client, seed, false)?
             .0)
     }
 
@@ -837,9 +839,23 @@ impl Engine {
     /// sharded backend.
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::multi_client(chain, requests, seed).traced(true))"
+        note = "use Engine::run(&Workload::multi_client(chain, requests, seed).traced(true)); \
+                removed in 0.5"
     )]
     pub fn multi_client_traced(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+        trace: bool,
+    ) -> Result<(MultiClientResult, Vec<SimEvent>), Error> {
+        self.multi_client_impl(chain, requests_per_client, seed, trace)
+    }
+
+    /// Shared body of the deprecated `multi_client*` wrappers (a
+    /// non-deprecated helper, so the wrappers carry no
+    /// `#[allow(deprecated)]` call sites).
+    fn multi_client_impl(
         &self,
         chain: &MarkovChain,
         requests_per_client: u64,
@@ -871,7 +887,7 @@ impl Engine {
     /// backend and a catalog.
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::sharded(chain, requests, seed))"
+        note = "use Engine::run(&Workload::sharded(chain, requests, seed)); removed in 0.5"
     )]
     pub fn sharded(
         &self,
@@ -879,9 +895,8 @@ impl Engine {
         requests_per_client: u64,
         seed: u64,
     ) -> Result<ShardReport, Error> {
-        #[allow(deprecated)]
         Ok(self
-            .sharded_traced(chain, requests_per_client, seed, false)?
+            .sharded_impl(chain, requests_per_client, seed, false)?
             .0)
     }
 
@@ -889,9 +904,22 @@ impl Engine {
     /// (`trace = true`).
     #[deprecated(
         since = "0.3.0",
-        note = "use Engine::run(&Workload::sharded(chain, requests, seed).traced(true))"
+        note = "use Engine::run(&Workload::sharded(chain, requests, seed).traced(true)); \
+                removed in 0.5"
     )]
     pub fn sharded_traced(
+        &self,
+        chain: &MarkovChain,
+        requests_per_client: u64,
+        seed: u64,
+        trace: bool,
+    ) -> Result<(ShardReport, Vec<SimEvent>), Error> {
+        self.sharded_impl(chain, requests_per_client, seed, trace)
+    }
+
+    /// Shared body of the deprecated `sharded*` wrappers (see
+    /// [`multi_client_impl`](Self::multi_client_impl)).
+    fn sharded_impl(
         &self,
         chain: &MarkovChain,
         requests_per_client: u64,

@@ -16,7 +16,9 @@
 //! 2. a **prefetch policy** ([`Prefetcher`]; [`build_policy`]),
 //! 3. a **client cache** with Figure-6 arbitration (`cache-sim`),
 //! 4. a **simulation backend** ([`BackendDriver`]; [`build_backend`] —
-//!    private-channel single client, shared channel, sharded farm,
+//!    private-channel single client, shared channel, sharded farm, the
+//!    multi-threaded parallel executor over that farm
+//!    (`parallel:4x16:hash:0`, bit-identical to `sharded:4x16:hash`),
 //!    parallel Monte-Carlo, plus anything you [`register_backend`]).
 //!
 //! ## Quickstart
@@ -80,6 +82,12 @@
 //! assert!(report.access.p99 >= report.access.p50); // common stats block
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
+//!
+//! Swap `"sharded:4x8:hash"` for `"parallel:4x8:hash:0"` and the same
+//! run executes on per-shard worker threads (lookahead-synchronised
+//! conservative execution; threads `0` = auto) with a **bit-identical**
+//! `RunReport` — the registry makes the executor a deployment choice,
+//! not a semantic one.
 //!
 //! Workloads are also *files*: the [`scenario_file`] format carries
 //! scenario + workload + backend + policy/predictor specs in one
@@ -173,6 +181,7 @@ pub use cache_sim::{
 
 // ---- distributed system substrate (distsys) --------------------------
 pub use distsys::multiclient::{ClientPolicy, ClientWorkload, MultiClientResult, MultiClientSim};
+pub use distsys::parallel::ParallelShardedSim;
 pub use distsys::scheduler::{
     access_time_sharded, EventKind, Placement, Scheduler, ShardMap, ShardReport, ShardStats,
     ShardedSim, SimEvent,

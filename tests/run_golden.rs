@@ -3,7 +3,11 @@
 //! **identical numbers** (stats fields bit-equal) on fixed seeds. The
 //! deprecated wrappers delegate to `run`'s internals, and these tests
 //! pin that the delegation is exact — no drift, ever.
-#![allow(deprecated)]
+//!
+//! Every legacy-wrapper call in the workspace test suite lives inside
+//! the single [`legacy_wrappers`] module below — the one consolidated
+//! `#[allow(deprecated)]` left standing until the wrappers are removed
+//! in 0.5.
 
 use speculative_prefetch::{
     Backend, Engine, MarkovChain, MonteCarloSpec, Placement, ProbMethod, Scenario, SessionBuilder,
@@ -27,155 +31,162 @@ fn catalog() -> Vec<f64> {
     (0..16).map(|i| 1.0 + (i % 7) as f64).collect()
 }
 
-#[test]
-fn report_equals_run_plan() {
-    for policy in ["kp", "skp-paper", "skp-exact", "network-aware:0.4"] {
-        let mut engine = Engine::builder().policy(policy).build().unwrap();
-        let legacy = engine.report(&scenario());
-        let run = engine.run(&Workload::plan(scenario())).unwrap();
-        assert_eq!(Some(&legacy), run.plan(), "{policy} diverged");
+/// The consolidated home of every deprecated-wrapper call site.
+mod legacy_wrappers {
+    #![allow(deprecated)]
+    use super::*;
+
+    #[test]
+    fn report_equals_run_plan() {
+        for policy in ["kp", "skp-paper", "skp-exact", "network-aware:0.4"] {
+            let mut engine = Engine::builder().policy(policy).build().unwrap();
+            let legacy = engine.report(&scenario());
+            let run = engine.run(&Workload::plan(scenario())).unwrap();
+            assert_eq!(Some(&legacy), run.plan(), "{policy} diverged");
+        }
     }
-}
 
-#[test]
-fn run_trace_equals_run_trace_workload() {
-    let mut trace = Trace::new();
-    for i in 0..240 {
-        trace.push((i * i) % 4, 9.0);
+    #[test]
+    fn run_trace_equals_run_trace_workload() {
+        let mut trace = Trace::new();
+        for i in 0..240 {
+            trace.push((i * i) % 4, 9.0);
+        }
+        // Trace replay mutates the predictor, so each path gets an
+        // identically built engine.
+        let build = || {
+            Engine::builder()
+                .policy("skp-exact")
+                .predictor("ngram:2")
+                .catalog(vec![5.0, 3.0, 8.0, 2.0])
+                .cache(2)
+                .build()
+                .unwrap()
+        };
+        let legacy = build().run_trace(&trace).unwrap();
+        let run = build().run(&Workload::trace(trace)).unwrap();
+        assert_eq!(Some(&legacy), run.trace());
     }
-    // Trace replay mutates the predictor, so each path gets an
-    // identically built engine.
-    let build = || {
-        Engine::builder()
-            .policy("skp-exact")
-            .predictor("ngram:2")
-            .catalog(vec![5.0, 3.0, 8.0, 2.0])
-            .cache(2)
-            .build()
-            .unwrap()
-    };
-    let legacy = build().run_trace(&trace).unwrap();
-    let run = build().run(&Workload::trace(trace)).unwrap();
-    assert_eq!(Some(&legacy), run.trace());
-}
 
-#[test]
-fn monte_carlo_equals_run_monte_carlo_workload() {
-    let spec = MonteCarloSpec {
-        n_items: 7,
-        method: ProbMethod::skewy(),
-        iterations: 600,
-        seed: 4242,
-    };
-    for backend in [
-        Backend::SingleClient,
-        Backend::MonteCarlo {
-            chunks: 8,
-            threads: 3,
-        },
-    ] {
-        let mut engine = Engine::builder()
-            .policy("skp-exact")
-            .backend(backend)
-            .build()
-            .unwrap();
-        let legacy = engine.monte_carlo(spec).unwrap();
-        let run = engine.run(&Workload::monte_carlo(spec)).unwrap();
-        assert_eq!(Some(&legacy), run.monte_carlo(), "{backend:?} diverged");
+    #[test]
+    fn monte_carlo_equals_run_monte_carlo_workload() {
+        let spec = MonteCarloSpec {
+            n_items: 7,
+            method: ProbMethod::skewy(),
+            iterations: 600,
+            seed: 4242,
+        };
+        for backend in [
+            Backend::SingleClient,
+            Backend::MonteCarlo {
+                chunks: 8,
+                threads: 3,
+            },
+        ] {
+            let mut engine = Engine::builder()
+                .policy("skp-exact")
+                .backend(backend)
+                .build()
+                .unwrap();
+            let legacy = engine.monte_carlo(spec).unwrap();
+            let run = engine.run(&Workload::monte_carlo(spec)).unwrap();
+            assert_eq!(Some(&legacy), run.monte_carlo(), "{backend:?} diverged");
+        }
     }
-}
 
-#[test]
-fn multi_client_equals_run_multi_client_workload() {
-    let engine = Engine::builder()
-        .policy("skp-exact")
-        .backend(Backend::MultiClient { clients: 5 })
-        .catalog(catalog())
-        .build()
-        .unwrap();
-    let legacy = engine.multi_client(&chain(), 40, 1999).unwrap();
-    let (legacy_traced, legacy_events) = engine
-        .multi_client_traced(&chain(), 40, 1999, true)
-        .unwrap();
-    assert_eq!(legacy, legacy_traced, "tracing must not change results");
-
-    let mut engine = engine;
-    let quiet = engine
-        .run(&Workload::multi_client(chain(), 40, 1999))
-        .unwrap();
-    assert_eq!(Some(&legacy), quiet.multi_client());
-    assert_eq!(quiet.access, legacy.access);
-    assert!(quiet.events.is_empty());
-
-    let traced = engine
-        .run(&Workload::multi_client(chain(), 40, 1999).traced(true))
-        .unwrap();
-    assert_eq!(Some(&legacy_traced), traced.multi_client());
-    assert_eq!(legacy_events, traced.events);
-}
-
-#[test]
-fn sharded_equals_run_sharded_workload() {
-    let build = |placement| -> Engine {
-        SessionBuilder::new()
+    #[test]
+    fn multi_client_equals_run_multi_client_workload() {
+        let engine = Engine::builder()
             .policy("skp-exact")
-            .backend(Backend::Sharded {
-                shards: 4,
-                clients: 6,
-                placement,
-            })
+            .backend(Backend::MultiClient { clients: 5 })
             .catalog(catalog())
             .build()
-            .unwrap()
-    };
-    for placement in [
-        Placement::Hash,
-        Placement::Range,
-        Placement::HotCold { hot_items: 4 },
-    ] {
-        let mut engine = build(placement);
-        let legacy = engine.sharded(&chain(), 30, 7).unwrap();
-        let (legacy_traced, legacy_events) = engine.sharded_traced(&chain(), 30, 7, true).unwrap();
+            .unwrap();
+        let legacy = engine.multi_client(&chain(), 40, 1999).unwrap();
+        let (legacy_traced, legacy_events) = engine
+            .multi_client_traced(&chain(), 40, 1999, true)
+            .unwrap();
         assert_eq!(legacy, legacy_traced, "tracing must not change results");
 
-        let quiet = engine.run(&Workload::sharded(chain(), 30, 7)).unwrap();
-        assert_eq!(Some(&legacy), quiet.sharded(), "{placement:?} diverged");
+        let mut engine = engine;
+        let quiet = engine
+            .run(&Workload::multi_client(chain(), 40, 1999))
+            .unwrap();
+        assert_eq!(Some(&legacy), quiet.multi_client());
         assert_eq!(quiet.access, legacy.access);
+        assert!(quiet.events.is_empty());
 
         let traced = engine
-            .run(&Workload::sharded(chain(), 30, 7).traced(true))
+            .run(&Workload::multi_client(chain(), 40, 1999).traced(true))
             .unwrap();
-        assert_eq!(Some(&legacy_traced), traced.sharded());
+        assert_eq!(Some(&legacy_traced), traced.multi_client());
         assert_eq!(legacy_events, traced.events);
     }
-}
 
-/// The wrappers keep the legacy backend-mismatch error semantics.
-#[test]
-fn wrappers_keep_unsupported_backend_errors() {
-    use speculative_prefetch::Error;
-    let engine = Engine::builder().catalog(catalog()).build().unwrap();
-    assert!(matches!(
-        engine.multi_client(&chain(), 5, 1),
-        Err(Error::UnsupportedBackend { .. })
-    ));
-    assert!(matches!(
-        engine.sharded(&chain(), 5, 1),
-        Err(Error::UnsupportedBackend { .. })
-    ));
-    let spec = MonteCarloSpec {
-        n_items: 4,
-        method: ProbMethod::flat(),
-        iterations: 10,
-        seed: 1,
-    };
-    let contended = Engine::builder()
-        .backend(Backend::MultiClient { clients: 2 })
-        .catalog(catalog())
-        .build()
-        .unwrap();
-    assert!(matches!(
-        contended.monte_carlo(spec),
-        Err(Error::UnsupportedBackend { .. })
-    ));
+    #[test]
+    fn sharded_equals_run_sharded_workload() {
+        let build = |placement| -> Engine {
+            SessionBuilder::new()
+                .policy("skp-exact")
+                .backend(Backend::Sharded {
+                    shards: 4,
+                    clients: 6,
+                    placement,
+                })
+                .catalog(catalog())
+                .build()
+                .unwrap()
+        };
+        for placement in [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items: 4 },
+        ] {
+            let mut engine = build(placement);
+            let legacy = engine.sharded(&chain(), 30, 7).unwrap();
+            let (legacy_traced, legacy_events) =
+                engine.sharded_traced(&chain(), 30, 7, true).unwrap();
+            assert_eq!(legacy, legacy_traced, "tracing must not change results");
+
+            let quiet = engine.run(&Workload::sharded(chain(), 30, 7)).unwrap();
+            assert_eq!(Some(&legacy), quiet.sharded(), "{placement:?} diverged");
+            assert_eq!(quiet.access, legacy.access);
+
+            let traced = engine
+                .run(&Workload::sharded(chain(), 30, 7).traced(true))
+                .unwrap();
+            assert_eq!(Some(&legacy_traced), traced.sharded());
+            assert_eq!(legacy_events, traced.events);
+        }
+    }
+
+    /// The wrappers keep the legacy backend-mismatch error semantics.
+    #[test]
+    fn wrappers_keep_unsupported_backend_errors() {
+        use speculative_prefetch::Error;
+        let engine = Engine::builder().catalog(catalog()).build().unwrap();
+        assert!(matches!(
+            engine.multi_client(&chain(), 5, 1),
+            Err(Error::UnsupportedBackend { .. })
+        ));
+        assert!(matches!(
+            engine.sharded(&chain(), 5, 1),
+            Err(Error::UnsupportedBackend { .. })
+        ));
+        let spec = MonteCarloSpec {
+            n_items: 4,
+            method: ProbMethod::flat(),
+            iterations: 10,
+            seed: 1,
+        };
+        let contended = Engine::builder()
+            .backend(Backend::MultiClient { clients: 2 })
+            .catalog(catalog())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            contended.monte_carlo(spec),
+            Err(Error::UnsupportedBackend { .. })
+        ));
+    }
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use speculative_prefetch::scenario_file::{
     parse, parse_workload, render, render_workload, ChainSpec, WorkloadKind,
 };
-use speculative_prefetch::ProbMethod;
+use speculative_prefetch::{Placement, ProbMethod, ShardMap};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -98,7 +98,7 @@ proptest! {
         viewing in 0u32..200,
         kind_pick in 0usize..5,
         traced in proptest::bool::ANY,
-        backend_pick in 0usize..5,
+        backend_pick in 0usize..6,
         policy_pick in 0usize..3,
         predictor_present in proptest::bool::ANY,
         cache_pick in 0usize..33,
@@ -124,6 +124,7 @@ proptest! {
             Some("multi-client:6".to_string()),
             Some("sharded:4x8:hot-cold@3".to_string()),
             Some("monte-carlo:8x0".to_string()),
+            Some("parallel:4x8:hot-cold@3:2".to_string()),
         ][backend_pick]
             .clone();
         let policy = [
@@ -233,6 +234,33 @@ proptest! {
         prop_assert_eq!(&display, &parsed);
     }
 
+    /// `Placement` parse ∘ Display is the identity for every strategy,
+    /// including arbitrary hot-cold thresholds, and a single-shard map
+    /// collapses every item onto shard 0 whatever the placement — so
+    /// any spec string names a well-defined catalog partition.
+    #[test]
+    fn placement_roundtrips_and_single_shard_collapses(
+        hot_items in 0usize..1_000_000,
+        n_items in 1usize..200,
+        pick in 0usize..3,
+    ) {
+        let placement = [
+            Placement::Hash,
+            Placement::Range,
+            Placement::HotCold { hot_items },
+        ][pick];
+        let text = placement.to_string();
+        prop_assert_eq!(Placement::parse(&text), Some(placement), "{}", text);
+        // Whitespace-tolerant, like every other spec field.
+        prop_assert_eq!(Placement::parse(&format!("  {text} ")), Some(placement));
+        // One shard: the map is total and constant regardless of the
+        // strategy (hot-cold thresholds beyond the catalog included).
+        let map = ShardMap::new(1, n_items, placement);
+        for item in 0..n_items {
+            prop_assert_eq!(map.shard_of(item), 0);
+        }
+    }
+
     /// Workload-directive token soup never panics: it parses or errors.
     #[test]
     fn workload_token_soup_never_panics(
@@ -258,4 +286,36 @@ proptest! {
         let text = tokens.join(" ");
         let _ = parse_workload(&text);
     }
+}
+
+/// Hot-cold boundary values: the threshold is free-standing data — `@0`
+/// (everything cold), a threshold equal to or beyond the catalog
+/// (everything hot), and `usize::MAX` all parse, round-trip and map
+/// totally; overflowing or malformed thresholds are rejected rather
+/// than wrapped.
+#[test]
+fn hot_cold_boundary_values() {
+    for hot_items in [0usize, 1, 39, 40, 41, usize::MAX] {
+        let placement = Placement::HotCold { hot_items };
+        let text = placement.to_string();
+        assert_eq!(Placement::parse(&text), Some(placement), "{text}");
+        let map = ShardMap::new(4, 40, placement);
+        for item in 0..40 {
+            let shard = map.shard_of(item);
+            assert!(shard < 4, "{text}: item {item} -> shard {shard}");
+            if item < hot_items {
+                assert_eq!(shard, 0, "{text}: hot item {item} left shard 0");
+            } else {
+                assert!(shard >= 1, "{text}: cold item {item} on the hot shard");
+            }
+        }
+    }
+    // Beyond-usize thresholds must fail to parse, not wrap around.
+    assert_eq!(
+        Placement::parse("hot-cold@99999999999999999999999999"),
+        None
+    );
+    assert_eq!(Placement::parse("hot-cold@-1"), None);
+    assert_eq!(Placement::parse("hot-cold@"), None);
+    assert_eq!(Placement::parse("hot-cold@3.5"), None);
 }
