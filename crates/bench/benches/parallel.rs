@@ -7,7 +7,12 @@
 //! and (b) reports both wall-clock times and the speed-up. The custom
 //! `main` (no criterion harness) is what lets `--quick` shrink the grid
 //! for CI while keeping the equivalence assertion.
+//!
+//! `--out <path>` additionally writes the grid as a JSON snapshot
+//! (events/sec and seq-vs-par speed-up per cell) — the checked-in
+//! `BENCH_parallel.json` at the repo root is one such run.
 
+use speculative_prefetch::wire::{list, num};
 use speculative_prefetch::{Engine, MarkovChain, RunReport, Workload};
 use std::time::{Duration, Instant};
 
@@ -31,8 +36,46 @@ fn timed(engine: &mut Engine, workload: &Workload, samples: usize) -> (RunReport
     (report, start.elapsed() / samples as u32)
 }
 
+struct Cell {
+    shards: usize,
+    clients: usize,
+    events: usize,
+    seq: Duration,
+    one: Duration,
+    par: Duration,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.seq.as_secs_f64() / self.par.as_secs_f64().max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"clients\":{},\"events\":{},\"sequential_ms\":{},\
+             \"memoised_1w_ms\":{},\"parallel_ms\":{},\"speedup\":{},\
+             \"threading_speedup\":{},\"events_per_sec\":{}}}",
+            self.shards,
+            self.clients,
+            self.events,
+            num(self.seq.as_secs_f64() * 1e3),
+            num(self.one.as_secs_f64() * 1e3),
+            num(self.par.as_secs_f64() * 1e3),
+            num(self.speedup()),
+            num(self.one.as_secs_f64() / self.par.as_secs_f64().max(1e-12)),
+            num(self.events as f64 / self.par.as_secs_f64().max(1e-12)),
+        )
+    }
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (requests, samples): (u64, usize) = if quick { (150, 1) } else { (300, 3) };
     // Uniform workload: full fan-out, uniform-ish retrievals (the
     // acceptance grid of the parallel subsystem).
@@ -42,9 +85,18 @@ fn main() {
 
     println!("sequential-vs-parallel sharded executor (requests/client = {requests})");
     let mut at_4_or_more = Vec::new();
+    let mut cells = Vec::new();
     for &clients in client_grid {
         for &shards in shard_grid {
             let workload = Workload::sharded(chain.clone(), requests, 1999);
+            // Event throughput denominator: the mechanistic event count
+            // of the cell's workload (identical across backends by the
+            // equivalence contract, so one traced run suffices).
+            let events = engine(&format!("sharded:{shards}x{clients}:hash"))
+                .run(&Workload::sharded(chain.clone(), requests, 1999).traced(true))
+                .expect("traced run")
+                .events
+                .len();
             let (seq_report, seq_time) = timed(
                 &mut engine(&format!("sharded:{shards}x{clients}:hash")),
                 &workload,
@@ -85,7 +137,24 @@ fn main() {
             if shards >= 4 {
                 at_4_or_more.push((shards, clients, seq_time, par_time));
             }
+            cells.push(Cell {
+                shards,
+                clients,
+                events,
+                seq: seq_time,
+                one: one_time,
+                par: par_time,
+            });
         }
+    }
+    if let Some(path) = out {
+        let snapshot = format!(
+            "{{\"bench\":\"parallel\",\"requests_per_client\":{requests},\
+             \"samples\":{samples},\"quick\":{quick},\"cells\":{}}}\n",
+            list(&cells, Cell::json)
+        );
+        std::fs::write(&path, snapshot).expect("write snapshot");
+        println!("snapshot written to {path}");
     }
     // The acceptance claim: at >= 4 shards the parallel executor is no
     // slower than the sequential one on the uniform workload. Reported

@@ -151,6 +151,34 @@ impl Histogram {
     pub fn edges(&self) -> &[f64] {
         &self.edges
     }
+
+    /// Sum of all recorded observations.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Rebuilds a histogram from its serialised parts (`edges`, per-bin
+    /// `counts` including the zero and overflow bins, and the running
+    /// `sum` of observations). The total is recovered from the counts,
+    /// so a round-trip through [`edges`](Self::edges),
+    /// [`counts`](Self::counts) and [`sum`](Self::sum) compares equal
+    /// to the original.
+    ///
+    /// # Panics
+    /// Panics if the edges are invalid (see [`with_edges`](Self::with_edges))
+    /// or `counts.len() != edges.len() + 2`.
+    pub fn from_parts(edges: Vec<f64>, counts: Vec<u64>, sum: f64) -> Self {
+        let mut h = Self::with_edges(edges);
+        assert!(
+            counts.len() == h.counts.len(),
+            "histogram needs one count per bin (zero bin + edges + overflow)"
+        );
+        h.total = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        h
+    }
 }
 
 impl Default for Histogram {
@@ -173,6 +201,24 @@ mod tests {
         assert_eq!(s.p99, 8.0);
         assert_eq!(s.min, 0.0);
         assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_parts() {
+        let mut h = Histogram::stalls();
+        for x in [0.0, 0.5, 3.0, 3.0, 1000.0] {
+            h.record(x);
+        }
+        let rebuilt = Histogram::from_parts(h.edges().to_vec(), h.counts().to_vec(), h.sum());
+        assert_eq!(h, rebuilt);
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(rebuilt.sum(), h.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per bin")]
+    fn from_parts_rejects_wrong_bin_count() {
+        let _ = Histogram::from_parts(vec![1.0, 2.0], vec![0, 0], 0.0);
     }
 
     #[test]

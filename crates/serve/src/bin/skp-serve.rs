@@ -1,0 +1,87 @@
+//! `skp-serve` — run (or stop) the resident prefetch-planning daemon.
+//!
+//! ```text
+//! skp-serve [--addr 127.0.0.1:7077] [--workers N] [--queue N]
+//! skp-serve --shutdown <addr>
+//! ```
+//!
+//! The daemon prints `skp-serve listening on <addr>` once bound (port
+//! `0` resolves to an ephemeral port), serves until `POST /shutdown`,
+//! then exits 0. `--shutdown` is the matching client: it posts the
+//! shutdown request and exits 0 on a `200` answer — no curl needed.
+
+use skp_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!("usage: skp-serve [--addr <host:port>] [--workers N] [--queue N]");
+    eprintln!("       skp-serve --shutdown <host:port>");
+    eprintln!();
+    eprintln!("defaults: --addr 127.0.0.1:7077, --workers 4, --queue 32");
+    eprintln!("routes:   GET /version | GET /registry | GET /stats");
+    eprintln!("          POST /run (a .skp file or wire-run JSON) | POST /shutdown");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+
+    if args.iter().any(|a| a == "--shutdown") {
+        let Some(addr) = flag("--shutdown") else {
+            usage();
+        };
+        match speculative_prefetch::http_request(addr, "POST", "/shutdown", Some("{}")) {
+            Ok(resp) if resp.status == 200 => {
+                println!("skp-serve at {addr} is shutting down");
+            }
+            Ok(resp) => {
+                eprintln!("skp-serve: daemon answered {}: {}", resp.status, resp.body);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("skp-serve: cannot reach daemon at {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let addr = flag("--addr").unwrap_or("127.0.0.1:7077").to_string();
+    let mut cfg = ServeConfig::default();
+    for (name, slot) in [("--workers", &mut cfg.workers), ("--queue", &mut cfg.queue)] {
+        if let Some(raw) = flag(name) {
+            match raw.parse::<usize>() {
+                Ok(n) if n > 0 => *slot = n,
+                _ => {
+                    eprintln!("skp-serve: {name} '{raw}' is not a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let server = match Server::bind(&addr, cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("skp-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("skp-serve listening on {}", server.local_addr());
+    println!(
+        "  {} workers, queue {}, body limit {} bytes (POST /shutdown to stop)",
+        cfg.workers, cfg.queue, cfg.max_body
+    );
+    if let Err(e) = server.run() {
+        eprintln!("skp-serve: {e}");
+        std::process::exit(1);
+    }
+}

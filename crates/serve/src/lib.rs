@@ -1,0 +1,46 @@
+//! # skp-serve — the resident prefetch-planning daemon
+//!
+//! A hand-rolled HTTP/1.1 server over `std::net` (no network
+//! dependencies) that keeps the speculative-prefetch registries warm
+//! and executes workloads on demand:
+//!
+//! | Route            | Answer                                                         |
+//! |------------------|----------------------------------------------------------------|
+//! | `GET /version`   | daemon name, crate version, worker/queue sizing                |
+//! | `GET /registry`  | the policy, predictor and backend registries as JSON           |
+//! | `POST /run`      | executes a `.skp` workload file or a wire-run JSON body and    |
+//! |                  | answers with the `RunReport` in `skp-plan --format json` shape |
+//! | `GET /stats`     | served/shed/in-flight counters plus request-latency            |
+//! |                  | percentiles in the same `AccessStats` block simulations report |
+//! | `POST /shutdown` | drains and stops the daemon                                    |
+//!
+//! Connections are dispatched to a fixed worker pool through a bounded
+//! admission queue; when the queue is full the accept loop sheds the
+//! connection with `503` + `Retry-After` before reading a single
+//! request byte.
+//!
+//! The other half of the subsystem lives in the facade: the
+//! `served:<host>:<port>:<inner-spec>` backend serialises a population
+//! run through `speculative_prefetch::wire`, posts it to a daemon and
+//! parses the report back — bit-identical to running the inner backend
+//! in process on the same seed, extending the parallel-backend
+//! determinism contract across a socket.
+//!
+//! ```no_run
+//! use skp_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+//! let handle = server.spawn()?;
+//! println!("daemon at {}", handle.addr());
+//! handle.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod server;
+
+pub use http::{HttpError, Request, Response};
+pub use server::{ServeConfig, Server, ServerHandle, ServerState};

@@ -1,0 +1,484 @@
+//! The daemon: a fixed worker pool behind a bounded admission queue.
+//!
+//! The accept loop never parses HTTP. It hands each connection to a
+//! `sync_channel` of capacity [`ServeConfig::queue`]; when the channel
+//! is full the connection is shed immediately with `503` +
+//! `Retry-After` — *before* reading the request, so overload costs the
+//! daemon one `write` and no parsing work. Workers pull connections,
+//! parse one request each (`Connection: close`), route it and answer.
+//!
+//! Shutdown is cooperative: `POST /shutdown` sets a flag and dials the
+//! daemon's own listener once to wake the accept loop, which then
+//! drains — the channel closes, workers finish their current request
+//! and exit, and [`Server::run`] returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use speculative_prefetch::wire::{esc, list, render_access};
+use speculative_prefetch::{
+    backend_specs, parse_workload, policy_specs, predictor_specs, render_report_fields,
+    AccessStats, Engine, Error, WireRun, Workload,
+};
+
+use crate::http::{self, Request, Response};
+
+/// How long a worker waits on a silent client before giving the
+/// connection up.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The `Retry-After` hint attached to load-shedding `503`s.
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with
+    /// `503`.
+    pub queue: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue: 32,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Shared daemon state: counters the accept loop and workers update and
+/// `GET /stats` reports.
+#[derive(Debug)]
+pub struct ServerState {
+    addr: SocketAddr,
+    served: AtomicU64,
+    shed: AtomicU64,
+    in_flight: AtomicU64,
+    shutdown: AtomicBool,
+    run_latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl ServerState {
+    /// Requests answered by a worker (any status).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Connections shed with `503` by the accept loop.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently held by workers.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop: it only re-checks the flag after an
+        // accept, so dial our own listener once.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener (use port `0` for an ephemeral port).
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServerState {
+            addr: listener.local_addr()?,
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            run_latencies_ms: Mutex::new(Vec::new()),
+        });
+        Ok(Server {
+            listener,
+            cfg,
+            state,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The shared counter state.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until `POST /shutdown`. Blocks the calling thread.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            cfg,
+            state,
+        } = self;
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let cfg = cfg.clone();
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("skp-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let next = rx.lock().expect("queue lock").recv();
+                        let Ok(stream) = next else { break };
+                        state.in_flight.fetch_add(1, Ordering::SeqCst);
+                        handle_connection(stream, &state, &cfg);
+                        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    })?,
+            );
+        }
+
+        for stream in listener.incoming() {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(mut stream)) => {
+                    state.shed.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = Response::error(
+                        503,
+                        "queue-full",
+                        &format!(
+                            "admission queue is full ({} slots); retry shortly",
+                            cfg.queue.max(1)
+                        ),
+                    )
+                    .with_retry_after(RETRY_AFTER_SECS)
+                    .write(&mut stream);
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread; the handle shuts it down.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr();
+        let state = self.state();
+        let thread = std::thread::Builder::new()
+            .name("skp-serve-acceptor".to_string())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// Handle to a daemon running on a background thread (tests, CI).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared counter state.
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Requests shutdown and joins the server thread.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        // Ask politely over HTTP first so the round-trip is exercised;
+        // the direct flag + wake below covers a daemon whose workers
+        // are all wedged on silent clients.
+        let _ = speculative_prefetch::http_request(
+            &self.addr.to_string(),
+            "POST",
+            "/shutdown",
+            Some("{}"),
+        );
+        self.state.request_shutdown();
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-connection handling and routing.
+// ---------------------------------------------------------------------
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>, cfg: &ServeConfig) {
+    let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+    let started = Instant::now();
+    let response = match http::read_request(&mut stream, cfg.max_body) {
+        Ok(req) => {
+            let response = route(&req, state, cfg);
+            if req.method == "POST" && req.path == "/run" {
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                state
+                    .run_latencies_ms
+                    .lock()
+                    .expect("latency lock")
+                    .push(elapsed_ms);
+            }
+            Some(response)
+        }
+        Err(e) => e.into_response(),
+    };
+    if let Some(response) = response {
+        let _ = response.write(&mut stream);
+        state.served.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn route(req: &Request, state: &Arc<ServerState>, cfg: &ServeConfig) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/version") => Response::json(format!(
+            "{{\"name\":\"skp-serve\",\"version\":\"{}\",\"workers\":{},\"queue\":{}}}",
+            env!("CARGO_PKG_VERSION"),
+            cfg.workers.max(1),
+            cfg.queue.max(1)
+        )),
+        ("GET", "/registry") => Response::json(registry_json()),
+        ("GET", "/stats") => Response::json(stats_json(state)),
+        ("POST", "/run") => handle_run(&req.body),
+        ("POST", "/shutdown") => {
+            state.request_shutdown();
+            Response::json("{\"shutting_down\":true}".to_string())
+        }
+        (method, path @ ("/version" | "/registry" | "/stats" | "/run" | "/shutdown")) => {
+            Response::error(
+                405,
+                "method-not-allowed",
+                &format!(
+                    "{method} is not allowed on {path} \
+                     (GET /version|/registry|/stats, POST /run|/shutdown)"
+                ),
+            )
+        }
+        (_, path) => Response::error(404, "not-found", &format!("no route for '{path}'")),
+    }
+}
+
+fn registry_json() -> String {
+    let opt = |p: Option<&'static str>| match p {
+        Some(p) => format!("\"{}\"", esc(p)),
+        None => "null".to_string(),
+    };
+    let policies = list(policy_specs(), |s| {
+        format!(
+            "{{\"name\":\"{}\",\"aliases\":{},\"summary\":\"{}\",\"param\":{}}}",
+            esc(s.name),
+            list(s.aliases, |a| format!("\"{}\"", esc(a))),
+            esc(s.summary),
+            opt(s.param)
+        )
+    });
+    let predictors = list(predictor_specs(), |s| {
+        format!(
+            "{{\"name\":\"{}\",\"summary\":\"{}\",\"param\":{}}}",
+            esc(s.name),
+            esc(s.summary),
+            opt(s.param)
+        )
+    });
+    let backends = list(&backend_specs(), |s| {
+        format!(
+            "{{\"name\":\"{}\",\"params\":\"{}\",\"summary\":\"{}\"}}",
+            esc(s.name),
+            esc(s.params),
+            esc(s.summary)
+        )
+    });
+    format!("{{\"policies\":{policies},\"predictors\":{predictors},\"backends\":{backends}}}")
+}
+
+fn stats_json(state: &ServerState) -> String {
+    let mut samples = state.run_latencies_ms.lock().expect("latency lock").clone();
+    let access = AccessStats::from_samples(&mut samples);
+    format!(
+        "{{\"served\":{},\"shed\":{},\"in_flight\":{},\"run_latency_ms\":{}}}",
+        state.served(),
+        state.shed(),
+        state.in_flight(),
+        render_access(&access)
+    )
+}
+
+// ---------------------------------------------------------------------
+// POST /run: execute a wire run or a .skp workload file.
+// ---------------------------------------------------------------------
+
+fn handle_run(body: &str) -> Response {
+    let trimmed = body.trim_start();
+    if trimmed.is_empty() {
+        return Response::error(
+            400,
+            "empty-body",
+            "POST /run needs a .skp workload file or a wire-run JSON object as its body",
+        );
+    }
+    let outcome = if trimmed.starts_with('{') {
+        run_wire(body)
+    } else {
+        run_workload_file(body)
+    };
+    match outcome {
+        Ok(body) => Response::json(body),
+        Err(e) => Response::error(status_for(&e), error_kind(&e), &e.to_string()),
+    }
+}
+
+fn run_wire(body: &str) -> Result<String, Error> {
+    let wire_run = WireRun::parse(body)?;
+    if wire_run.backend.starts_with("served") {
+        return Err(Error::InvalidParam {
+            what: "wire run",
+            detail: "the daemon does not chain to other daemons; \
+                     post the inner backend spec directly"
+                .to_string(),
+        });
+    }
+    let (mut engine, workload) = wire_run.instantiate()?;
+    let report = engine.run(&workload)?;
+    Ok(report_json(&wire_run.kind, &engine, &report, &[]))
+}
+
+fn run_workload_file(body: &str) -> Result<String, Error> {
+    let file = parse_workload(body)?;
+    let mut engine = file.build_engine()?;
+    let workload: Workload = file.workload()?;
+    let report = engine.run(&workload)?;
+    Ok(report_json(
+        file.kind.name(),
+        &engine,
+        &report,
+        &file.labels,
+    ))
+}
+
+fn report_json(
+    workload: &str,
+    engine: &Engine,
+    report: &speculative_prefetch::RunReport,
+    labels: &[String],
+) -> String {
+    // The exact shape `skp-plan run --format json` prints, so a served
+    // round-trip and a local run are diffable line for line.
+    format!(
+        "{{\"workload\":\"{}\",\"backend\":\"{}\",\"policy\":\"{}\",{}}}",
+        esc(workload),
+        esc(&engine.backend_spec_string()),
+        esc(engine.policy_name()),
+        render_report_fields(report, labels)
+    )
+}
+
+fn error_kind(e: &Error) -> &'static str {
+    match e {
+        Error::Model(_) => "model",
+        Error::Parse(_) => "parse",
+        Error::UnknownPolicy { .. } => "unknown-policy",
+        Error::UnknownPredictor { .. } => "unknown-predictor",
+        Error::UnknownBackend { .. } => "unknown-backend",
+        Error::InvalidParam { .. } => "invalid-param",
+        Error::MissingComponent { .. } => "missing-component",
+        Error::UnsupportedBackend { .. } => "unsupported-backend",
+        Error::Mismatch { .. } => "mismatch",
+        Error::Served { .. } => "served",
+        Error::Io(_) => "io",
+    }
+}
+
+fn status_for(e: &Error) -> u16 {
+    match e {
+        // A verification mismatch or I/O failure is the daemon's
+        // problem; everything else is a bad request.
+        Error::Mismatch { .. } | Error::Io(_) => 500,
+        _ => 400,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_json_lists_all_three_registries() {
+        let j = registry_json();
+        assert!(j.contains("\"policies\":["));
+        assert!(j.contains("\"predictors\":["));
+        assert!(j.contains("\"backends\":["));
+        assert!(j.contains("skp-exact"));
+        assert!(j.contains("\"served\""));
+        // It is valid JSON by the wire module's own parser.
+        speculative_prefetch::wire::Json::parse(&j).expect("registry JSON parses");
+    }
+
+    #[test]
+    fn run_rejects_daemon_chaining() {
+        let run = WireRun {
+            kind: "sharded".to_string(),
+            backend: "served:127.0.0.1:7077:parallel".to_string(),
+            policy: "skp-exact".to_string(),
+            requests_per_client: 1,
+            seed: 1,
+            traced: false,
+            retrievals: vec![1.0, 2.0],
+            viewing: vec![1.0, 1.0],
+            rows: vec![vec![(1, 1.0)], vec![(0, 1.0)]],
+        };
+        let err = run_wire(&run.render()).unwrap_err().to_string();
+        assert!(err.contains("chain"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_invalid_bodies_map_to_400() {
+        assert_eq!(handle_run("").status, 400);
+        let resp = handle_run("not a workload file");
+        assert_eq!(resp.status, 400);
+        assert!(
+            resp.body.starts_with("{\"error\":{\"kind\":\"parse\""),
+            "{}",
+            resp.body
+        );
+        let resp = handle_run("{\"kind\":\"sharded\"}");
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("invalid-param"), "{}", resp.body);
+    }
+}

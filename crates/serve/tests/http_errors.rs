@@ -1,0 +1,115 @@
+//! Wire-boundary coverage: every way a request can be malformed maps
+//! to a structured HTTP error, not a dropped connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use skp_serve::{ServeConfig, Server, ServerHandle};
+use speculative_prefetch::http_request;
+
+fn spawn() -> ServerHandle {
+    Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+/// Writes raw bytes, half-closes, and returns the daemon's full answer.
+fn raw_exchange(handle: &ServerHandle, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(bytes).expect("write request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut answer = String::new();
+    stream.read_to_string(&mut answer).expect("read response");
+    answer
+}
+
+#[test]
+fn wrong_method_on_known_route_is_405() {
+    let handle = spawn();
+    let answer = raw_exchange(&handle, b"DELETE /run HTTP/1.1\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 405 "), "{answer}");
+    assert!(answer.contains("method-not-allowed"), "{answer}");
+    // An unknown method token gets the same structured refusal.
+    let answer = raw_exchange(&handle, b"FROB /stats HTTP/1.1\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 405 "), "{answer}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn unknown_route_is_404() {
+    let handle = spawn();
+    let answer = raw_exchange(&handle, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 404 "), "{answer}");
+    assert!(answer.contains("not-found"), "{answer}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn truncated_request_line_is_400() {
+    let handle = spawn();
+    let answer = raw_exchange(&handle, b"POST /ru");
+    assert!(answer.starts_with("HTTP/1.1 400 "), "{answer}");
+    assert!(answer.contains("truncated"), "{answer}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn malformed_request_line_and_header_are_400() {
+    let handle = spawn();
+    let answer = raw_exchange(&handle, b"GARBAGE\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 400 "), "{answer}");
+    assert!(answer.contains("request line"), "{answer}");
+
+    let answer = raw_exchange(&handle, b"GET /version HTTP/1.1\r\nNoColonHere\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 400 "), "{answer}");
+    assert!(answer.contains("no colon"), "{answer}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn post_without_content_length_is_411() {
+    let handle = spawn();
+    let answer = raw_exchange(&handle, b"POST /run HTTP/1.1\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 411 "), "{answer}");
+    assert!(answer.contains("length-required"), "{answer}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn oversized_body_is_413_before_the_body_is_read() {
+    let handle = spawn();
+    // Declare two mebibytes; send none. The daemon must refuse from the
+    // header alone.
+    let answer = raw_exchange(
+        &handle,
+        b"POST /run HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n",
+    );
+    assert!(answer.starts_with("HTTP/1.1 413 "), "{answer}");
+    assert!(answer.contains("payload-too-large"), "{answer}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn invalid_skp_body_is_a_structured_400() {
+    let handle = spawn();
+    let addr = handle.addr().to_string();
+    let resp = http_request(&addr, "POST", "/run", Some("item what even is this"))
+        .expect("daemon reachable");
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.body.starts_with("{\"error\":{\"kind\":\"parse\""),
+        "{}",
+        resp.body
+    );
+
+    // A structurally valid but semantically broken wire run names the
+    // offending field, matching the registry's spec-error style.
+    let resp = http_request(&addr, "POST", "/run", Some("{\"kind\":\"sharded\"}"))
+        .expect("daemon reachable");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("'chain'"), "{}", resp.body);
+    handle.shutdown().expect("clean shutdown");
+}

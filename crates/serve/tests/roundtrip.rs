@@ -1,0 +1,191 @@
+//! The determinism contract across the socket: a `served:` run must be
+//! bit-identical to running the inner backend in process, and the
+//! daemon must shed load deterministically when its admission queue is
+//! full.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use skp_serve::{ServeConfig, Server, ServerHandle};
+use speculative_prefetch::{http_request, Engine, MarkovChain, Workload};
+
+fn catalog() -> Vec<f64> {
+    (0..24).map(|i| 1.0 + (i % 8) as f64).collect()
+}
+
+fn chain() -> MarkovChain {
+    MarkovChain::random(24, 2, 4, 5, 20, 7).expect("valid chain")
+}
+
+fn spawn(cfg: ServeConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", cfg)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+fn engine(backend_spec: &str) -> Engine {
+    Engine::builder()
+        .policy("skp-exact")
+        .catalog(catalog())
+        .backend_spec(backend_spec)
+        .build()
+        .expect("engine builds")
+}
+
+/// The acceptance gate: `served:<addr>:parallel:8x64:hash` produces the
+/// same `RunReport`, bit for bit (stats, section, every traced event),
+/// as the in-process parallel backend on the same seed.
+#[test]
+fn served_parallel_run_is_bit_identical_to_in_process() {
+    let handle = spawn(ServeConfig::default());
+    let addr = handle.addr();
+
+    let workload = Workload::sharded(chain(), 40, 1999).traced(true);
+    let expected = engine("parallel:8x64:hash")
+        .run(&workload)
+        .expect("in-process run");
+    let spec = format!("served:{}:{}:parallel:8x64:hash", addr.ip(), addr.port());
+    let actual = engine(&spec).run(&workload).expect("served run");
+
+    assert_eq!(expected, actual);
+    assert!(!actual.events.is_empty(), "traced run ships its event log");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn served_multi_client_run_is_bit_identical_to_in_process() {
+    let handle = spawn(ServeConfig::default());
+    let addr = handle.addr();
+
+    let workload = Workload::multi_client(chain(), 30, 42);
+    let expected = engine("multi-client:8")
+        .run(&workload)
+        .expect("in-process run");
+    let spec = format!("served:{}:{}:multi-client:8", addr.ip(), addr.port());
+    let actual = engine(&spec).run(&workload).expect("served run");
+
+    assert_eq!(expected, actual);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn daemon_errors_surface_as_served_errors() {
+    let handle = spawn(ServeConfig::default());
+    let addr = handle.addr();
+
+    // An invalid wire run reaches the daemon and comes back as a
+    // structured 400, which the facade wraps as Error::Served.
+    let resp = http_request(
+        &addr.to_string(),
+        "POST",
+        "/run",
+        Some("{\"kind\":\"sharded\"}"),
+    )
+    .expect("daemon reachable");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"error\""), "{}", resp.body);
+    assert!(resp.body.contains("invalid-param"), "{}", resp.body);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn version_registry_and_stats_endpoints_answer() {
+    let handle = spawn(ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    let version = http_request(&addr, "GET", "/version", None).expect("GET /version");
+    assert_eq!(version.status, 200);
+    assert!(
+        version.body.contains("\"name\":\"skp-serve\""),
+        "{}",
+        version.body
+    );
+    assert!(
+        version.body.contains(env!("CARGO_PKG_VERSION")),
+        "{}",
+        version.body
+    );
+
+    let registry = http_request(&addr, "GET", "/registry", None).expect("GET /registry");
+    assert_eq!(registry.status, 200);
+    for needle in ["skp-exact", "\"parallel\"", "\"served\"", "ngram"] {
+        assert!(registry.body.contains(needle), "missing {needle}");
+    }
+
+    // One run, then /stats reports it in the AccessStats shape.
+    let run = http_request(
+        &addr,
+        "POST",
+        "/run",
+        Some(
+            &std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../examples/workloads/parallel.skp"
+            ))
+            .expect("example workload readable"),
+        ),
+    )
+    .expect("POST /run");
+    assert_eq!(run.status, 200, "{}", run.body);
+    assert!(
+        run.body.contains("\"section_kind\":\"sharded\""),
+        "{}",
+        run.body
+    );
+
+    let stats = http_request(&addr, "GET", "/stats", None).expect("GET /stats");
+    assert_eq!(stats.status, 200);
+    let doc = speculative_prefetch::wire::Json::parse(&stats.body).expect("stats JSON parses");
+    let served = doc.get("served").and_then(|j| j.as_u64()).expect("served");
+    assert!(served >= 3, "stats: {}", stats.body);
+    let latency = doc.get("run_latency_ms").expect("latency block");
+    assert_eq!(
+        latency.get("count").and_then(|j| j.as_u64()),
+        Some(1),
+        "one /run so one latency sample: {}",
+        stats.body
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Deterministic load shedding: one worker wedged on a silent client,
+/// one queue slot filled — the next connection must be shed with `503`
+/// and a `Retry-After` hint before the daemon reads any of it.
+#[test]
+fn full_admission_queue_sheds_with_503_retry_after() {
+    let handle = spawn(ServeConfig {
+        workers: 1,
+        queue: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // A: accepted and handed to the lone worker, which blocks reading
+    // the request we never send.
+    let a = TcpStream::connect(addr).expect("connect A");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.state().in_flight() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never picked up the first connection"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // B: fills the single admission-queue slot.
+    let b = TcpStream::connect(addr).expect("connect B");
+
+    // C: must be shed. The accept loop answers without reading, so a
+    // full request/response cycle still works from the client side.
+    let resp = http_request(&addr.to_string(), "GET", "/version", None).expect("connect C");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.retry_after.as_deref(), Some("1"));
+    assert!(resp.body.contains("queue-full"), "{}", resp.body);
+    assert_eq!(handle.state().shed(), 1);
+
+    // Unwedge the worker so shutdown drains promptly.
+    drop(a);
+    drop(b);
+    handle.shutdown().expect("clean shutdown");
+}

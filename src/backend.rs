@@ -145,8 +145,13 @@ pub struct PopulationRun<'a> {
     pub seed: u64,
     /// Record the full mechanistic event log.
     pub traced: bool,
-    /// Name of the workload shape, for error messages.
+    /// Name of the workload shape (`"multi-client"` / `"sharded"`),
+    /// also used in error messages.
     pub operation: &'static str,
+    /// Registry spec of the policy behind `planner`, when the engine
+    /// was configured from one (`None` for custom policy instances).
+    /// Remote backends ship this spec instead of the closure.
+    pub policy_spec: Option<&'a str>,
 }
 
 /// One simulation substrate: everything the engine needs to replay a
@@ -522,7 +527,7 @@ struct BackendEntry {
     build: BackendBuilder,
 }
 
-fn param_err(what: &'static str, detail: String) -> Error {
+pub(crate) fn param_err(what: &'static str, detail: String) -> Error {
     Error::InvalidParam {
         what,
         detail: format!("{detail} (see `skp-plan --list` for the syntax)"),
@@ -742,6 +747,19 @@ fn builtin_entries() -> Vec<BackendEntry> {
             },
             build: build_parallel,
         },
+        // The registry seam stretched across a socket: population runs
+        // are serialised, posted to a running skp-serve daemon and the
+        // report parsed back — bit-identical to running the inner
+        // backend in-process (pinned by crates/serve/tests).
+        BackendEntry {
+            spec: BackendSpec {
+                name: "served",
+                params: "host : port : inner-backend-spec",
+                summary: "ships population runs to a running skp-serve daemon \
+                          (bit-identical to the inner backend in-process)",
+            },
+            build: crate::served::build_served,
+        },
     ]
 }
 
@@ -855,6 +873,8 @@ mod tests {
             "monte-carlo:8x2",
             "parallel:4x16:hot-cold@6:3",
             "parallel:2x8:range:0",
+            "served:127.0.0.1:7077:parallel:8x64:hash:0",
+            "served:10.0.0.9:8080:sharded:4x16:hot-cold@6",
         ] {
             let driver = build_backend(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(driver.spec_string(), spec);

@@ -17,10 +17,11 @@
 //! skp-plan --list
 //! ```
 
+use speculative_prefetch::wire::{esc, list, num};
 use speculative_prefetch::{
     backend_specs, global_applicable, parse_scenario_file, parse_workload, policy_specs,
-    predictor_specs, Engine, Error, PlanReport, ReportSection, RunReport, Scenario, Workload,
-    WorkloadFile,
+    predictor_specs, render_report_fields, Engine, Error, PlanReport, ReportSection, RunReport,
+    Scenario, Workload, WorkloadFile,
 };
 
 fn usage() -> ! {
@@ -389,104 +390,15 @@ fn print_run_text(file: &WorkloadFile, engine: &Engine, report: &RunReport) {
 }
 
 fn print_run_json(file: &WorkloadFile, engine: &Engine, report: &RunReport) {
-    let a = &report.access;
-    let access = format!(
-        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
-        a.count,
-        num(a.mean),
-        num(a.p50),
-        num(a.p99),
-        num(a.min),
-        num(a.max)
-    );
-    let section = match &report.section {
-        ReportSection::Plan(r) => format!(
-            "{{\"items\":{},\"labels\":{},\"gain\":{},\"stretch\":{},\"expected_access_time\":{},\"upper_bound\":{},\"per_request\":{}}}",
-            list(r.plan.items(), |i| i.to_string()),
-            list(r.plan.items(), |&i| format!("\"{}\"", esc(&file.labels[i]))),
-            num(r.gain),
-            num(r.stretch),
-            num(r.expected_access_time),
-            num(r.upper_bound),
-            list(&r.per_request, |t| num(*t)),
-        ),
-        ReportSection::Trace(r) => format!(
-            "{{\"requests\":{},\"mean_access_time\":{},\"hit_rate\":{},\"wasted_per_request\":{}}}",
-            r.requests,
-            num(r.mean_access_time),
-            num(r.hit_rate),
-            num(r.wasted_per_request),
-        ),
-        ReportSection::MonteCarlo(r) => format!(
-            "{{\"iterations\":{},\"mean_access_time\":{},\"std_err\":{},\"mean_gain\":{}}}",
-            r.iterations,
-            num(r.access.mean()),
-            num(r.access.std_err()),
-            num(r.gain.mean()),
-        ),
-        ReportSection::MultiClient(r) => format!(
-            "{{\"requests\":{},\"utilisation\":{},\"wasted_transfer\":{},\"total_transfer\":{},\"mean_queue_len\":{}}}",
-            r.requests(),
-            num(r.utilisation),
-            num(r.wasted_transfer),
-            num(r.total_transfer),
-            num(r.mean_queue_len),
-        ),
-        ReportSection::Sharded(r) => format!(
-            "{{\"requests\":{},\"utilisation\":{},\"wasted_transfer\":{},\"total_transfer\":{},\"shards\":{}}}",
-            r.requests(),
-            num(r.utilisation),
-            num(r.wasted_transfer),
-            num(r.total_transfer),
-            list(&r.shards, |s| format!(
-                "{{\"shard\":{},\"jobs\":{},\"utilisation\":{},\"mean_queue_depth\":{},\"max_queue_depth\":{}}}",
-                s.shard,
-                s.jobs,
-                num(s.utilisation),
-                num(s.mean_queue_depth),
-                s.max_queue_depth
-            )),
-        ),
-    };
+    // The report body (access / section / events) is rendered by the
+    // shared wire module — the same encoding skp-serve answers with, so
+    // `skp-plan run --format json` and a daemon round-trip are
+    // byte-comparable after stripping the metadata prefix.
     println!(
-        "{{\"workload\":\"{}\",\"backend\":\"{}\",\"policy\":\"{}\",\"access\":{access},\"section_kind\":\"{}\",\"section\":{section},\"events\":{}}}",
+        "{{\"workload\":\"{}\",\"backend\":\"{}\",\"policy\":\"{}\",{}}}",
         esc(file.kind.name()),
         esc(&engine.backend_spec_string()),
         esc(engine.policy_name()),
-        esc(report.section.name()),
-        report.events.len()
+        render_report_fields(report, &file.labels)
     );
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON encoding helpers (no external deps), shared by both
-// modes.
-// ---------------------------------------------------------------------
-
-fn esc(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len() + 2);
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
-    let parts: Vec<String> = items.iter().map(f).collect();
-    format!("[{}]", parts.join(","))
 }

@@ -26,8 +26,7 @@ use std::sync::Arc;
 
 use access_model::MarkovChain;
 use cache_sim::{PrefetchCache, PrefetchCacheConfig, StepOutcome};
-use distsys::multiclient::MultiClientResult;
-use distsys::scheduler::{ShardReport, SimEvent};
+use distsys::scheduler::SimEvent;
 use distsys::stats::AccessStats;
 use distsys::{Catalog, SessionConfig, Trace};
 use montecarlo::parallel::par_monte_carlo;
@@ -55,6 +54,7 @@ use crate::workload::{MonteCarloSpec, Workload};
 /// errors surface once, at [`build`](SessionBuilder::build).
 pub struct SessionBuilder {
     policy: Option<Box<dyn Prefetcher>>,
+    policy_spec: Option<String>,
     policy_spec_err: Option<Error>,
     predictor_spec: Option<String>,
     predictor: Option<Box<dyn Predictor>>,
@@ -78,6 +78,7 @@ impl SessionBuilder {
     pub fn new() -> Self {
         SessionBuilder {
             policy: None,
+            policy_spec: None,
             policy_spec_err: None,
             predictor_spec: None,
             predictor: None,
@@ -96,6 +97,7 @@ impl SessionBuilder {
         match build_policy(spec) {
             Ok(p) => {
                 self.policy = Some(p);
+                self.policy_spec = Some(spec.to_string());
                 self.policy_spec_err = None;
             }
             Err(e) => self.policy_spec_err = Some(e),
@@ -104,9 +106,11 @@ impl SessionBuilder {
     }
 
     /// Installs an already-built policy (for custom [`Prefetcher`]
-    /// implementations outside the registry).
+    /// implementations outside the registry). Such a policy has no
+    /// registry spec, so it cannot be shipped to a `served:` daemon.
     pub fn policy_instance(mut self, policy: Box<dyn Prefetcher>) -> Self {
         self.policy = Some(policy);
+        self.policy_spec = None;
         self.policy_spec_err = None;
         self
     }
@@ -194,9 +198,9 @@ impl SessionBuilder {
         if let Some(e) = self.backend_spec_err {
             return Err(e);
         }
-        let policy = match self.policy {
-            Some(p) => p,
-            None => build_policy("skp-exact")?,
+        let (policy, policy_spec) = match self.policy {
+            Some(p) => (p, self.policy_spec),
+            None => (build_policy("skp-exact")?, Some("skp-exact".to_string())),
         };
         let n_items = self.n_items;
         let predictor = match (self.predictor, self.predictor_spec) {
@@ -254,6 +258,7 @@ impl SessionBuilder {
         driver.validate()?;
         Ok(Engine {
             policy,
+            policy_spec,
             predictor,
             client,
             retrievals: self.retrievals,
@@ -267,6 +272,9 @@ impl SessionBuilder {
 /// [`Engine::builder`].
 pub struct Engine {
     policy: Box<dyn Prefetcher>,
+    /// Registry spec the policy was built from (`None` for custom
+    /// instances installed via `policy_instance`).
+    policy_spec: Option<String>,
     predictor: Option<Box<dyn Predictor>>,
     client: Option<PrefetchCache>,
     retrievals: Option<Vec<f64>>,
@@ -288,6 +296,13 @@ impl Engine {
     /// request; see [`Prefetcher::is_oracle`]).
     pub fn policy_is_oracle(&self) -> bool {
         self.policy.is_oracle()
+    }
+
+    /// Registry spec the policy was built from, when there is one
+    /// (`None` for custom instances). Remote backends ship this spec
+    /// across the wire instead of the policy object.
+    pub fn policy_spec(&self) -> Option<&str> {
+        self.policy_spec.as_deref()
     }
 
     /// Registry name of the configured backend.
@@ -325,9 +340,9 @@ impl Engine {
     /// [`Workload::MonteCarlo`] the quantiles require buffering one
     /// sample per iteration.
     ///
-    /// This is the one entry point the legacy per-workload methods
-    /// (`report`, `run_trace`, `monte_carlo`, `multi_client`,
-    /// `sharded`) now delegate to.
+    /// This is the one entry point (the legacy per-workload methods —
+    /// `report`, `run_trace`, `monte_carlo`, `multi_client`, `sharded`
+    /// — were removed in 0.5).
     pub fn run(&mut self, workload: &Workload) -> Result<RunReport, Error> {
         match workload {
             Workload::Plan(w) => {
@@ -347,9 +362,9 @@ impl Engine {
                 })
             }
             Workload::MonteCarlo(w) => {
-                let (access, report) = self.monte_carlo_report(w.spec, true)?;
+                let (access, report) = self.monte_carlo_report(w.spec)?;
                 Ok(RunReport {
-                    access: access.expect("collected"),
+                    access,
                     section: ReportSection::MonteCarlo(report),
                     events: Vec::new(),
                 })
@@ -395,16 +410,6 @@ impl Engine {
     fn plan_report(&self, s: &Scenario) -> PlanReport {
         let plan = self.plan(s);
         self.report_plan(s, plan)
-    }
-
-    /// Plans and evaluates in closed form (empty-cache view).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::plan(scenario)) and read the plan section; \
-                removed in 0.5"
-    )]
-    pub fn report(&self, s: &Scenario) -> PlanReport {
-        self.plan_report(s)
     }
 
     /// Evaluates a given plan in closed form (empty-cache view).
@@ -643,34 +648,15 @@ impl Engine {
         Ok((AccessStats::from_samples(&mut samples), report))
     }
 
-    /// Replays a recorded trace: per record, forecast with the
-    /// predictor, plan with the policy, arbitrate against the cache,
-    /// serve, then learn the realised access. Requires a predictor and a
-    /// catalog.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::trace(trace)) and read the trace section; \
-                removed in 0.5"
-    )]
-    pub fn run_trace(&mut self, trace: &Trace) -> Result<TraceReport, Error> {
-        Ok(self.trace_report(trace)?.1)
-    }
-
     // -----------------------------------------------------------------
     // Monte-Carlo.
     // -----------------------------------------------------------------
 
     /// The engine of [`Workload::MonteCarlo`]: the sampling loop, fanned
-    /// out as the backend's [`McFanout`] dictates. With `collect_stats`
-    /// every access time is buffered (one `f64` per iteration) to
-    /// compute the exact common quantiles; without it the path stays
-    /// O(1) in memory and the stats slot is `None` (the deprecated
-    /// wrapper, which discards them).
-    fn monte_carlo_report(
-        &self,
-        spec: MonteCarloSpec,
-        collect_stats: bool,
-    ) -> Result<(Option<AccessStats>, SimReport), Error> {
+    /// out as the backend's [`McFanout`] dictates. Every access time is
+    /// buffered (one `f64` per iteration) to compute the exact common
+    /// quantiles of the report's stats block.
+    fn monte_carlo_report(&self, spec: MonteCarloSpec) -> Result<(AccessStats, SimReport), Error> {
         if spec.iterations == 0 {
             return Err(Error::InvalidParam {
                 what: "monte-carlo iterations",
@@ -688,11 +674,7 @@ impl Engine {
             // Capacity hint only — capped so an absurd `iterations`
             // value cannot abort on one huge eager allocation; the
             // buffer grows with samples actually produced.
-            let mut samples = Vec::with_capacity(if collect_stats {
-                iters.min(1 << 20) as usize
-            } else {
-                0
-            });
+            let mut samples = Vec::with_capacity(iters.min(1 << 20) as usize);
             for _ in 0..iters {
                 let s = gen.generate(&mut rng);
                 let alpha = ScenarioGen::draw_request(&s, &mut rng);
@@ -703,9 +685,7 @@ impl Engine {
                 };
                 let t = access_time_empty(&s, plan.items(), alpha);
                 access.push(t);
-                if collect_stats {
-                    samples.push(t);
-                }
+                samples.push(t);
                 gain.push(s.retrieval(alpha) - t);
             }
             (
@@ -735,19 +715,7 @@ impl Engine {
                 )?
             }
         };
-        let stats = collect_stats.then(|| AccessStats::from_samples(&mut samples));
-        Ok((stats, report))
-    }
-
-    /// Evaluates the policy over random scenarios with the paper's
-    /// parameter ranges.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::monte_carlo(spec)) and read the monte-carlo section; \
-                removed in 0.5"
-    )]
-    pub fn monte_carlo(&self, spec: MonteCarloSpec) -> Result<SimReport, Error> {
-        Ok(self.monte_carlo_report(spec, false)?.1)
+        Ok((AccessStats::from_samples(&mut samples), report))
     }
 
     // -----------------------------------------------------------------
@@ -813,136 +781,8 @@ impl Engine {
             seed,
             traced,
             operation,
+            policy_spec: self.policy_spec.as_deref(),
         })
-    }
-
-    /// Runs the shared-channel multi-client system: every client browses
-    /// the Markov `chain` and plans with this engine's policy. Requires
-    /// a population backend and a catalog.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::multi_client(chain, requests, seed)); removed in 0.5"
-    )]
-    pub fn multi_client(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-    ) -> Result<MultiClientResult, Error> {
-        Ok(self
-            .multi_client_impl(chain, requests_per_client, seed, false)?
-            .0)
-    }
-
-    /// Like `multi_client`, optionally recording the mechanistic event
-    /// log (`trace = true`) for event-for-event comparison against the
-    /// sharded backend.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::multi_client(chain, requests, seed).traced(true)); \
-                removed in 0.5"
-    )]
-    pub fn multi_client_traced(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-        trace: bool,
-    ) -> Result<(MultiClientResult, Vec<SimEvent>), Error> {
-        self.multi_client_impl(chain, requests_per_client, seed, trace)
-    }
-
-    /// Shared body of the deprecated `multi_client*` wrappers (a
-    /// non-deprecated helper, so the wrappers carry no
-    /// `#[allow(deprecated)]` call sites).
-    fn multi_client_impl(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-        trace: bool,
-    ) -> Result<(MultiClientResult, Vec<SimEvent>), Error> {
-        // The legacy contract is strict about the substrate; fail before
-        // running the (possibly expensive) simulation on anything else.
-        if self.driver.name() != "multi-client" {
-            return Err(Error::UnsupportedBackend {
-                operation: "multi_client",
-                backend: self.driver.name(),
-            });
-        }
-        let (_, section, events) =
-            self.population_report(chain, requests_per_client, seed, trace, "multi-client")?;
-        match section {
-            ReportSection::MultiClient(r) => Ok((r, events)),
-            _ => Err(Error::UnsupportedBackend {
-                operation: "multi_client",
-                backend: self.driver.name(),
-            }),
-        }
-    }
-
-    /// Runs the sharded distributed system: the catalog is partitioned
-    /// across server shards, every client browses the Markov `chain`,
-    /// and plans come from this engine's policy. Requires the sharded
-    /// backend and a catalog.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::sharded(chain, requests, seed)); removed in 0.5"
-    )]
-    pub fn sharded(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-    ) -> Result<ShardReport, Error> {
-        Ok(self
-            .sharded_impl(chain, requests_per_client, seed, false)?
-            .0)
-    }
-
-    /// Like `sharded`, optionally recording the mechanistic event log
-    /// (`trace = true`).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use Engine::run(&Workload::sharded(chain, requests, seed).traced(true)); \
-                removed in 0.5"
-    )]
-    pub fn sharded_traced(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-        trace: bool,
-    ) -> Result<(ShardReport, Vec<SimEvent>), Error> {
-        self.sharded_impl(chain, requests_per_client, seed, trace)
-    }
-
-    /// Shared body of the deprecated `sharded*` wrappers (see
-    /// [`multi_client_impl`](Self::multi_client_impl)).
-    fn sharded_impl(
-        &self,
-        chain: &MarkovChain,
-        requests_per_client: u64,
-        seed: u64,
-        trace: bool,
-    ) -> Result<(ShardReport, Vec<SimEvent>), Error> {
-        // The legacy contract is strict about the substrate; fail before
-        // running the (possibly expensive) simulation on anything else.
-        if self.driver.name() != "sharded" {
-            return Err(Error::UnsupportedBackend {
-                operation: "sharded",
-                backend: self.driver.name(),
-            });
-        }
-        let (_, section, events) =
-            self.population_report(chain, requests_per_client, seed, trace, "sharded")?;
-        match section {
-            ReportSection::Sharded(r) => Ok((r, events)),
-            _ => Err(Error::UnsupportedBackend {
-                operation: "sharded",
-                backend: self.driver.name(),
-            }),
-        }
     }
 }
 

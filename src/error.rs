@@ -72,6 +72,15 @@ pub enum Error {
         /// Event-replay access time.
         replay: f64,
     },
+    /// A `served:` backend round-trip reached the daemon but the daemon
+    /// refused or failed the request.
+    Served {
+        /// HTTP status code the daemon answered with.
+        status: u16,
+        /// The daemon's error detail (body of the error response, plus
+        /// any `Retry-After` hint on `503`).
+        detail: String,
+    },
     /// An I/O operation (trace or scenario file) failed.
     Io(std::io::Error),
 }
@@ -115,6 +124,9 @@ impl fmt::Display for Error {
                 f,
                 "model/replay mismatch for request {request}: closed form {formula} vs event replay {replay}"
             ),
+            Error::Served { status, detail } => {
+                write!(f, "served backend: daemon answered {status}: {detail}")
+            }
             Error::Io(e) => write!(f, "i/o: {e}"),
         }
     }
@@ -177,6 +189,13 @@ mod tests {
             replay: 2.0,
         };
         assert!(e.to_string().contains('3'));
+
+        let e = Error::Served {
+            status: 503,
+            detail: "queue full; retry after 1s".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("503") && s.contains("queue full"));
     }
 
     #[test]

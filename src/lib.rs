@@ -89,6 +89,13 @@
 //! `RunReport` — the registry makes the executor a deployment choice,
 //! not a semantic one.
 //!
+//! The registry seam also stretches across a socket: with a `skp-serve`
+//! daemon running (see `crates/serve`), swap the backend spec for
+//! `"served:127.0.0.1:7077:parallel:4x8:hash"` and the same population
+//! run is serialised through the [`wire`] module, executed by the
+//! daemon's worker pool and parsed back — still bit-identical to the
+//! in-process run on the same seed.
+//!
 //! Workloads are also *files*: the [`scenario_file`] format carries
 //! scenario + workload + backend + policy/predictor specs in one
 //! checked-in file, and `skp-plan run <file>` (or
@@ -96,20 +103,11 @@
 //!
 //! Every fallible facade call returns the unified [`Error`].
 //!
-//! ## Migration from the legacy per-workload methods
-//!
-//! The bespoke `Engine` methods remain as deprecated wrappers; each is
-//! one [`Workload`] value under `run`:
-//!
-//! | legacy method | workload |
-//! |---|---|
-//! | `Engine::report(&s)` | `run(&Workload::plan(s))` → [`RunReport::plan`] |
-//! | `Engine::run_trace(&t)` | `run(&Workload::trace(t))` → [`RunReport::trace`] |
-//! | `Engine::monte_carlo(spec)` | `run(&Workload::monte_carlo(spec))` → [`RunReport::monte_carlo`] |
-//! | `Engine::multi_client(&c, n, s)` | `run(&Workload::multi_client(c, n, s))` → [`RunReport::multi_client`] |
-//! | `Engine::multi_client_traced(.., true)` | `run(&Workload::multi_client(..).traced(true))` + [`RunReport::events`] |
-//! | `Engine::sharded(&c, n, s)` | `run(&Workload::sharded(c, n, s))` → [`RunReport::sharded`] |
-//! | `Engine::sharded_traced(.., true)` | `run(&Workload::sharded(..).traced(true))` + [`RunReport::events`] |
+//! The legacy per-workload `Engine` methods (`report`, `run_trace`,
+//! `monte_carlo`, `multi_client[_traced]`, `sharded[_traced]`),
+//! deprecated since 0.3, were removed in 0.5 — each maps to one
+//! [`Workload`] value under [`Engine::run`] and a [`RunReport`] section
+//! accessor.
 //!
 //! The per-crate module re-exports ([`core`], [`access`], [`cache`],
 //! [`distsys`], [`mc`]) remain available for power users; new code and
@@ -125,6 +123,8 @@ pub mod predictor;
 pub mod registry;
 pub mod report;
 pub mod scenario_file;
+pub mod served;
+pub mod wire;
 pub mod workload;
 
 // ---- module re-exports (advanced / legacy surface) -------------------
@@ -148,6 +148,8 @@ pub use scenario_file::{
     parse as parse_scenario_file, parse_workload, render_workload, ChainSpec, ParseError,
     ScenarioFile, WorkloadFile, WorkloadKind,
 };
+pub use served::{http_request, HttpResponse};
+pub use wire::{parse_report, render_report_fields, WireRun};
 pub use workload::{
     MonteCarloSpec, MonteCarloWorkload, PlanWorkload, PopulationWorkload, TraceWorkload, Workload,
 };

@@ -1,0 +1,417 @@
+//! The `served:` backend — population runs shipped to a running
+//! `skp-serve` daemon.
+//!
+//! This is the PR 3 registry seam stretched across a socket: the driver
+//! serialises the workload with [`WireRun`], posts it to the daemon's
+//! `POST /run` endpoint over a hand-rolled HTTP/1.1 client (plain
+//! `std::net`, no dependencies), and parses the response back into a
+//! [`RunReport`](crate::RunReport) — **bit-identical** to running the
+//! inner backend in-process on the same seed, because the wire format
+//! round-trips every `f64` exactly and ships the Markov chain's exact
+//! stored rows. The determinism contract of the parallel backend
+//! therefore survives the network hop (pinned by `crates/serve/tests`).
+//!
+//! Spec syntax: `served:<host>:<port>:<inner-backend-spec>`, e.g.
+//! `served:127.0.0.1:7077:parallel:8x64:hash`. The host is an IPv4
+//! address or name (no colons — IPv6 literals would be ambiguous in the
+//! spec grammar); the inner spec is any registered *population* backend
+//! and defaults to the parallel executor.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use distsys::scheduler::SimEvent;
+use distsys::stats::AccessStats;
+use distsys::{Catalog, SessionConfig};
+
+use crate::backend::{build_backend, param_err, BackendDriver, PopulationRun};
+use crate::error::Error;
+use crate::report::ReportSection;
+use crate::wire::{self, Json, WireRun};
+
+const WHAT: &str = "served backend spec";
+
+/// How long the client waits for the daemon to answer one request.
+/// Population runs are bounded (the daemon runs them synchronously), so
+/// a stuck daemon should fail the run rather than hang the engine.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(600);
+
+// ---------------------------------------------------------------------
+// The driver.
+// ---------------------------------------------------------------------
+
+struct ServedDriver {
+    host: String,
+    port: u16,
+    /// The backend the daemon is asked to run. Kept as a built driver so
+    /// the spec is validated locally at build time and `spec_string` is
+    /// canonical (a fixed point).
+    inner: Arc<dyn BackendDriver>,
+}
+
+impl ServedDriver {
+    fn addr(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+impl BackendDriver for ServedDriver {
+    fn name(&self) -> &'static str {
+        "served"
+    }
+
+    fn spec_string(&self) -> String {
+        format!(
+            "served:{}:{}:{}",
+            self.host,
+            self.port,
+            self.inner.spec_string()
+        )
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        self.inner.validate()?;
+        if !self.inner.supports_population() {
+            return Err(param_err(
+                WHAT,
+                format!(
+                    "inner backend '{}' cannot run population workloads (the daemon only \
+                     serves multi-client and sharded runs)",
+                    self.inner.spec_string()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn session_access_time(&self, catalog: &Catalog, cfg: &SessionConfig<'_>) -> f64 {
+        // The daemon simulates the same substrate; the timing model is
+        // the inner backend's.
+        self.inner.session_access_time(catalog, cfg)
+    }
+
+    fn supports_population(&self) -> bool {
+        true
+    }
+
+    fn run_population(
+        &self,
+        run: PopulationRun<'_>,
+    ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        let policy = run.policy_spec.ok_or_else(|| Error::InvalidParam {
+            what: "served backend",
+            detail: "custom policy instances cannot cross the wire; configure the engine \
+                     with a registry policy spec"
+                .into(),
+        })?;
+        let wire_run = WireRun::new(
+            run.operation,
+            &self.inner.spec_string(),
+            policy,
+            run.chain,
+            run.retrievals,
+            run.requests_per_client,
+            run.seed,
+            run.traced,
+        );
+        let response = http_request(&self.addr(), "POST", "/run", Some(&wire_run.render()))?;
+        if response.status != 200 {
+            return Err(Error::Served {
+                status: response.status,
+                detail: response.error_detail(),
+            });
+        }
+        let report = wire::parse_report(&response.body)?;
+        Ok((report.access, report.section, report.events))
+    }
+}
+
+/// Registry constructor for `served:` specs (registered in the builtin
+/// backend table).
+pub(crate) fn build_served(param: Option<&str>) -> Result<Arc<dyn BackendDriver>, Error> {
+    let (host, port, inner) = match param {
+        None => ("127.0.0.1".to_string(), 7077, None),
+        Some(raw) => {
+            let mut parts = raw.splitn(3, ':');
+            let host = parts.next().unwrap_or_default().trim();
+            if host.is_empty() {
+                return Err(param_err(WHAT, "daemon host must be non-empty".into()));
+            }
+            if host.chars().any(|c| c.is_whitespace()) {
+                return Err(param_err(
+                    WHAT,
+                    format!("daemon host '{host}' must not contain whitespace"),
+                ));
+            }
+            let port_raw = parts.next().map(str::trim).ok_or_else(|| {
+                param_err(
+                    WHAT,
+                    "missing daemon port (syntax: served:<host>:<port>:<inner-backend-spec>)"
+                        .into(),
+                )
+            })?;
+            let port = match port_raw.parse::<u16>() {
+                Ok(p) if p > 0 => p,
+                _ => {
+                    return Err(param_err(
+                        WHAT,
+                        format!("daemon port '{port_raw}' is not a port number (1-65535)"),
+                    ))
+                }
+            };
+            (host.to_string(), port, parts.next())
+        }
+    };
+    let inner = match inner {
+        None => build_backend("parallel")?,
+        Some(spec) => {
+            let name = spec.split(':').next().unwrap_or_default().trim();
+            if name == "served" {
+                return Err(param_err(
+                    WHAT,
+                    "inner backend must not itself be 'served' (no daemon chaining)".into(),
+                ));
+            }
+            build_backend(spec)?
+        }
+    };
+    Ok(Arc::new(ServedDriver { host, port, inner }))
+}
+
+// ---------------------------------------------------------------------
+// The HTTP/1.1 client (plain std::net, shared with `skp-serve
+// --shutdown`).
+// ---------------------------------------------------------------------
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// The `Retry-After` header, if the server sent one (the daemon
+    /// does on `503` shed responses).
+    pub retry_after: Option<String>,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A human-readable error detail for a non-200 response: the
+    /// daemon's structured `{"error":{"kind":…,"detail":…}}` body when
+    /// present, the raw body otherwise, with any `Retry-After` hint
+    /// appended.
+    pub fn error_detail(&self) -> String {
+        let mut detail = Json::parse(self.body.trim())
+            .ok()
+            .and_then(|doc| {
+                let err = doc.get("error")?;
+                let kind = err.get("kind")?.as_str()?.to_string();
+                let text = err.get("detail")?.as_str()?.to_string();
+                Some(format!("{kind}: {text}"))
+            })
+            .unwrap_or_else(|| self.body.trim().to_string());
+        if let Some(after) = &self.retry_after {
+            detail.push_str(&format!(" (retry after {after}s)"));
+        }
+        detail
+    }
+}
+
+/// Sends one HTTP/1.1 request (`Connection: close`) and reads the full
+/// response. I/O failures surface as [`Error::Io`]; a response the
+/// client cannot parse surfaces as [`Error::InvalidParam`].
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, Error> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+    stream.set_write_timeout(Some(RESPONSE_TIMEOUT))?;
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    let mut stream = stream;
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+
+    let malformed = |detail: String| Error::InvalidParam {
+        what: "served backend",
+        detail,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            malformed(format!(
+                "daemon sent a malformed status line '{}'",
+                status_line.trim()
+            ))
+        })?;
+
+    let mut retry_after = None;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(malformed("daemon closed mid-headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((key, value)) = line.split_once(':') {
+            match key.trim().to_ascii_lowercase().as_str() {
+                "retry-after" => retry_after = Some(value.trim().to_string()),
+                "content-length" => content_length = value.trim().parse().ok(),
+                _ => {}
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| malformed("daemon response is not UTF-8".into()))?
+        }
+        None => {
+            let mut text = String::new();
+            reader.read_to_string(&mut text)?;
+            text
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use access_model::MarkovChain;
+
+    #[test]
+    fn default_spec_fills_in() {
+        assert_eq!(
+            build_backend("served").unwrap().spec_string(),
+            "served:127.0.0.1:7077:parallel:1x1:hash:0"
+        );
+        assert_eq!(
+            build_backend("served:10.1.2.3:9000").unwrap().spec_string(),
+            "served:10.1.2.3:9000:parallel:1x1:hash:0"
+        );
+    }
+
+    #[test]
+    fn inner_spec_is_canonicalised() {
+        // The inner spec's defaults fill in inside the served spec, and
+        // the result is a fixed point.
+        let driver = build_backend("served:127.0.0.1:7077:parallel:4x8").unwrap();
+        assert_eq!(
+            driver.spec_string(),
+            "served:127.0.0.1:7077:parallel:4x8:hash:0"
+        );
+        assert_eq!(
+            build_backend(&driver.spec_string()).unwrap().spec_string(),
+            driver.spec_string()
+        );
+    }
+
+    /// The satellite contract: served: spec errors name the offending
+    /// field, matching the PR 4 backend-spec style.
+    #[test]
+    fn malformed_specs_name_the_bad_field() {
+        let detail = |spec: &str| match build_backend(spec) {
+            Err(Error::InvalidParam { detail, .. }) => detail,
+            Err(other) => panic!("{spec}: expected InvalidParam, got {other:?}"),
+            Ok(_) => panic!("{spec}: expected InvalidParam, got a driver"),
+        };
+        assert!(detail("served:").contains("daemon host must be non-empty"));
+        assert!(detail("served:localhost").contains("missing daemon port"));
+        assert!(detail("served:localhost:99999").contains("daemon port '99999'"));
+        assert!(detail("served:localhost:0").contains("daemon port '0'"));
+        assert!(detail("served:localhost:zero").contains("daemon port 'zero'"));
+        assert!(
+            detail("served:localhost:8080:served:localhost:8081").contains("no daemon chaining")
+        );
+        // Inner-spec errors bubble up with their own field names.
+        assert!(
+            detail("served:localhost:8080:parallel:0x4").contains("shard count must be at least 1")
+        );
+        assert!(matches!(
+            build_backend("served:localhost:8080:warp-drive"),
+            Err(Error::UnknownBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn non_population_inner_backends_fail_validation() {
+        let driver = build_backend("served:localhost:8080:monte-carlo:8x2").unwrap();
+        let err = driver.validate().unwrap_err().to_string();
+        assert!(err.contains("cannot run population workloads"), "{err}");
+        assert!(build_backend("served:localhost:8080:sharded:2x4:hash")
+            .unwrap()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn custom_policy_instances_cannot_cross_the_wire() {
+        let chain = MarkovChain::random(6, 2, 3, 2, 5, 1).unwrap();
+        let retrievals = vec![1.0; 6];
+        let mut planner = |_client: usize, _state: usize| Vec::new();
+        let driver = build_backend("served:127.0.0.1:7077:parallel:1x1:hash:0").unwrap();
+        let err = driver
+            .run_population(PopulationRun {
+                chain: &chain,
+                retrievals: &retrievals,
+                planner: &mut planner,
+                requests_per_client: 5,
+                seed: 1,
+                traced: false,
+                operation: "sharded",
+                policy_spec: None,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot cross the wire"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_daemon_surfaces_as_io_error() {
+        // Bind an ephemeral port, then close it: connecting is refused.
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let chain = MarkovChain::random(6, 2, 3, 2, 5, 1).unwrap();
+        let retrievals = vec![1.0; 6];
+        let mut planner = |_client: usize, _state: usize| Vec::new();
+        let driver =
+            build_backend(&format!("served:127.0.0.1:{port}:parallel:1x1:hash:0")).unwrap();
+        let err = driver
+            .run_population(PopulationRun {
+                chain: &chain,
+                retrievals: &retrievals,
+                planner: &mut planner,
+                requests_per_client: 5,
+                seed: 1,
+                traced: false,
+                operation: "sharded",
+                policy_spec: Some("skp-exact"),
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err}");
+    }
+}
