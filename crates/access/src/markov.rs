@@ -71,6 +71,13 @@ pub struct MarkovChain {
     /// `transitions[i]` = sorted, normalised `(successor, probability)`.
     transitions: Vec<Vec<(usize, f64)>>,
     viewing: Vec<f64>,
+    /// Flat prefix-sum arena of the rows: `cdf[cdf_start[i]..
+    /// cdf_start[i+1]]` holds row `i`'s running probability sums in
+    /// successor order — the binary-searchable form of the row, built
+    /// with the same left-to-right additions as a linear scan so
+    /// sampling through it draws the identical successor.
+    cdf: Vec<f64>,
+    cdf_start: Vec<u32>,
 }
 
 impl MarkovChain {
@@ -109,9 +116,22 @@ impl MarkovChain {
                 return Err(MarkovError::BadViewing(i));
             }
         }
+        let mut cdf = Vec::new();
+        let mut cdf_start = Vec::with_capacity(n + 1);
+        cdf_start.push(0u32);
+        for row in &transitions {
+            let mut acc = 0.0;
+            for &(_, p) in row {
+                acc += p;
+                cdf.push(acc);
+            }
+            cdf_start.push(cdf.len() as u32);
+        }
         Ok(Self {
             transitions,
             viewing,
+            cdf,
+            cdf_start,
         })
     }
 
@@ -204,17 +224,20 @@ impl MarkovChain {
     }
 
     /// Samples the next state from state `i`.
+    ///
+    /// Binary search over the precomputed prefix sums — the first entry
+    /// exceeding the uniform draw is the same successor a left-to-right
+    /// accumulation would return, because the prefix sums *are* that
+    /// accumulation's partial results.
     pub fn next_state(&self, i: usize, rng: &mut impl Rng) -> usize {
         let x: f64 = rng.random_range(0.0..1.0);
-        let mut acc = 0.0;
-        for &(j, p) in &self.transitions[i] {
-            acc += p;
-            if x < acc {
-                return j;
-            }
+        let cdf = &self.cdf[self.cdf_start[i] as usize..self.cdf_start[i + 1] as usize];
+        let k = cdf.partition_point(|&c| c <= x);
+        match self.transitions[i].get(k) {
+            Some(&(j, _)) => j,
+            // Floating-point slack: fall back to the last successor.
+            None => self.transitions[i].last().expect("non-empty row").0,
         }
-        // Floating-point slack: fall back to the last successor.
-        self.transitions[i].last().expect("non-empty row").0
     }
 
     /// Approximates the stationary distribution by power iteration.

@@ -1,0 +1,161 @@
+//! Raw event-queue throughput: heap vs calendar.
+//!
+//! The classic *hold* model: pre-seed the queue with `hold` pending
+//! events, then repeatedly pop one and schedule its replacement at
+//! `now + delay`, with delays drawn from several distributions —
+//! quantised (the simulation regime the calendar queue is built for),
+//! irregular fractional gaps, zero-gap ties, and a bimodal mix with
+//! occasional far-future jumps that exercises the overflow lane.
+//!
+//! Both implementations are driven through the identical schedule/pop
+//! sequence (same deterministic delay stream), so the throughput ratio
+//! is a pure implementation comparison. `--quick` shrinks the iteration
+//! count for CI; `--out <path>` writes a JSON snapshot — the checked-in
+//! `BENCH_queue.json` at the repo root is one such run.
+
+use distsys::engine::{EventQueue, EventQueueKind};
+use speculative_prefetch::wire::{list, num};
+use std::time::Instant;
+
+/// Deterministic xorshift64* stream so both queue kinds replay the
+/// identical delay sequence.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// One delay distribution of the hold model.
+struct Dist {
+    name: &'static str,
+    sample: fn(&mut Rng) -> f64,
+}
+
+const DISTS: &[Dist] = &[
+    Dist {
+        // The simulation regime: viewing/retrieval delays from a small
+        // integer set.
+        name: "quantised",
+        sample: |r| (1 + r.next() % 30) as f64,
+    },
+    Dist {
+        // Irregular fractional gaps with no common quantum.
+        name: "irregular",
+        sample: |r| (r.next() % 10_000) as f64 * 1e-3 + 1e-4,
+    },
+    Dist {
+        // Heavy ties: many zero delays between real steps.
+        name: "zero-heavy",
+        sample: |r| if r.next() % 4 == 0 { 1.0 } else { 0.0 },
+    },
+    Dist {
+        // Mostly near-future with occasional far jumps — the overflow
+        // lane's regime.
+        name: "bimodal-far",
+        sample: |r| {
+            if r.next() % 64 == 0 {
+                1e6
+            } else {
+                (1 + r.next() % 8) as f64
+            }
+        },
+    },
+];
+
+/// Runs `ops` pop+schedule rounds on a queue pre-seeded with `hold`
+/// events; returns elapsed seconds and a checksum (so results cannot be
+/// optimised away and both kinds can be asserted identical).
+fn hold(kind: EventQueueKind, dist: &Dist, hold: usize, ops: usize) -> (f64, f64) {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+    for i in 0..hold {
+        q.schedule((dist.sample)(&mut rng), i as u32);
+    }
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for i in 0..ops {
+        let (at, _) = q.pop().expect("queue holds events");
+        checksum += at;
+        q.schedule(at + (dist.sample)(&mut rng), i as u32);
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+struct Row {
+    dist: &'static str,
+    hold: usize,
+    heap_mops: f64,
+    calendar_mops: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"dist\":\"{}\",\"hold\":{},\"heap_mops\":{},\"calendar_mops\":{},\
+             \"calendar_speedup\":{}}}",
+            self.dist,
+            self.hold,
+            num(self.heap_mops),
+            num(self.calendar_mops),
+            num(self.calendar_mops / self.heap_mops.max(1e-12)),
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ops: usize = if quick { 200_000 } else { 2_000_000 };
+
+    println!("event-queue hold throughput, {ops} pop+schedule ops (million ops/sec)");
+    let mut rows = Vec::new();
+    for dist in DISTS {
+        for &h in &[64usize, 4096] {
+            // Warm-up pass, then one measured pass per kind. The
+            // checksums double as an order-equivalence assertion.
+            hold(EventQueueKind::Heap, dist, h, ops / 10);
+            let (heap_s, heap_sum) = hold(EventQueueKind::Heap, dist, h, ops);
+            hold(EventQueueKind::Calendar, dist, h, ops / 10);
+            let (cal_s, cal_sum) = hold(EventQueueKind::Calendar, dist, h, ops);
+            assert_eq!(
+                heap_sum.to_bits(),
+                cal_sum.to_bits(),
+                "{}: calendar popped a different event sequence",
+                dist.name
+            );
+            let row = Row {
+                dist: dist.name,
+                hold: h,
+                heap_mops: ops as f64 / heap_s / 1e6,
+                calendar_mops: ops as f64 / cal_s / 1e6,
+            };
+            println!(
+                "  {:>11} hold {:>4}: heap {:>7.2}  calendar {:>7.2}  ({:.2}x)",
+                row.dist,
+                row.hold,
+                row.heap_mops,
+                row.calendar_mops,
+                row.calendar_mops / row.heap_mops
+            );
+            rows.push(row);
+        }
+    }
+    if let Some(path) = out {
+        let snapshot = format!(
+            "{{\"bench\":\"queue\",\"ops\":{ops},\"quick\":{quick},\"rows\":{}}}\n",
+            list(&rows, Row::json)
+        );
+        std::fs::write(&path, snapshot).expect("write snapshot");
+        println!("snapshot written to {path}");
+    }
+}

@@ -49,33 +49,17 @@
 //! back to the sequential core — results are still identical, only the
 //! overlap is lost.
 
-use std::collections::HashMap;
-
 use crossbeam::channel;
 
 use crate::exec;
 use crate::scheduler::{
     ChannelStats, ClientPolicy, ClientWorkload, Ev, Flow, Placement, Scheduler, ShardObserver,
-    ShardReport, ShardedSim, SimEvent, SimState,
+    ShardOp, ShardReport, ShardedSim, SimEvent, SimState,
 };
 
 /// How many closed epochs the coordinator may run ahead of the slowest
 /// shard worker before blocking on its barrier acknowledgement.
 const BARRIER_WINDOW: u64 = 8;
-
-/// One per-shard measurement operation — the wire form of the
-/// [`ShardObserver`] stream a worker folds.
-#[derive(Debug, Clone, Copy)]
-enum ShardOp {
-    /// A job entered the queue, which now holds `depth` jobs.
-    Queued { depth: usize },
-    /// A transfer started, occupying the channel for `duration`.
-    Started { duration: f64 },
-    /// A transfer finished; the queue held `depth` jobs at that instant.
-    Finished { depth: usize },
-    /// A request owned by this shard stalled for this long.
-    Stall(f64),
-}
 
 /// Coordinator → worker messages.
 enum Msg {
@@ -136,43 +120,63 @@ impl ShardObserver for BatchObserver {
 /// planning cache (see the module docs for the purity contract).
 struct CachedPolicy<'a> {
     inner: &'a mut dyn ClientPolicy,
-    plans: HashMap<(usize, usize), Vec<usize>>,
+    /// Flat `client * n_states + state` arena of memoised plans: the
+    /// steady-state lookup is one indexed load, no hashing.
+    plans: Vec<Option<Vec<usize>>>,
+    n_states: usize,
     /// Keys whose memoised plan was cross-checked against a fresh plan
     /// (debug builds only — see [`ClientPolicy::plan`] below).
-    verified: std::collections::HashSet<(usize, usize)>,
+    verified: Vec<bool>,
 }
 
 impl<'a> CachedPolicy<'a> {
-    fn new(inner: &'a mut dyn ClientPolicy) -> Self {
+    fn new(inner: &'a mut dyn ClientPolicy, clients: usize, n_states: usize) -> Self {
         Self {
             inner,
-            plans: HashMap::new(),
-            verified: std::collections::HashSet::new(),
+            plans: vec![None; clients * n_states],
+            n_states,
+            verified: vec![
+                false;
+                if cfg!(debug_assertions) {
+                    clients * n_states
+                } else {
+                    0
+                }
+            ],
         }
     }
 }
 
 impl ClientPolicy for CachedPolicy<'_> {
     fn plan(&mut self, client: usize, state: usize) -> Vec<usize> {
-        if let Some(plan) = self.plans.get(&(client, state)) {
-            let plan = plan.clone();
+        let mut out = Vec::new();
+        self.plan_into(client, state, &mut out);
+        out
+    }
+
+    /// The steady-state path: copy the memoised plan straight into the
+    /// caller's buffer — no allocation, no hashing, per round.
+    fn plan_into(&mut self, client: usize, state: usize, out: &mut Vec<usize>) {
+        let idx = client * self.n_states + state;
+        if let Some(plan) = &self.plans[idx] {
+            out.extend_from_slice(plan);
             // Debug builds re-plan each key's first cache hit and
             // verify the purity contract, so a stateful policy fails
             // loudly in tests instead of silently diverging from the
             // sequential run.
-            if cfg!(debug_assertions) && self.verified.insert((client, state)) {
+            if cfg!(debug_assertions) && !std::mem::replace(&mut self.verified[idx], true) {
                 assert_eq!(
-                    plan,
-                    self.inner.plan(client, state),
+                    self.plans[idx].as_deref(),
+                    Some(self.inner.plan(client, state).as_slice()),
                     "the parallel executor memoises plans: the policy must be \
                      a pure function of (client, state)"
                 );
             }
-            return plan;
+            return;
         }
         let plan = self.inner.plan(client, state);
-        self.plans.insert((client, state), plan.clone());
-        plan
+        out.extend_from_slice(&plan);
+        self.plans[idx] = Some(plan);
     }
 }
 
@@ -253,7 +257,7 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
         policy: &mut dyn ClientPolicy,
         trace: Option<&mut Vec<SimEvent>>,
     ) -> ShardReport {
-        let mut cached = CachedPolicy::new(policy);
+        let mut cached = CachedPolicy::new(policy, self.clients, self.workload.n_items());
         let lookahead = self.lookahead();
         let workers = self.workers();
         if workers <= 1 || !(lookahead > 0.0 && lookahead.is_finite()) {
@@ -300,12 +304,7 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
                             Msg::Ops { shard, ops } => {
                                 let stats = &mut owned[(shard - w) / workers];
                                 for op in ops {
-                                    match op {
-                                        ShardOp::Queued { depth } => stats.queued(depth),
-                                        ShardOp::Started { duration } => stats.started(duration),
-                                        ShardOp::Finished { depth } => stats.finished(depth),
-                                        ShardOp::Stall(stall) => stats.stall(stall),
-                                    }
+                                    op.apply(stats);
                                 }
                             }
                             // The coordinator may already have exited the
@@ -365,8 +364,10 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
                     }
                 }
                 match ev {
-                    Ev::Request(c) => st.on_request(c, now, q, &mut cached, &mut obs),
-                    Ev::JobDone(shard) => st.on_job_done(shard, now, q, &mut cached, &mut obs),
+                    Ev::Request(c) => st.on_request(c as usize, now, q, &mut cached, &mut obs),
+                    Ev::JobDone(shard) => {
+                        st.on_job_done(shard as usize, now, q, &mut cached, &mut obs)
+                    }
                 }
                 if st.served() >= total_requests {
                     Flow::Stop

@@ -243,6 +243,15 @@ pub trait ClientPolicy {
     /// `state` is the client's current item (Markov state); the returned
     /// list is issued to the owning shards in order.
     fn plan(&mut self, client: usize, state: usize) -> Vec<usize>;
+
+    /// Appends the plan for the coming round to `out` instead of
+    /// allocating a fresh `Vec` — the steady-state entry point of both
+    /// executors (`out` arrives cleared). The default delegates to
+    /// [`plan`](Self::plan); policies holding memoised plans override
+    /// it to copy from the cache allocation-free.
+    fn plan_into(&mut self, client: usize, state: usize, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.plan(client, state));
+    }
 }
 
 impl<F> ClientPolicy for F
@@ -278,25 +287,30 @@ pub enum JobKind {
 // ---------------------------------------------------------------------
 
 /// A transfer job on a shard's channel.
+///
+/// Clients, items and rounds are `u32` arena indices, keeping the job
+/// records the event loop moves around at 24 bytes.
 #[derive(Debug, Clone, Copy)]
 struct Job {
-    client: usize,
-    item: usize,
+    client: u32,
+    item: u32,
     kind: JobKind,
-    duration: f64,
     /// Round in which the job was issued (stale prefetches of older
     /// rounds still occupy the channel but no longer satisfy requests).
-    round: u64,
+    round: u32,
+    duration: f64,
 }
 
 /// Scheduler event payload of the sharded system (shared with the
-/// [parallel executor](crate::parallel)).
+/// [parallel executor](crate::parallel)). `u32` indices keep the
+/// scheduled event records small — the event queue shuffles millions of
+/// them per second.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum Ev {
     /// Client finished viewing and requests its next item.
-    Request(usize),
+    Request(u32),
     /// A shard finished the job at the head of its channel.
-    JobDone(usize),
+    JobDone(u32),
 }
 
 /// What a recorded [`SimEvent`] describes.
@@ -408,24 +422,36 @@ pub struct ShardedSim<'a, W: ClientWorkload> {
     pub seed: u64,
 }
 
-/// Scheduling state of one shard channel: the FIFO queue and the job in
-/// service — exactly what the event loop needs to decide *when* things
-/// happen. Measurement counters live in [`ChannelStats`], reached
+/// Scheduling state of the shard channels — the FIFO queues, the jobs in
+/// service and the channel clocks — flattened into index-based parallel
+/// arrays (one slot per shard) so the event loop addresses a shard as a
+/// `u32` index into contiguous storage instead of chasing a struct per
+/// channel. Measurement counters live in [`ChannelStats`], reached
 /// through a [`ShardObserver`], so the sequential and parallel executors
 /// drive one state machine and differ only in where the statistics fold.
-struct ChannelSched {
+struct Lane {
     queue: VecDeque<Job>,
     in_service: Option<Job>,
     busy_until: f64,
 }
 
-impl ChannelSched {
-    fn new() -> Self {
-        Self {
-            queue: VecDeque::new(),
-            in_service: None,
-            busy_until: 0.0,
-        }
+/// Per-shard channel state, one record per shard: the idle check, the
+/// queue head and the busy horizon a start-pass touch reads all sit on
+/// the same one or two cache lines, where parallel arrays would scatter
+/// them across three.
+struct ShardLanes(Vec<Lane>);
+
+impl ShardLanes {
+    fn new(shards: usize) -> Self {
+        Self(
+            (0..shards)
+                .map(|_| Lane {
+                    queue: VecDeque::new(),
+                    in_service: None,
+                    busy_until: 0.0,
+                })
+                .collect(),
+        )
     }
 }
 
@@ -509,6 +535,39 @@ impl ShardObserver for Vec<ChannelStats> {
     }
 }
 
+/// One per-shard measurement operation — the record form of the
+/// [`ShardObserver`] stream. The sequential executor folds the stream
+/// inline into per-shard [`ChannelStats`] (`Vec<ChannelStats>` is itself
+/// a [`ShardObserver`]); the parallel executor ships these records to
+/// the owning shard's worker thread instead. Either way each shard folds
+/// its own stream in order, so the accumulated statistics are bit-equal
+/// across executors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ShardOp {
+    /// A job entered the queue, which now holds `depth` jobs.
+    Queued { depth: usize },
+    /// A transfer started, occupying the channel for `duration`.
+    Started { duration: f64 },
+    /// A transfer finished; the queue held `depth` jobs at that instant.
+    Finished { depth: usize },
+    /// A request owned by this shard stalled for this long.
+    Stall(f64),
+}
+
+impl ShardOp {
+    /// Folds the operation into a shard's accumulator — the one
+    /// definition both executors share.
+    #[inline]
+    pub(crate) fn apply(self, ch: &mut ChannelStats) {
+        match self {
+            ShardOp::Queued { depth } => ch.queued(depth),
+            ShardOp::Started { duration } => ch.started(duration),
+            ShardOp::Finished { depth } => ch.finished(depth),
+            ShardOp::Stall(stall) => ch.stall(stall),
+        }
+    }
+}
+
 /// All mutable state of one run, so the event handlers can live as
 /// methods instead of a closure juggling a dozen `&mut` locals.
 ///
@@ -519,24 +578,46 @@ impl ShardObserver for Vec<ChannelStats> {
 pub(crate) struct SimState<'a, 'p, W: ClientWorkload> {
     workload: &'a W,
     retrievals: &'a [f64],
-    map: ShardMap,
-    channels: Vec<ChannelSched>,
+    /// Precomputed item -> shard table: the hot paths index this
+    /// instead of re-hashing (and re-dividing) through
+    /// [`ShardMap::shard_of`] on every job.
+    shard_lut: Vec<u32>,
+    lanes: ShardLanes,
+    // Per-client state as index-based parallel arrays (`u32` arena ids):
+    // contiguous, no per-client structs on the steady-state path.
     rngs: Vec<SmallRng>,
-    state: Vec<usize>,
-    round: Vec<u64>,
-    pending_alpha: Vec<Option<(usize, f64)>>, // (item, request time)
-    done_this_round: Vec<Vec<usize>>,
-    planned_this_round: Vec<Vec<usize>>,
+    state: Vec<u32>,
+    round: Vec<u32>,
+    /// Item the client is stalled on (`NO_ITEM` when browsing).
+    pending_item: Vec<u32>,
+    /// Request time of the pending item (valid while `pending_item` is).
+    pending_at: Vec<f64>,
+    /// Items whose transfer completed this round, per client (capacity
+    /// reused round over round — no steady-state allocation).
+    done: Vec<Vec<u32>>,
+    /// Items planned this round, per client (capacity reused likewise).
+    planned: Vec<Vec<u32>>,
     served: u64,
     samples: Vec<f64>,
     wasted_transfer: f64,
     /// Shards touched since the last start pass (freed channel or
-    /// freshly queued work) — the only ones a start pass must scan.
-    dirty: Vec<usize>,
+    /// freshly queued work) — the only ones a start pass must scan. For
+    /// populations up to 128 shards this is a bitmask (ascending scan
+    /// via `trailing_zeros`, duplicate marks collapse for free); larger
+    /// topologies spill to the sorted-Vec path.
+    dirty_bits: u128,
+    dirty: Vec<u32>,
     /// Scratch buffer the start pass drains `dirty` into.
-    scratch: Vec<usize>,
+    scratch: Vec<u32>,
+    /// Scratch the policy writes each round's plan into.
+    plan_buf: Vec<usize>,
+    /// Scratch for trace records of transfers started in one pass.
+    started_scratch: Vec<(f64, Job)>,
     trace: Option<&'p mut Vec<SimEvent>>,
 }
+
+/// Sentinel for "no pending item" in the `pending_item` arena.
+const NO_ITEM: u32 = u32::MAX;
 
 impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
     /// Validates the topology and seeds the per-client RNGs and start
@@ -559,30 +640,41 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
             retrievals.len() >= workload.n_items(),
             "retrievals must cover the item universe"
         );
+        assert!(
+            retrievals.len() < NO_ITEM as usize && clients < u32::MAX as usize,
+            "catalog and client population must fit u32 arena indices"
+        );
         let map = ShardMap::new(shards, retrievals.len(), placement);
+        let shard_lut: Vec<u32> = (0..retrievals.len())
+            .map(|i| map.shard_of(i) as u32)
+            .collect();
         let mut rngs: Vec<SmallRng> = (0..clients)
             .map(|c| SmallRng::seed_from_u64(seed ^ (0xC11E * (c as u64 + 1))))
             .collect();
         let state = rngs
             .iter_mut()
-            .map(|r| r.random_range(0..workload.n_items()))
+            .map(|r| r.random_range(0..workload.n_items()) as u32)
             .collect();
         Self {
             workload,
             retrievals,
-            map,
-            channels: (0..shards).map(|_| ChannelSched::new()).collect(),
+            shard_lut,
+            lanes: ShardLanes::new(shards),
             rngs,
             state,
             round: vec![0; clients],
-            pending_alpha: vec![None; clients],
-            done_this_round: vec![Vec::new(); clients],
-            planned_this_round: vec![Vec::new(); clients],
+            pending_item: vec![NO_ITEM; clients],
+            pending_at: vec![0.0; clients],
+            done: vec![Vec::new(); clients],
+            planned: vec![Vec::new(); clients],
             served: 0,
             samples: Vec::new(),
             wasted_transfer: 0.0,
+            dirty_bits: 0,
             dirty: Vec::new(),
             scratch: Vec::new(),
+            plan_buf: Vec::new(),
+            started_scratch: Vec::new(),
             trace,
         }
     }
@@ -593,30 +685,48 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
         self.served
     }
 
+    /// Plans client `c`'s round: fills `planned[c]` and queues one
+    /// prefetch job per planned item — the common step of the kickoff
+    /// and of every round turnover.
+    fn plan_round<O: ShardObserver>(
+        &mut self,
+        c: usize,
+        policy: &mut dyn ClientPolicy,
+        obs: &mut O,
+    ) {
+        self.plan_buf.clear();
+        policy.plan_into(c, self.state[c] as usize, &mut self.plan_buf);
+        self.planned[c].clear();
+        for k in 0..self.plan_buf.len() {
+            let item = self.plan_buf[k];
+            self.planned[c].push(item as u32);
+            self.push_job(
+                Job {
+                    client: c as u32,
+                    item: item as u32,
+                    kind: JobKind::Prefetch,
+                    round: self.round[c],
+                    duration: self.retrievals[item],
+                },
+                obs,
+            );
+        }
+    }
+
     /// Plans and queues every client's opening round at `t = 0` and
     /// schedules the first requests.
-    pub(crate) fn kickoff(
+    pub(crate) fn kickoff<O: ShardObserver>(
         &mut self,
         policy: &mut dyn ClientPolicy,
         sched: &mut Scheduler<Ev>,
-        obs: &mut dyn ShardObserver,
+        obs: &mut O,
     ) {
         for c in 0..self.state.len() {
-            let plan = policy.plan(c, self.state[c]);
-            self.planned_this_round[c] = plan.clone();
-            for item in plan {
-                self.push_job(
-                    Job {
-                        client: c,
-                        item,
-                        kind: JobKind::Prefetch,
-                        duration: self.retrievals[item],
-                        round: self.round[c],
-                    },
-                    obs,
-                );
-            }
-            sched.schedule(self.workload.viewing(self.state[c]), Ev::Request(c));
+            self.plan_round(c, policy, obs);
+            sched.schedule(
+                self.workload.viewing(self.state[c] as usize),
+                Ev::Request(c as u32),
+            );
         }
         self.start_dirty(0.0, sched.queue_mut(), obs);
     }
@@ -663,7 +773,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
             log.push(SimEvent {
                 at,
                 client,
-                shard: self.map.shard_of(item),
+                shard: self.shard_lut[item] as usize,
                 item,
                 kind,
             });
@@ -671,12 +781,48 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
     }
 
     /// Queues a job on its owning shard.
-    fn push_job(&mut self, job: Job, obs: &mut dyn ShardObserver) {
-        let shard = self.map.shard_of(job.item);
-        let ch = &mut self.channels[shard];
-        ch.queue.push_back(job);
-        obs.queued(shard, ch.queue.len());
-        self.dirty.push(shard);
+    fn push_job<O: ShardObserver>(&mut self, job: Job, obs: &mut O) {
+        let shard = self.shard_lut[job.item as usize] as usize;
+        let queue = &mut self.lanes.0[shard].queue;
+        queue.push_back(job);
+        obs.queued(shard, queue.len());
+        self.mark_dirty(shard);
+    }
+
+    /// Marks a shard for the next start pass.
+    #[inline]
+    fn mark_dirty(&mut self, shard: usize) {
+        if shard < 128 {
+            self.dirty_bits |= 1u128 << shard;
+        } else {
+            self.dirty.push(shard as u32);
+        }
+    }
+
+    /// Starts the next queued job on `shard` if its channel is idle —
+    /// the body of one start-pass step.
+    #[inline]
+    fn try_start<O: ShardObserver>(
+        &mut self,
+        shard: usize,
+        now: f64,
+        q: &mut EventQueue<Ev>,
+        obs: &mut O,
+        tracing: bool,
+    ) {
+        let lane = &mut self.lanes.0[shard];
+        if lane.in_service.is_none() {
+            if let Some(job) = lane.queue.pop_front() {
+                let start = now.max(lane.busy_until);
+                lane.busy_until = start + job.duration;
+                lane.in_service = Some(job);
+                obs.started(shard, job.duration);
+                q.schedule(lane.busy_until, Ev::JobDone(shard as u32));
+                if tracing {
+                    self.started_scratch.push((start, job));
+                }
+            }
+        }
     }
 
     /// Starts the next queued job on every shard touched since the last
@@ -684,89 +830,101 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
     /// per event — in ascending shard order so the event sequence is
     /// identical to a full scan; duplicate marks are harmless (the
     /// channel is busy by the second attempt).
-    fn start_dirty(&mut self, now: f64, q: &mut EventQueue<Ev>, obs: &mut dyn ShardObserver) {
-        if self.dirty.is_empty() {
+    fn start_dirty<O: ShardObserver>(&mut self, now: f64, q: &mut EventQueue<Ev>, obs: &mut O) {
+        if self.dirty_bits == 0 && self.dirty.is_empty() {
             return;
         }
-        self.dirty.sort_unstable();
-        std::mem::swap(&mut self.dirty, &mut self.scratch);
         let tracing = self.trace.is_some();
-        let mut started: Vec<(f64, Job)> = Vec::new();
-        for &shard in &self.scratch {
-            let ch = &mut self.channels[shard];
-            if ch.in_service.is_none() {
-                if let Some(job) = ch.queue.pop_front() {
-                    let start = now.max(ch.busy_until);
-                    ch.busy_until = start + job.duration;
-                    ch.in_service = Some(job);
-                    obs.started(shard, job.duration);
-                    q.schedule(ch.busy_until, Ev::JobDone(shard));
-                    if tracing {
-                        started.push((start, job));
-                    }
-                }
-            }
+        // Low shards first (ascending bit scan), then the sorted spill
+        // of shards >= 128 — together the same ascending order as a
+        // full sorted scan, so the event sequence is unchanged.
+        let mut bits = std::mem::take(&mut self.dirty_bits);
+        while bits != 0 {
+            let shard = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.try_start(shard, now, q, obs, tracing);
         }
-        self.scratch.clear();
-        for (at, job) in started {
-            self.record(at, job.client, job.item, EventKind::TransferStart(job.kind));
+        if !self.dirty.is_empty() {
+            self.dirty.sort_unstable();
+            std::mem::swap(&mut self.dirty, &mut self.scratch);
+            for i in 0..self.scratch.len() {
+                let shard = self.scratch[i] as usize;
+                self.try_start(shard, now, q, obs, tracing);
+            }
+            self.scratch.clear();
+        }
+        if tracing {
+            let mut started = std::mem::take(&mut self.started_scratch);
+            for (at, job) in started.drain(..) {
+                self.record(
+                    at,
+                    job.client as usize,
+                    job.item as usize,
+                    EventKind::TransferStart(job.kind),
+                );
+            }
+            self.started_scratch = started;
         }
     }
 
-    pub(crate) fn on_request(
+    pub(crate) fn on_request<O: ShardObserver>(
         &mut self,
         c: usize,
         now: f64,
         q: &mut EventQueue<Ev>,
         policy: &mut dyn ClientPolicy,
-        obs: &mut dyn ShardObserver,
+        obs: &mut O,
     ) {
-        let alpha = self.workload.next(self.state[c], &mut self.rngs[c]);
+        let alpha = self
+            .workload
+            .next(self.state[c] as usize, &mut self.rngs[c]);
         self.record(now, c, alpha, EventKind::Request);
-        if self.done_this_round[c].contains(&alpha) {
+        if self.done[c].contains(&(alpha as u32)) {
             // Served instantly from this round's completed transfers.
             self.finish_request(c, alpha, now, now, q, policy, obs);
-        } else if self.planned_this_round[c].contains(&alpha) {
+        } else if self.planned[c].contains(&(alpha as u32)) {
             // In flight or queued: wait for its completion.
-            self.pending_alpha[c] = Some((alpha, now));
+            self.pending_item[c] = alpha as u32;
+            self.pending_at[c] = now;
         } else {
             // Demand fetch at the owning shard's queue tail (FIFO).
             self.push_job(
                 Job {
-                    client: c,
-                    item: alpha,
+                    client: c as u32,
+                    item: alpha as u32,
                     kind: JobKind::Demand,
-                    duration: self.retrievals[alpha],
                     round: self.round[c],
+                    duration: self.retrievals[alpha],
                 },
                 obs,
             );
-            self.pending_alpha[c] = Some((alpha, now));
+            self.pending_item[c] = alpha as u32;
+            self.pending_at[c] = now;
         }
         self.start_dirty(now, q, obs);
     }
 
-    pub(crate) fn on_job_done(
+    pub(crate) fn on_job_done<O: ShardObserver>(
         &mut self,
         shard: usize,
         now: f64,
         q: &mut EventQueue<Ev>,
         policy: &mut dyn ClientPolicy,
-        obs: &mut dyn ShardObserver,
+        obs: &mut O,
     ) {
-        let ch = &mut self.channels[shard];
-        obs.finished(shard, ch.queue.len());
-        let job = ch.in_service.take().expect("a job was in service");
+        let lane = &mut self.lanes.0[shard];
+        obs.finished(shard, lane.queue.len());
+        let job = lane.in_service.take().expect("a job was in service");
         // The channel is free again: re-mark it so queued work restarts.
-        self.dirty.push(shard);
-        self.record(now, job.client, job.item, EventKind::TransferDone(job.kind));
-        if job.round == self.round[job.client] {
-            self.done_this_round[job.client].push(job.item);
-            if let Some((alpha, req_at)) = self.pending_alpha[job.client] {
-                if alpha == job.item {
-                    self.pending_alpha[job.client] = None;
-                    self.finish_request(job.client, alpha, now, req_at, q, policy, obs);
-                }
+        self.mark_dirty(shard);
+        let c = job.client as usize;
+        self.record(now, c, job.item as usize, EventKind::TransferDone(job.kind));
+        if job.round == self.round[c] {
+            self.done[c].push(job.item);
+            if self.pending_item[c] == job.item {
+                self.pending_item[c] = NO_ITEM;
+                let req_at = self.pending_at[c];
+                self.finish_request(c, job.item as usize, now, req_at, q, policy, obs);
             }
         } else if job.kind == JobKind::Prefetch {
             // Stale prefetch from a previous round: pure waste.
@@ -777,7 +935,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
 
     /// A request was served: account for it and start the next round.
     #[allow(clippy::too_many_arguments)]
-    fn finish_request(
+    fn finish_request<O: ShardObserver>(
         &mut self,
         c: usize,
         alpha: usize,
@@ -785,40 +943,26 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
         requested_at: f64,
         q: &mut EventQueue<Ev>,
         policy: &mut dyn ClientPolicy,
-        obs: &mut dyn ShardObserver,
+        obs: &mut O,
     ) {
         let stall = now - requested_at;
         self.samples.push(stall);
-        obs.stall(self.map.shard_of(alpha), stall);
+        obs.stall(self.shard_lut[alpha] as usize, stall);
         self.record(now, c, alpha, EventKind::Served);
         self.served += 1;
         // Waste accounting: completed transfers of this round that were
         // not the request.
-        self.wasted_transfer += self.done_this_round[c]
+        self.wasted_transfer += self.done[c]
             .iter()
-            .filter(|&&item| item != alpha)
-            .map(|&item| self.retrievals[item])
+            .filter(|&&item| item != alpha as u32)
+            .map(|&item| self.retrievals[item as usize])
             .sum::<f64>();
         // Next round.
-        self.state[c] = alpha;
+        self.state[c] = alpha as u32;
         self.round[c] += 1;
-        self.done_this_round[c].clear();
-        self.planned_this_round[c].clear();
-        let plan = policy.plan(c, self.state[c]);
-        self.planned_this_round[c] = plan.clone();
-        for item in plan {
-            self.push_job(
-                Job {
-                    client: c,
-                    item,
-                    kind: JobKind::Prefetch,
-                    duration: self.retrievals[item],
-                    round: self.round[c],
-                },
-                obs,
-            );
-        }
-        q.schedule(now + self.workload.viewing(self.state[c]), Ev::Request(c));
+        self.done[c].clear();
+        self.plan_round(c, policy, obs);
+        q.schedule(now + self.workload.viewing(alpha), Ev::Request(c as u32));
     }
 }
 
@@ -846,7 +990,7 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
         trace: Option<&mut Vec<SimEvent>>,
     ) -> ShardReport {
         let total_requests = self.requests_per_client * self.clients as u64;
-        let mut stats: Vec<ChannelStats> = (0..self.shards).map(|_| ChannelStats::new()).collect();
+        let mut obs: Vec<ChannelStats> = (0..self.shards).map(|_| ChannelStats::new()).collect();
         let mut st = SimState::new(
             self.workload,
             self.retrievals,
@@ -857,12 +1001,12 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
             trace,
         );
         let mut sched: Scheduler<Ev> = Scheduler::new();
-        st.kickoff(policy, &mut sched, &mut stats);
+        st.kickoff(policy, &mut sched, &mut obs);
 
         let span = sched.run(|now, ev, q| {
             match ev {
-                Ev::Request(c) => st.on_request(c, now, q, policy, &mut stats),
-                Ev::JobDone(shard) => st.on_job_done(shard, now, q, policy, &mut stats),
+                Ev::Request(c) => st.on_request(c as usize, now, q, policy, &mut obs),
+                Ev::JobDone(shard) => st.on_job_done(shard as usize, now, q, policy, &mut obs),
             }
             if st.served() >= total_requests {
                 Flow::Stop
@@ -870,7 +1014,7 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
                 Flow::Continue
             }
         });
-        st.build_report(span, stats)
+        st.build_report(span, obs)
     }
 }
 

@@ -35,7 +35,9 @@ impl AccessStats {
         if samples.is_empty() {
             return Self::default();
         }
-        samples.sort_by(f64::total_cmp);
+        // Unstable sort: equal non-NaN doubles are bit-identical, so the
+        // result (and every derived statistic) matches a stable sort.
+        samples.sort_unstable_by(f64::total_cmp);
         let n = samples.len();
         let rank = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
         Self {
@@ -72,6 +74,11 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     sum: f64,
+    /// `Some(k0)` when the edges are exactly the consecutive powers of
+    /// two `2^k0, 2^(k0+1), …` (the [`Histogram::stalls`] layout):
+    /// [`Histogram::record`] then bins by reading the float's exponent
+    /// bits instead of scanning the edge list — same bins, no scan.
+    pow2: Option<i32>,
 }
 
 impl Histogram {
@@ -87,11 +94,23 @@ impl Histogram {
         }
         assert!(edges[0] > 0.0, "edges must be positive");
         let bins = edges.len() + 2; // zero bin + edge bins + overflow
+        let pow2 = match edges[0].log2() {
+            k0 if k0.fract() == 0.0
+                && edges
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &e)| e == (k0 + i as f64).exp2()) =>
+            {
+                Some(k0 as i32)
+            }
+            _ => None,
+        };
         Self {
             edges,
             counts: vec![0; bins],
             total: 0,
             sum: 0.0,
+            pow2,
         }
     }
 
@@ -107,6 +126,21 @@ impl Histogram {
         debug_assert!(x >= 0.0, "histogram observations must be non-negative");
         let idx = if x <= 0.0 {
             0
+        } else if let Some(k0) = self.pow2 {
+            // Edge `j` is `2^(k0+j)`, so the first edge `>= x` sits at
+            // `j = ceil(log2 x) - k0`. For positive finite `x` the IEEE
+            // exponent field gives `floor(log2 x)` directly (subnormals
+            // read as a large negative that clamps to the first bin),
+            // and any non-zero mantissa bumps the floor to the ceiling.
+            let bits = x.to_bits();
+            let floor = ((bits >> 52) & 0x7ff) as i32 - 1023;
+            let k = floor + ((bits & ((1 << 52) - 1)) != 0) as i32;
+            let j = (k - k0).max(0) as usize;
+            if j < self.edges.len() {
+                j + 1
+            } else {
+                self.counts.len() - 1
+            }
         } else {
             match self.edges.iter().position(|&e| x <= e) {
                 Some(i) => i + 1,
@@ -269,5 +303,36 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_edges() {
         let _ = Histogram::with_edges(vec![2.0, 1.0]);
+    }
+
+    /// The exponent-bits fast path of [`Histogram::record`] must bin
+    /// exactly like the generic edge scan — including exact powers of
+    /// two, values just above/below them, subnormals, and overflow.
+    #[test]
+    fn pow2_fast_path_matches_edge_scan() {
+        let mut fast = Histogram::stalls();
+        assert!(fast.pow2.is_some(), "stalls() edges are powers of two");
+        // Same edges, scan path forced by a non-power edge appended
+        // then compared bin-by-bin over the shared prefix? Simpler: a
+        // reference histogram with identical edges but the scan forced.
+        let mut scan = Histogram::stalls();
+        scan.pow2 = None;
+        let mut probe = vec![0.0, f64::MIN_POSITIVE / 2.0, 1e-300, 0.999];
+        for k in 0..=9 {
+            let e = (1u64 << k) as f64;
+            probe.extend([e * (1.0 - 1e-9), e, e * (1.0 + 1e-9), e + 0.5]);
+        }
+        probe.extend([300.0, 1e9, f64::MAX]);
+        for &x in &probe {
+            fast.record(x);
+            scan.record(x);
+        }
+        assert_eq!(fast.counts(), scan.counts());
+
+        // Non-power-of-two edges must not engage the fast path.
+        assert!(Histogram::with_edges(vec![1.0, 3.0]).pow2.is_none());
+        assert!(Histogram::with_edges(vec![2.0, 8.0]).pow2.is_none());
+        // Powers of two starting below one still qualify.
+        assert_eq!(Histogram::with_edges(vec![0.25, 0.5, 1.0]).pow2, Some(-2));
     }
 }

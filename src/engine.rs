@@ -22,10 +22,11 @@
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use access_model::MarkovChain;
 use cache_sim::{PrefetchCache, PrefetchCacheConfig, StepOutcome};
+use distsys::multiclient::ClientPolicy;
 use distsys::scheduler::SimEvent;
 use distsys::stats::AccessStats;
 use distsys::{Catalog, SessionConfig, Trace};
@@ -263,6 +264,7 @@ impl SessionBuilder {
             client,
             retrievals: self.retrievals,
             driver,
+            plan_cache: Mutex::new(None),
         })
     }
 }
@@ -279,6 +281,49 @@ pub struct Engine {
     client: Option<PrefetchCache>,
     retrievals: Option<Vec<f64>>,
     driver: Arc<dyn BackendDriver>,
+    /// Cross-run carry-over of the per-state population plans (see
+    /// [`StatePlanMemo`]): registry policies are pure functions of the
+    /// scenario, so as long as the (policy spec, chain, catalog) triple
+    /// is unchanged, re-running the same population re-uses every solved
+    /// plan instead of paying the solver again. Keyed by content hash;
+    /// disabled for custom [`policy_instance`](SessionBuilder::policy_instance)
+    /// policies, whose purity the engine cannot vouch for.
+    plan_cache: Mutex<Option<PopulationPlanCache>>,
+}
+
+/// The persisted half of a [`StatePlanMemo`]: the solved per-state plans
+/// plus the content key they are valid for.
+struct PopulationPlanCache {
+    key: u64,
+    memo: Vec<Option<Vec<usize>>>,
+}
+
+/// FNV-1a over the population inputs that determine every per-state
+/// plan: the policy spec, the chain's viewing times and transition rows,
+/// and the catalog slice the scenarios are built from.
+fn population_plan_key(spec: &str, chain: &MarkovChain, retrievals: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    eat(spec.as_bytes());
+    let n = chain.n_states();
+    eat(&(n as u64).to_le_bytes());
+    for i in 0..n {
+        eat(&chain.viewing(i).to_bits().to_le_bytes());
+        for &(j, p) in chain.successors(i) {
+            eat(&(j as u64).to_le_bytes());
+            eat(&p.to_bits().to_le_bytes());
+        }
+    }
+    for &r in &retrievals[..n.min(retrievals.len())] {
+        eat(&r.to_bits().to_le_bytes());
+    }
+    h
 }
 
 impl Engine {
@@ -764,16 +809,34 @@ impl Engine {
             }
             Err(e) => return Err(e),
         };
-        let mut planner = |_client: usize, state: usize| {
-            let scenario = Scenario::new(
-                chain.row_probs(state),
-                retrievals[..chain.n_states()].to_vec(),
-                chain.viewing(state),
-            )
-            .expect("markov rows are valid scenarios");
-            self.policy.plan(&scenario).into_items()
-        };
-        self.driver.run_population(PopulationRun {
+        // Re-use the previous run's solved plans when the population is
+        // the same one: registry policies are pure in the scenario, so
+        // the (spec, chain, catalog) content key fully determines every
+        // per-state plan.
+        let key = self
+            .policy_spec
+            .as_deref()
+            .map(|spec| population_plan_key(spec, chain, retrievals));
+        let carried = key.and_then(|k| {
+            let mut slot = self.plan_cache.lock().expect("plan cache poisoned");
+            match slot.take() {
+                Some(c) if c.key == k => Some(c.memo),
+                _ => None,
+            }
+        });
+        let mut planner = StatePlanMemo::with_memo(
+            carried.unwrap_or_else(|| vec![None; chain.n_states()]),
+            |state: usize| {
+                let scenario = Scenario::new(
+                    chain.row_probs(state),
+                    retrievals[..chain.n_states()].to_vec(),
+                    chain.viewing(state),
+                )
+                .expect("markov rows are valid scenarios");
+                self.policy.plan(&scenario).into_items()
+            },
+        );
+        let out = self.driver.run_population(PopulationRun {
             chain,
             retrievals,
             planner: &mut planner,
@@ -782,7 +845,53 @@ impl Engine {
             traced,
             operation,
             policy_spec: self.policy_spec.as_deref(),
-        })
+        });
+        if let Some(k) = key {
+            *self.plan_cache.lock().expect("plan cache poisoned") = Some(PopulationPlanCache {
+                key: k,
+                memo: planner.memo,
+            });
+        }
+        out
+    }
+}
+
+/// Per-state plan memo backing every population replay.
+///
+/// The facade's policies are pure functions of the [`Scenario`], and a
+/// population scenario depends only on the client's Markov state — not
+/// on the client id or the round — so each state's plan is solved once
+/// and replayed for every client and every round. Steady-state rounds
+/// copy the memoised plan straight into the executor's buffer
+/// ([`ClientPolicy::plan_into`]): no scenario rebuild, no knapsack
+/// solve, no allocation. Between runs of the same population the memo
+/// survives in the engine's [`PopulationPlanCache`].
+struct StatePlanMemo<F> {
+    compute: F,
+    memo: Vec<Option<Vec<usize>>>,
+}
+
+impl<F: FnMut(usize) -> Vec<usize>> StatePlanMemo<F> {
+    fn with_memo(memo: Vec<Option<Vec<usize>>>, compute: F) -> Self {
+        Self { compute, memo }
+    }
+
+    fn cached(&mut self, state: usize) -> &[usize] {
+        if self.memo[state].is_none() {
+            self.memo[state] = Some((self.compute)(state));
+        }
+        self.memo[state].as_deref().expect("just filled")
+    }
+}
+
+impl<F: FnMut(usize) -> Vec<usize>> ClientPolicy for StatePlanMemo<F> {
+    fn plan(&mut self, _client: usize, state: usize) -> Vec<usize> {
+        self.cached(state).to_vec()
+    }
+
+    fn plan_into(&mut self, _client: usize, state: usize, out: &mut Vec<usize>) {
+        let plan = self.cached(state);
+        out.extend_from_slice(plan);
     }
 }
 

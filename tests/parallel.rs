@@ -98,6 +98,15 @@ proptest! {
     /// The equivalence holds across random chains, topologies,
     /// placements, seeds and thread counts — traced, so the comparison
     /// covers the event log as well as the aggregate report.
+    ///
+    /// `time_shape` additionally rewrites the chain's viewing times away
+    /// from the integer-quantised default, stressing the calendar
+    /// queue's width estimator: a **zero-quantum** shape (one constant
+    /// viewing time, so pending events pile onto identical timestamps
+    /// and every positive gap vanishes), a **magnitude-spread** shape
+    /// (viewing times spanning `1e-3..1e3`, so no single bucket width
+    /// fits), and a **sub-quantum jitter** shape (ties broken by
+    /// `1e-12`-scale offsets that quantise into the same bucket).
     #[test]
     fn parallel_equivalence_holds_over_random_runs(
         states in 4usize..20,
@@ -112,12 +121,28 @@ proptest! {
         threads in 0usize..5,
         requests in 5u64..20,
         policy_pick in 0usize..3,
+        time_shape in 0usize..4,
     ) {
         let max_fanout = (fanout + 1).min(states - 1).max(1);
         let min_fanout = fanout.min(max_fanout);
         let chain = MarkovChain::random(
             states, min_fanout, max_fanout, v_min, v_min + v_span, chain_seed,
         ).expect("valid chain");
+        let chain = match time_shape {
+            0 => chain, // integer-quantised times, as generated
+            shape => {
+                let transitions: Vec<Vec<(usize, f64)>> =
+                    (0..states).map(|i| chain.successors(i).to_vec()).collect();
+                let viewing: Vec<f64> = (0..states)
+                    .map(|i| match shape {
+                        1 => 2.0, // zero-quantum: all gaps collapse
+                        2 => 1e-3 * 7.3f64.powi((i % 7) as i32),
+                        _ => 1.0 + i as f64 * 1e-12,
+                    })
+                    .collect();
+                MarkovChain::new(transitions, viewing).expect("valid chain")
+            }
+        };
         let placement = [
             Placement::Hash,
             Placement::Range,
