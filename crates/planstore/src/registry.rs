@@ -1,0 +1,402 @@
+//! The string-keyed plan-store registry: spec strings to store
+//! instances, mirroring the facade's backend registry — builtin tiers
+//! plus runtime registration, with hardened per-shape parse errors.
+
+use std::sync::{Arc, LazyLock, RwLock};
+
+use crate::file::FileStore;
+use crate::tiers::{HotStore, MemoryStore, NoneStore, TieredStore};
+use crate::{PlanStore, StoreError};
+
+/// Default per-thread capacity of a bare `hot` spec.
+const HOT_DEFAULT_CAP: usize = 256;
+/// Default topology of a bare `memory` spec.
+const MEMORY_DEFAULT_SHARDS: usize = 8;
+const MEMORY_DEFAULT_CAP: usize = 1024;
+
+/// Describes one registered plan-store kind for listings (`skp-plan
+/// --list`, `GET /registry`).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanStoreSpec {
+    /// Registry name (the spec string up to the first `:`).
+    pub name: &'static str,
+    /// Human-readable parameter syntax (empty when the store takes
+    /// none).
+    pub params: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+}
+
+/// Builds a store from the spec's parameter part (the text after the
+/// first `:`, absent for a bare name).
+pub type PlanStoreBuilder = fn(Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError>;
+
+struct StoreEntry {
+    spec: PlanStoreSpec,
+    build: PlanStoreBuilder,
+}
+
+fn param_err(what: &'static str, detail: String) -> StoreError {
+    StoreError {
+        what,
+        detail: format!("{detail} (see `skp-plan --list` for the syntax)"),
+    }
+}
+
+/// Parses a strictly positive integer field, with the same error
+/// shapes as the backend registry's spec hardening.
+fn parse_positive(what: &'static str, field: &'static str, raw: &str) -> Result<usize, StoreError> {
+    match raw.parse::<usize>() {
+        Ok(0) => Err(param_err(
+            what,
+            format!("{field} must be at least 1, got '0'"),
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(param_err(
+            what,
+            format!("{field} '{raw}' is not a positive integer"),
+        )),
+    }
+}
+
+/// Parses a `<shards>x<cap>` topology.
+fn parse_topology(what: &'static str, raw: &str) -> Result<(usize, usize), StoreError> {
+    let (shards, cap) = raw.split_once('x').ok_or_else(|| {
+        param_err(
+            what,
+            format!("topology '{raw}' must be '<shards>x<cap>' (e.g. 8x1024)"),
+        )
+    })?;
+    Ok((
+        parse_positive(what, "shards", shards)?,
+        parse_positive(what, "cap", cap)?,
+    ))
+}
+
+/// Rejects leftover `:`-separated parts after the expected ones.
+fn reject_trailing<'a>(
+    what: &'static str,
+    after: &'static str,
+    mut parts: impl Iterator<Item = &'a str>,
+) -> Result<(), StoreError> {
+    match parts.next() {
+        None => Ok(()),
+        Some(junk) => Err(param_err(
+            what,
+            format!("trailing ':{junk}' after the {after}"),
+        )),
+    }
+}
+
+fn build_none(param: Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError> {
+    match param {
+        None => Ok(Arc::new(NoneStore)),
+        Some(raw) => Err(param_err(
+            "none plan-store spec",
+            format!("takes no parameters, got ':{raw}'"),
+        )),
+    }
+}
+
+fn build_hot(param: Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError> {
+    const WHAT: &str = "hot plan-store spec";
+    let cap = match param {
+        None => HOT_DEFAULT_CAP,
+        Some(raw) => {
+            let mut parts = raw.split(':');
+            let cap = parse_positive(WHAT, "cap", parts.next().unwrap_or_default())?;
+            reject_trailing(WHAT, "capacity", parts)?;
+            cap
+        }
+    };
+    Ok(Arc::new(HotStore::new(cap)))
+}
+
+fn build_memory(param: Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError> {
+    const WHAT: &str = "memory plan-store spec";
+    let (shards, cap) = match param {
+        None => (MEMORY_DEFAULT_SHARDS, MEMORY_DEFAULT_CAP),
+        Some(raw) => {
+            let mut parts = raw.split(':');
+            let topology = parse_topology(WHAT, parts.next().unwrap_or_default())?;
+            reject_trailing(WHAT, "topology", parts)?;
+            topology
+        }
+    };
+    Ok(Arc::new(MemoryStore::new(shards, cap)))
+}
+
+fn build_file(param: Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError> {
+    const WHAT: &str = "file plan-store spec";
+    // The whole parameter is the directory (paths may contain ':'), so
+    // there is no trailing-junk check to apply here.
+    match param.map(str::trim) {
+        None | Some("") => Err(param_err(
+            WHAT,
+            "needs a directory, e.g. 'file:.skp-plans'".to_string(),
+        )),
+        Some(dir) => Ok(Arc::new(FileStore::new(dir))),
+    }
+}
+
+fn build_tiered(param: Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError> {
+    const WHAT: &str = "tiered plan-store spec";
+    let raw = match param.map(str::trim) {
+        None | Some("") => {
+            return Err(param_err(
+                WHAT,
+                "needs a comma-separated tier chain, e.g. 'tiered:hot:256,memory:8x1024'"
+                    .to_string(),
+            ))
+        }
+        Some(raw) => raw,
+    };
+    let mut tiers = Vec::new();
+    for spec in raw.split(',') {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err(param_err(WHAT, format!("empty tier in the chain '{raw}'")));
+        }
+        let name = spec.split(':').next().unwrap_or_default();
+        if name == "tiered" {
+            return Err(param_err(
+                WHAT,
+                "tiers cannot nest: flatten the chain instead".to_string(),
+            ));
+        }
+        tiers.push(build_plan_store(spec)?);
+    }
+    Ok(Arc::new(TieredStore::new(tiers)))
+}
+
+fn builtin_entries() -> Vec<StoreEntry> {
+    vec![
+        StoreEntry {
+            spec: PlanStoreSpec {
+                name: "none",
+                params: "",
+                summary: "null store: never hits, never retains (opts a session out of plan reuse)",
+            },
+            build: build_none,
+        },
+        StoreEntry {
+            spec: PlanStoreSpec {
+                name: "hot",
+                params: ":cap",
+                summary:
+                    "per-thread unsynchronized LRU (default cap 256); no locks on the hot path",
+            },
+            build: build_hot,
+        },
+        StoreEntry {
+            spec: PlanStoreSpec {
+                name: "memory",
+                params: ":SxC",
+                summary: "sharded lock-striped LRU, S stripes of C entries (default 8x1024)",
+            },
+            build: build_memory,
+        },
+        StoreEntry {
+            spec: PlanStoreSpec {
+                name: "file",
+                params: ":dir",
+                summary: "persistent one-file-per-key store; plans survive restarts bit-exactly",
+            },
+            build: build_file,
+        },
+        StoreEntry {
+            spec: PlanStoreSpec {
+                name: "tiered",
+                params: ":spec,spec,..",
+                summary: "read-through/write-back chain with promotion on hit (hottest first)",
+            },
+            build: build_tiered,
+        },
+    ]
+}
+
+static REGISTRY: LazyLock<RwLock<Vec<StoreEntry>>> =
+    LazyLock::new(|| RwLock::new(builtin_entries()));
+
+/// Registers a plan-store kind under a new name, making it reachable
+/// from every spec-string surface (`SessionBuilder::plan_store`, the
+/// `plan-store` workload directive, `skp-plan run --plan-store`,
+/// `skp-serve --plan-store`). Errors if the name is taken.
+pub fn register_plan_store(
+    name: &'static str,
+    params: &'static str,
+    summary: &'static str,
+    build: PlanStoreBuilder,
+) -> Result<(), StoreError> {
+    let mut reg = REGISTRY.write().expect("plan store registry poisoned");
+    if reg.iter().any(|e| e.spec.name == name) {
+        return Err(StoreError {
+            what: "plan store registration",
+            detail: format!("the name '{name}' is already registered"),
+        });
+    }
+    reg.push(StoreEntry {
+        spec: PlanStoreSpec {
+            name,
+            params,
+            summary,
+        },
+        build,
+    });
+    Ok(())
+}
+
+/// The registered plan-store kinds, in registration order.
+pub fn plan_store_specs() -> Vec<PlanStoreSpec> {
+    REGISTRY
+        .read()
+        .expect("plan store registry poisoned")
+        .iter()
+        .map(|e| e.spec)
+        .collect()
+}
+
+/// The registered plan-store names, in registration order.
+pub fn plan_store_names() -> Vec<&'static str> {
+    REGISTRY
+        .read()
+        .expect("plan store registry poisoned")
+        .iter()
+        .map(|e| e.spec.name)
+        .collect()
+}
+
+/// Builds a store from a spec string (`name` or `name:params`) through
+/// the registry.
+pub fn build_plan_store(spec: &str) -> Result<Arc<dyn PlanStore>, StoreError> {
+    let (name, param) = match spec.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (spec, None),
+    };
+    let build = {
+        let reg = REGISTRY.read().expect("plan store registry poisoned");
+        reg.iter().find(|e| e.spec.name == name).map(|e| e.build)
+    };
+    match build {
+        Some(build) => build(param),
+        None => Err(StoreError {
+            what: "plan store spec",
+            detail: format!(
+                "unknown plan store '{name}' (known: {})",
+                plan_store_names().join(", ")
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(spec: &str) -> String {
+        build_plan_store(spec).err().expect("must fail").to_string()
+    }
+
+    #[test]
+    fn builtin_specs_build_and_round_trip() {
+        for (spec, canonical) in [
+            ("none", "none"),
+            ("hot", "hot:256"),
+            ("hot:32", "hot:32"),
+            ("memory", "memory:8x1024"),
+            ("memory:2x64", "memory:2x64"),
+            ("file:/tmp/skp-plans", "file:/tmp/skp-plans"),
+            ("tiered:hot:8,memory:2x64", "tiered:hot:8,memory:2x64"),
+        ] {
+            let store = build_plan_store(spec).expect(spec);
+            assert_eq!(store.spec_string(), canonical, "spec {spec}");
+            // The canonical string is a fixed point of the registry.
+            let again = build_plan_store(&store.spec_string()).expect(canonical);
+            assert_eq!(again.spec_string(), canonical);
+        }
+    }
+
+    #[test]
+    fn unknown_store_lists_the_known_names() {
+        let msg = err("quantum:9");
+        assert!(msg.contains("unknown plan store 'quantum'"), "{msg}");
+        for name in ["none", "hot", "memory", "file", "tiered"] {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+    }
+
+    #[test]
+    fn zero_capacities_are_rejected() {
+        let msg = err("hot:0");
+        assert!(msg.contains("cap must be at least 1, got '0'"), "{msg}");
+        let msg = err("memory:0x5");
+        assert!(msg.contains("shards must be at least 1, got '0'"), "{msg}");
+        let msg = err("memory:4x0");
+        assert!(msg.contains("cap must be at least 1, got '0'"), "{msg}");
+    }
+
+    #[test]
+    fn non_numeric_fields_are_rejected() {
+        let msg = err("hot:many");
+        assert!(msg.contains("'many' is not a positive integer"), "{msg}");
+        let msg = err("memory:8xbig");
+        assert!(msg.contains("'big' is not a positive integer"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_topologies_are_rejected() {
+        let msg = err("memory:8");
+        assert!(msg.contains("must be '<shards>x<cap>'"), "{msg}");
+        let msg = err("memory:");
+        assert!(msg.contains("must be '<shards>x<cap>'"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_junk_is_rejected() {
+        let msg = err("hot:8:junk");
+        assert!(msg.contains("trailing ':junk' after the capacity"), "{msg}");
+        let msg = err("memory:2x4:junk");
+        assert!(msg.contains("trailing ':junk' after the topology"), "{msg}");
+        let msg = err("none:x");
+        assert!(msg.contains("takes no parameters, got ':x'"), "{msg}");
+    }
+
+    #[test]
+    fn file_and_tiered_require_parameters() {
+        assert!(err("file").contains("needs a directory"));
+        assert!(err("file:").contains("needs a directory"));
+        assert!(err("tiered").contains("needs a comma-separated tier chain"));
+        assert!(err("tiered:").contains("needs a comma-separated tier chain"));
+    }
+
+    #[test]
+    fn tiered_chains_reject_bad_links() {
+        assert!(err("tiered:hot:8,,memory:2x4").contains("empty tier"));
+        assert!(err("tiered:hot:8,tiered:memory:2x4").contains("cannot nest"));
+        // Errors inside a link surface with the link's own shape.
+        assert!(err("tiered:hot:0").contains("cap must be at least 1"));
+        assert!(err("tiered:warp").contains("unknown plan store 'warp'"));
+    }
+
+    #[test]
+    fn every_error_points_at_the_listing() {
+        for spec in ["hot:0", "memory:3", "none:x", "file", "tiered:"] {
+            assert!(
+                err(spec).contains("see `skp-plan --list`"),
+                "{spec} error lacks the listing pointer"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let e = register_plan_store("memory", "", "dup", build_memory).expect_err("must fail");
+        assert!(e.to_string().contains("already registered"));
+        fn build_probe(_: Option<&str>) -> Result<Arc<dyn PlanStore>, StoreError> {
+            Ok(Arc::new(NoneStore))
+        }
+        register_plan_store("probe-store", "", "test-only", build_probe).expect("fresh name");
+        assert!(plan_store_names().contains(&"probe-store"));
+        assert_eq!(build_plan_store("probe-store").unwrap().name(), "none");
+    }
+}

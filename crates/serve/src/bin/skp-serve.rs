@@ -1,7 +1,7 @@
 //! `skp-serve` — run (or stop) the resident prefetch-planning daemon.
 //!
 //! ```text
-//! skp-serve [--addr 127.0.0.1:7077] [--workers N] [--queue N]
+//! skp-serve [--addr 127.0.0.1:7077] [--workers N] [--queue N] [--plan-store <spec>]
 //! skp-serve --shutdown <addr>
 //! ```
 //!
@@ -13,10 +13,13 @@
 use skp_serve::{ServeConfig, Server};
 
 fn usage() -> ! {
-    eprintln!("usage: skp-serve [--addr <host:port>] [--workers N] [--queue N]");
+    eprintln!(
+        "usage: skp-serve [--addr <host:port>] [--workers N] [--queue N] [--plan-store <spec>]"
+    );
     eprintln!("       skp-serve --shutdown <host:port>");
     eprintln!();
-    eprintln!("defaults: --addr 127.0.0.1:7077, --workers 4, --queue 32");
+    eprintln!("defaults: --addr 127.0.0.1:7077, --workers 4, --queue 32,");
+    eprintln!("          --plan-store memory:8x1024 (see `skp-plan --list` for specs)");
     eprintln!("routes:   GET /version | GET /registry | GET /stats");
     eprintln!("          POST /run (a .skp file or wire-run JSON) | POST /shutdown");
     std::process::exit(2);
@@ -67,6 +70,9 @@ fn main() {
             }
         }
     }
+    if let Some(spec) = flag("--plan-store") {
+        cfg.plan_store = spec.to_string();
+    }
 
     let server = match Server::bind(&addr, cfg.clone()) {
         Ok(s) => s,
@@ -77,8 +83,8 @@ fn main() {
     };
     println!("skp-serve listening on {}", server.local_addr());
     println!(
-        "  {} workers, queue {}, body limit {} bytes (POST /shutdown to stop)",
-        cfg.workers, cfg.queue, cfg.max_body
+        "  {} workers, queue {}, body limit {} bytes, plan store {} (POST /shutdown to stop)",
+        cfg.workers, cfg.queue, cfg.max_body, cfg.plan_store
     );
     if let Err(e) = server.run() {
         eprintln!("skp-serve: {e}");

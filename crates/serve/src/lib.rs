@@ -7,12 +7,18 @@
 //! | Route            | Answer                                                         |
 //! |------------------|----------------------------------------------------------------|
 //! | `GET /version`   | daemon name, crate version, worker/queue sizing                |
-//! | `GET /registry`  | the policy, predictor and backend registries as JSON           |
+//! | `GET /registry`  | the policy, predictor, backend and plan-store registries       |
 //! | `POST /run`      | executes a `.skp` workload file or a wire-run JSON body and    |
 //! |                  | answers with the `RunReport` in `skp-plan --format json` shape |
-//! | `GET /stats`     | served/shed/in-flight counters plus request-latency            |
-//! |                  | percentiles in the same `AccessStats` block simulations report |
+//! | `GET /stats`     | served/shed/in-flight counters, request-latency percentiles    |
+//! |                  | in the `AccessStats` block, and the shared plan store's        |
+//! |                  | hit/miss/tier counters                                         |
 //! | `POST /shutdown` | drains and stops the daemon                                    |
+//!
+//! Workers share one plan store (`--plan-store`, default
+//! `memory:8x1024`): the second client to post an identical population
+//! run gets its plans from the store — the body stays byte-identical,
+//! only `GET /stats` shows the hit.
 //!
 //! Connections are dispatched to a fixed worker pool through a bounded
 //! admission queue; when the queue is full the accept loop sheds the

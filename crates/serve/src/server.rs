@@ -19,8 +19,9 @@ use std::time::{Duration, Instant};
 
 use speculative_prefetch::wire::{esc, list, render_access};
 use speculative_prefetch::{
-    backend_specs, parse_workload, policy_specs, predictor_specs, render_report_fields,
-    AccessStats, Engine, Error, WireRun, Workload,
+    backend_specs, build_plan_store, parse_workload, plan_store_specs, policy_specs,
+    predictor_specs, render_report_fields, AccessStats, Engine, Error, PlanStore, WireRun,
+    Workload,
 };
 
 use crate::http::{self, Request, Response};
@@ -42,6 +43,10 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Largest accepted request body, in bytes.
     pub max_body: usize,
+    /// Plan-store spec shared by every worker (see
+    /// `speculative_prefetch::build_plan_store`). The second client to
+    /// post an identical population run is served from this store.
+    pub plan_store: String,
 }
 
 impl Default for ServeConfig {
@@ -50,13 +55,13 @@ impl Default for ServeConfig {
             workers: 4,
             queue: 32,
             max_body: 1024 * 1024,
+            plan_store: "memory:8x1024".to_string(),
         }
     }
 }
 
 /// Shared daemon state: counters the accept loop and workers update and
-/// `GET /stats` reports.
-#[derive(Debug)]
+/// `GET /stats` reports, plus the plan store every worker runs against.
 pub struct ServerState {
     addr: SocketAddr,
     served: AtomicU64,
@@ -64,9 +69,29 @@ pub struct ServerState {
     in_flight: AtomicU64,
     shutdown: AtomicBool,
     run_latencies_ms: Mutex<Vec<f64>>,
+    store: Arc<dyn PlanStore>,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hand-rolled: `dyn PlanStore` has no Debug bound; its spec
+        // string is the useful identity anyway.
+        f.debug_struct("ServerState")
+            .field("addr", &self.addr)
+            .field("served", &self.served)
+            .field("shed", &self.shed)
+            .field("in_flight", &self.in_flight)
+            .field("plan_store", &self.store.spec_string())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerState {
+    /// The plan store shared by every worker.
+    pub fn plan_store(&self) -> &Arc<dyn PlanStore> {
+        &self.store
+    }
+
     /// Requests answered by a worker (any status).
     pub fn served(&self) -> u64 {
         self.served.load(Ordering::SeqCst)
@@ -100,6 +125,8 @@ pub struct Server {
 impl Server {
     /// Binds the listener (use port `0` for an ephemeral port).
     pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        let store = build_plan_store(&cfg.plan_store)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
         let state = Arc::new(ServerState {
             addr: listener.local_addr()?,
@@ -108,6 +135,7 @@ impl Server {
             in_flight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             run_latencies_ms: Mutex::new(Vec::new()),
+            store,
         });
         Ok(Server {
             listener,
@@ -276,7 +304,7 @@ fn route(req: &Request, state: &Arc<ServerState>, cfg: &ServeConfig) -> Response
         )),
         ("GET", "/registry") => Response::json(registry_json()),
         ("GET", "/stats") => Response::json(stats_json(state)),
-        ("POST", "/run") => handle_run(&req.body),
+        ("POST", "/run") => handle_run(&req.body, &state.store),
         ("POST", "/shutdown") => {
             state.request_shutdown();
             Response::json("{\"shutting_down\":true}".to_string())
@@ -325,18 +353,48 @@ fn registry_json() -> String {
             esc(s.summary)
         )
     });
-    format!("{{\"policies\":{policies},\"predictors\":{predictors},\"backends\":{backends}}}")
+    let plan_stores = list(&plan_store_specs(), |s| {
+        format!(
+            "{{\"name\":\"{}\",\"params\":\"{}\",\"summary\":\"{}\"}}",
+            esc(s.name),
+            esc(s.params),
+            esc(s.summary)
+        )
+    });
+    format!(
+        "{{\"policies\":{policies},\"predictors\":{predictors},\
+         \"backends\":{backends},\"plan_stores\":{plan_stores}}}"
+    )
 }
 
 fn stats_json(state: &ServerState) -> String {
     let mut samples = state.run_latencies_ms.lock().expect("latency lock").clone();
     let access = AccessStats::from_samples(&mut samples);
+    let ps = state.store.stats();
+    let tiers = list(&ps.tiers, |t| {
+        format!(
+            "{{\"tier\":\"{}\",\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"promotions\":{},\"entries\":{}}}",
+            esc(&t.tier),
+            t.hits,
+            t.misses,
+            t.evictions,
+            t.promotions,
+            t.entries
+        )
+    });
     format!(
-        "{{\"served\":{},\"shed\":{},\"in_flight\":{},\"run_latency_ms\":{}}}",
+        "{{\"served\":{},\"shed\":{},\"in_flight\":{},\"run_latency_ms\":{},\
+         \"plan_store\":{{\"spec\":\"{}\",\"lookups\":{},\"hits\":{},\"misses\":{},\
+         \"tiers\":{tiers}}}}}",
         state.served(),
         state.shed(),
         state.in_flight(),
-        render_access(&access)
+        render_access(&access),
+        esc(&state.store.spec_string()),
+        ps.lookups,
+        ps.hits,
+        ps.misses(),
     )
 }
 
@@ -344,7 +402,7 @@ fn stats_json(state: &ServerState) -> String {
 // POST /run: execute a wire run or a .skp workload file.
 // ---------------------------------------------------------------------
 
-fn handle_run(body: &str) -> Response {
+fn handle_run(body: &str, store: &Arc<dyn PlanStore>) -> Response {
     let trimmed = body.trim_start();
     if trimmed.is_empty() {
         return Response::error(
@@ -354,9 +412,9 @@ fn handle_run(body: &str) -> Response {
         );
     }
     let outcome = if trimmed.starts_with('{') {
-        run_wire(body)
+        run_wire(body, store)
     } else {
-        run_workload_file(body)
+        run_workload_file(body, store)
     };
     match outcome {
         Ok(body) => Response::json(body),
@@ -364,7 +422,7 @@ fn handle_run(body: &str) -> Response {
     }
 }
 
-fn run_wire(body: &str) -> Result<String, Error> {
+fn run_wire(body: &str, store: &Arc<dyn PlanStore>) -> Result<String, Error> {
     let wire_run = WireRun::parse(body)?;
     if wire_run.backend.starts_with("served") {
         return Err(Error::InvalidParam {
@@ -374,14 +432,16 @@ fn run_wire(body: &str) -> Result<String, Error> {
                 .to_string(),
         });
     }
-    let (mut engine, workload) = wire_run.instantiate()?;
+    let (mut engine, workload) = wire_run.instantiate_with_store(Arc::clone(store))?;
     let report = engine.run(&workload)?;
     Ok(report_json(&wire_run.kind, &engine, &report, &[]))
 }
 
-fn run_workload_file(body: &str) -> Result<String, Error> {
+fn run_workload_file(body: &str, store: &Arc<dyn PlanStore>) -> Result<String, Error> {
     let file = parse_workload(body)?;
-    let mut engine = file.build_engine()?;
+    // A `plan-store` directive in the posted file still wins; files
+    // without one share the daemon's store across clients.
+    let mut engine = file.build_engine_with_store(Some(Arc::clone(store)))?;
     let workload: Workload = file.workload()?;
     let report = engine.run(&workload)?;
     Ok(report_json(
@@ -438,14 +498,20 @@ fn status_for(e: &Error) -> u16 {
 mod tests {
     use super::*;
 
+    fn test_store() -> Arc<dyn PlanStore> {
+        build_plan_store("memory:1x8").expect("valid spec")
+    }
+
     #[test]
-    fn registry_json_lists_all_three_registries() {
+    fn registry_json_lists_all_four_registries() {
         let j = registry_json();
         assert!(j.contains("\"policies\":["));
         assert!(j.contains("\"predictors\":["));
         assert!(j.contains("\"backends\":["));
+        assert!(j.contains("\"plan_stores\":["));
         assert!(j.contains("skp-exact"));
         assert!(j.contains("\"served\""));
+        assert!(j.contains("\"tiered\""));
         // It is valid JSON by the wire module's own parser.
         speculative_prefetch::wire::Json::parse(&j).expect("registry JSON parses");
     }
@@ -463,22 +529,39 @@ mod tests {
             viewing: vec![1.0, 1.0],
             rows: vec![vec![(1, 1.0)], vec![(0, 1.0)]],
         };
-        let err = run_wire(&run.render()).unwrap_err().to_string();
+        let err = run_wire(&run.render(), &test_store())
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("chain"), "{err}");
     }
 
     #[test]
     fn empty_and_invalid_bodies_map_to_400() {
-        assert_eq!(handle_run("").status, 400);
-        let resp = handle_run("not a workload file");
+        let store = test_store();
+        assert_eq!(handle_run("", &store).status, 400);
+        let resp = handle_run("not a workload file", &store);
         assert_eq!(resp.status, 400);
         assert!(
             resp.body.starts_with("{\"error\":{\"kind\":\"parse\""),
             "{}",
             resp.body
         );
-        let resp = handle_run("{\"kind\":\"sharded\"}");
+        let resp = handle_run("{\"kind\":\"sharded\"}", &store);
         assert_eq!(resp.status, 400);
         assert!(resp.body.contains("invalid-param"), "{}", resp.body);
+    }
+
+    #[test]
+    fn bad_plan_store_spec_fails_bind() {
+        let cfg = ServeConfig {
+            plan_store: "hot:0".to_string(),
+            ..ServeConfig::default()
+        };
+        let err = match Server::bind("127.0.0.1:0", cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("a malformed plan-store spec must fail bind"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("cap"), "{err}");
     }
 }

@@ -149,6 +149,41 @@ fn version_registry_and_stats_endpoints_answer() {
     handle.shutdown().expect("clean shutdown");
 }
 
+/// The cross-client warm path: the second identical `POST /run` is
+/// served from the daemon's shared plan store — the body stays
+/// byte-identical (the determinism contract), and only `GET /stats`
+/// shows the hit.
+#[test]
+fn second_identical_run_hits_the_shared_plan_store() {
+    let handle = spawn(ServeConfig::default());
+    let addr = handle.addr().to_string();
+
+    let body = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/workloads/parallel.skp"
+    ))
+    .expect("example workload readable");
+
+    let cold = http_request(&addr, "POST", "/run", Some(&body)).expect("cold run");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let warm = http_request(&addr, "POST", "/run", Some(&body)).expect("warm run");
+    assert_eq!(warm.status, 200);
+    assert_eq!(cold.body, warm.body, "warm body must be byte-identical");
+
+    let stats = http_request(&addr, "GET", "/stats", None).expect("GET /stats");
+    let doc = speculative_prefetch::wire::Json::parse(&stats.body).expect("stats JSON parses");
+    let ps = doc.get("plan_store").expect("plan_store block");
+    assert_eq!(
+        ps.get("spec").and_then(|j| j.as_str()),
+        Some("memory:8x1024")
+    );
+    let lookups = ps.get("lookups").and_then(|j| j.as_u64()).expect("lookups");
+    let hits = ps.get("hits").and_then(|j| j.as_u64()).expect("hits");
+    assert_eq!(lookups, 2, "stats: {}", stats.body);
+    assert!(hits >= 1, "stats: {}", stats.body);
+    handle.shutdown().expect("clean shutdown");
+}
+
 /// Deterministic load shedding: one worker wedged on a silent client,
 /// one queue slot filled — the next connection must be shed with `503`
 /// and a `Retry-After` hint before the daemon reads any of it.

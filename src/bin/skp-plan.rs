@@ -13,20 +13,20 @@
 //!
 //! ```text
 //! skp-plan <scenario-file> [--solver <policy-spec>|all] [--format text|json]
-//! skp-plan run <workload-file> [--format text|json]
+//! skp-plan run <workload-file> [--plan-store <spec>] [--format text|json]
 //! skp-plan --list
 //! ```
 
 use speculative_prefetch::wire::{esc, list, num};
 use speculative_prefetch::{
-    backend_specs, global_applicable, parse_scenario_file, parse_workload, policy_specs,
-    predictor_specs, render_report_fields, Engine, Error, PlanReport, ReportSection, RunReport,
-    Scenario, Workload, WorkloadFile,
+    backend_specs, global_applicable, parse_scenario_file, parse_workload, plan_store_specs,
+    policy_specs, predictor_specs, render_report_fields, Engine, Error, PlanReport, ReportSection,
+    RunReport, Scenario, Workload, WorkloadFile,
 };
 
 fn usage() -> ! {
     eprintln!("usage: skp-plan <scenario-file> [--solver <policy>|all] [--format text|json]");
-    eprintln!("       skp-plan run <workload-file> [--format text|json]");
+    eprintln!("       skp-plan run <workload-file> [--plan-store <spec>] [--format text|json]");
     eprintln!("       skp-plan --list");
     eprintln!();
     eprintln!("scenario file format:");
@@ -74,6 +74,16 @@ fn print_registry() {
         };
         println!("  {:<18} {}{params}", spec.name, spec.summary);
     }
+    println!();
+    println!("registered plan stores ('plan-store' directive / --plan-store / SessionBuilder::plan_store):");
+    for spec in plan_store_specs() {
+        let params = if spec.params.is_empty() {
+            String::new()
+        } else {
+            format!(" (params: {})", spec.params)
+        };
+        println!("  {:<18} {}{params}", spec.name, spec.summary);
+    }
 }
 
 fn main() {
@@ -98,7 +108,8 @@ fn main() {
         let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
             usage();
         };
-        run_workload_file(path, &format);
+        let plan_store = flag("--plan-store").map(String::from);
+        run_workload_file(path, plan_store.as_deref(), &format);
         return;
     }
 
@@ -275,15 +286,19 @@ fn print_plans_json(
 // Run mode: execute a workload file through Engine::run.
 // ---------------------------------------------------------------------
 
-fn run_workload_file(path: &str, format: &str) {
+fn run_workload_file(path: &str, plan_store: Option<&str>, format: &str) {
     let text = read_file(path);
-    let file = match parse_workload(&text) {
+    let mut file = match parse_workload(&text) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("skp-plan: {path}: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(spec) = plan_store {
+        // The CLI flag overrides any `plan-store` directive in the file.
+        file.plan_store = Some(spec.to_string());
+    }
     let mut engine = match file.build_engine() {
         Ok(e) => e,
         Err(e) => {
@@ -386,6 +401,16 @@ fn print_run_text(file: &WorkloadFile, engine: &Engine, report: &RunReport) {
     }
     if !report.events.is_empty() {
         println!("events: {} recorded (traced)", report.events.len());
+    }
+    let ps = &report.plan_store;
+    if ps.lookups > 0 {
+        println!(
+            "plan store [{}]: {} lookups  {} hits ({:.0}%)",
+            engine.plan_store_spec_string(),
+            ps.lookups,
+            ps.hits,
+            ps.hit_rate() * 100.0
+        );
     }
 }
 

@@ -22,7 +22,7 @@
 //! # Ok::<(), speculative_prefetch::Error>(())
 //! ```
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use access_model::MarkovChain;
 use cache_sim::{PrefetchCache, PrefetchCacheConfig, StepOutcome};
@@ -33,6 +33,10 @@ use distsys::{Catalog, SessionConfig, Trace};
 use montecarlo::parallel::par_monte_carlo;
 use montecarlo::scenario_gen::ScenarioGen;
 use montecarlo::stats::RunningStats;
+use planstore::{
+    build_plan_store, population_plan_key, MemoryStore, PlanGuard, PlanSet, PlanStore,
+    PlanStoreStats,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use skp_core::arbitration::{PlanSolver, SubArbitration};
@@ -65,6 +69,8 @@ pub struct SessionBuilder {
     sub: SubArbitration,
     driver: Option<Arc<dyn BackendDriver>>,
     backend_spec_err: Option<Error>,
+    store: Option<Arc<dyn PlanStore>>,
+    store_spec_err: Option<Error>,
 }
 
 impl Default for SessionBuilder {
@@ -89,6 +95,8 @@ impl SessionBuilder {
             sub: SubArbitration::DelaySaving,
             driver: None,
             backend_spec_err: None,
+            store: None,
+            store_spec_err: None,
         }
     }
 
@@ -191,12 +199,41 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the plan store by registry spec string (e.g.
+    /// `"memory:8x4096"`, `"tiered:hot:256,memory:8x4096,file:.skp-plans"`;
+    /// see [`plan_store_specs`](crate::plan_store_specs)). Without
+    /// this, the engine keeps a small private in-memory store, so
+    /// repeat runs of the same population on one engine still re-use
+    /// their plans.
+    pub fn plan_store(mut self, spec: &str) -> Self {
+        match build_plan_store(spec) {
+            Ok(s) => {
+                self.store = Some(s);
+                self.store_spec_err = None;
+            }
+            Err(e) => self.store_spec_err = Some(e.into()),
+        }
+        self
+    }
+
+    /// Installs an already-built plan store. The route for *sharing*
+    /// one store across engines (hand the same `Arc` to each builder):
+    /// `skp-serve` uses this to warm every worker from one store.
+    pub fn plan_store_instance(mut self, store: Arc<dyn PlanStore>) -> Self {
+        self.store = Some(store);
+        self.store_spec_err = None;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     pub fn build(self) -> Result<Engine, Error> {
         if let Some(e) = self.policy_spec_err {
             return Err(e);
         }
         if let Some(e) = self.backend_spec_err {
+            return Err(e);
+        }
+        if let Some(e) = self.store_spec_err {
             return Err(e);
         }
         let (policy, policy_spec) = match self.policy {
@@ -257,6 +294,12 @@ impl SessionBuilder {
             None => Backend::SingleClient.driver(),
         };
         driver.validate()?;
+        // The fallback store is engine-private and tiny: just enough to
+        // carry the previous run's plans across repeat runs of the same
+        // population on this engine (the pre-store behaviour).
+        let store = self
+            .store
+            .unwrap_or_else(|| Arc::new(MemoryStore::new(1, 8)));
         Ok(Engine {
             policy,
             policy_spec,
@@ -264,7 +307,7 @@ impl SessionBuilder {
             client,
             retrievals: self.retrievals,
             driver,
-            plan_cache: Mutex::new(None),
+            store,
         })
     }
 }
@@ -281,49 +324,16 @@ pub struct Engine {
     client: Option<PrefetchCache>,
     retrievals: Option<Vec<f64>>,
     driver: Arc<dyn BackendDriver>,
-    /// Cross-run carry-over of the per-state population plans (see
-    /// [`StatePlanMemo`]): registry policies are pure functions of the
-    /// scenario, so as long as the (policy spec, chain, catalog) triple
-    /// is unchanged, re-running the same population re-uses every solved
-    /// plan instead of paying the solver again. Keyed by content hash;
-    /// disabled for custom [`policy_instance`](SessionBuilder::policy_instance)
-    /// policies, whose purity the engine cannot vouch for.
-    plan_cache: Mutex<Option<PopulationPlanCache>>,
-}
-
-/// The persisted half of a [`StatePlanMemo`]: the solved per-state plans
-/// plus the content key they are valid for.
-struct PopulationPlanCache {
-    key: u64,
-    memo: Vec<Option<Vec<usize>>>,
-}
-
-/// FNV-1a over the population inputs that determine every per-state
-/// plan: the policy spec, the chain's viewing times and transition rows,
-/// and the catalog slice the scenarios are built from.
-fn population_plan_key(spec: &str, chain: &MarkovChain, retrievals: &[f64]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h = (h ^ b as u64).wrapping_mul(PRIME);
-        }
-    };
-    eat(spec.as_bytes());
-    let n = chain.n_states();
-    eat(&(n as u64).to_le_bytes());
-    for i in 0..n {
-        eat(&chain.viewing(i).to_bits().to_le_bytes());
-        for &(j, p) in chain.successors(i) {
-            eat(&(j as u64).to_le_bytes());
-            eat(&p.to_bits().to_le_bytes());
-        }
-    }
-    for &r in &retrievals[..n.min(retrievals.len())] {
-        eat(&r.to_bits().to_le_bytes());
-    }
-    h
+    /// Cross-run (and, when shared via
+    /// [`plan_store_instance`](SessionBuilder::plan_store_instance),
+    /// cross-engine) store of solved population plans: registry
+    /// policies are pure functions of the scenario, so the (policy
+    /// spec, chain, catalog) triple — folded into a content key by
+    /// [`population_plan_key`] — fully determines every per-state
+    /// plan. Custom [`policy_instance`](SessionBuilder::policy_instance)
+    /// policies bypass the store: they carry no registry spec to key
+    /// on, and their purity cannot be vouched for.
+    store: Arc<dyn PlanStore>,
 }
 
 impl Engine {
@@ -361,6 +371,19 @@ impl Engine {
         self.driver.spec_string()
     }
 
+    /// Canonical spec string of the configured plan store (reparses to
+    /// an equivalent store through
+    /// [`build_plan_store`](crate::build_plan_store)).
+    pub fn plan_store_spec_string(&self) -> String {
+        self.store.spec_string()
+    }
+
+    /// Live counters of the configured plan store (also snapshot into
+    /// every [`RunReport`]).
+    pub fn plan_store_stats(&self) -> PlanStoreStats {
+        self.store.stats()
+    }
+
     /// The cache contents, when a cache is configured.
     pub fn cached_items(&self) -> Vec<usize> {
         self.client
@@ -396,6 +419,7 @@ impl Engine {
                     access: plan_access_stats(&w.scenario, &report.per_request),
                     section: ReportSection::Plan(report),
                     events: Vec::new(),
+                    plan_store: self.store.stats(),
                 })
             }
             Workload::Trace(w) => {
@@ -404,6 +428,7 @@ impl Engine {
                     access,
                     section: ReportSection::Trace(report),
                     events: Vec::new(),
+                    plan_store: self.store.stats(),
                 })
             }
             Workload::MonteCarlo(w) => {
@@ -412,6 +437,7 @@ impl Engine {
                     access,
                     section: ReportSection::MonteCarlo(report),
                     events: Vec::new(),
+                    plan_store: self.store.stats(),
                 })
             }
             Workload::MultiClient(w) | Workload::Sharded(w) => {
@@ -426,6 +452,7 @@ impl Engine {
                     access,
                     section,
                     events,
+                    plan_store: self.store.stats(),
                 })
             }
         }
@@ -809,27 +836,34 @@ impl Engine {
             }
             Err(e) => return Err(e),
         };
-        // Re-use the previous run's solved plans when the population is
-        // the same one: registry policies are pure in the scenario, so
-        // the (spec, chain, catalog) content key fully determines every
-        // per-state plan.
-        let key = self
-            .policy_spec
-            .as_deref()
-            .map(|spec| population_plan_key(spec, chain, retrievals));
+        // Re-use previously solved plans for the same population:
+        // registry policies are pure in the scenario, so the (spec,
+        // chain, catalog) content key fully determines every per-state
+        // plan. Custom `policy_instance` policies have no spec — no
+        // key, no store traffic.
+        let n = chain.n_states();
+        let catalog = &retrievals[..n];
+        let spec = self.policy_spec.as_deref();
+        let key = spec.map(|spec| population_plan_key(spec, chain, retrievals));
         let carried = key.and_then(|k| {
-            let mut slot = self.plan_cache.lock().expect("plan cache poisoned");
-            match slot.take() {
-                Some(c) if c.key == k => Some(c.memo),
-                _ => None,
+            let set = self.store.get(k)?;
+            // The key is a non-cryptographic 64-bit hash: trust the
+            // entry only after its guard echoes the live inputs, so a
+            // collision or a corrupted file degrades to a miss.
+            if set.plans.len() == n && spec.is_some_and(|s| set.matches(s, catalog)) {
+                Some(set.plans.clone())
+            } else {
+                None
             }
         });
+        let store_hit = carried.is_some();
         let mut planner = StatePlanMemo::with_memo(
-            carried.unwrap_or_else(|| vec![None; chain.n_states()]),
+            carried.unwrap_or_else(|| vec![None; n]),
+            store_hit,
             |state: usize| {
                 let scenario = Scenario::new(
                     chain.row_probs(state),
-                    retrievals[..chain.n_states()].to_vec(),
+                    catalog.to_vec(),
                     chain.viewing(state),
                 )
                 .expect("markov rows are valid scenarios");
@@ -846,11 +880,22 @@ impl Engine {
             operation,
             policy_spec: self.policy_spec.as_deref(),
         });
-        if let Some(k) = key {
-            *self.plan_cache.lock().expect("plan cache poisoned") = Some(PopulationPlanCache {
-                key: k,
-                memo: planner.memo,
-            });
+        // Write back only when the run added information: a hit whose
+        // rounds solved nothing new would rewrite identical bytes into
+        // every tier (the `file:` tier in particular) for no gain.
+        if let (Some(k), Some(spec)) = (key, spec) {
+            if planner.newly_solved > 0 || !store_hit {
+                self.store.put(
+                    k,
+                    Arc::new(PlanSet {
+                        plans: planner.memo,
+                        guard: PlanGuard {
+                            policy_spec: spec.to_string(),
+                            catalog: catalog.to_vec(),
+                        },
+                    }),
+                );
+            }
         }
         out
     }
@@ -864,21 +909,49 @@ impl Engine {
 /// and replayed for every client and every round. Steady-state rounds
 /// copy the memoised plan straight into the executor's buffer
 /// ([`ClientPolicy::plan_into`]): no scenario rebuild, no knapsack
-/// solve, no allocation. Between runs of the same population the memo
-/// survives in the engine's [`PopulationPlanCache`].
+/// solve, no allocation. Between runs the memo survives in the
+/// engine's [`PlanStore`], keyed by population content hash.
 struct StatePlanMemo<F> {
     compute: F,
     memo: Vec<Option<Vec<usize>>>,
+    /// States solved by this run (as opposed to carried in from the
+    /// store) — the signal for whether a write-back adds information.
+    newly_solved: usize,
+    /// Debug-build cross-check: states whose plans came from the store
+    /// get one fresh solve on first use, asserting the stored plan
+    /// still matches the live policy. Keeps the memoisation honest for
+    /// every store tier; empty in release builds.
+    unverified: Vec<bool>,
 }
 
 impl<F: FnMut(usize) -> Vec<usize>> StatePlanMemo<F> {
-    fn with_memo(memo: Vec<Option<Vec<usize>>>, compute: F) -> Self {
-        Self { compute, memo }
+    fn with_memo(memo: Vec<Option<Vec<usize>>>, from_store: bool, compute: F) -> Self {
+        let unverified = if cfg!(debug_assertions) && from_store {
+            memo.iter().map(|m| m.is_some()).collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            compute,
+            memo,
+            newly_solved: 0,
+            unverified,
+        }
     }
 
     fn cached(&mut self, state: usize) -> &[usize] {
         if self.memo[state].is_none() {
             self.memo[state] = Some((self.compute)(state));
+            self.newly_solved += 1;
+        } else if self.unverified.get(state).copied().unwrap_or(false) {
+            self.unverified[state] = false;
+            let fresh = (self.compute)(state);
+            assert_eq!(
+                Some(&fresh),
+                self.memo[state].as_ref(),
+                "stored plan for state {state} diverged from a fresh solve \
+                 (corrupted store entry or impure policy)"
+            );
         }
         self.memo[state].as_deref().expect("just filled")
     }
@@ -1016,6 +1089,126 @@ mod tests {
             .expect("valid spec wins");
         assert_eq!(engine.backend_name(), "sharded");
         assert_eq!(engine.backend_spec_string(), "sharded:2x3:range");
+    }
+
+    #[test]
+    fn bad_plan_store_spec_surfaces_at_build() {
+        let err = Engine::builder()
+            .plan_store("hot:0")
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, Error::InvalidParam { .. }), "{err}");
+        // A later valid spec clears the error.
+        let engine = Engine::builder()
+            .plan_store("hot:0")
+            .plan_store("memory:2x16")
+            .build()
+            .expect("valid spec wins");
+        assert_eq!(engine.plan_store_spec_string(), "memory:2x16");
+    }
+
+    #[test]
+    fn repeat_population_runs_hit_the_plan_store() {
+        let chain = MarkovChain::random(10, 2, 4, 5, 20, 5).unwrap();
+        let mut engine = Engine::builder()
+            .backend(Backend::MultiClient { clients: 3 })
+            .catalog((0..10).map(|i| 2.0 + i as f64).collect())
+            .plan_store("memory:2x16")
+            .build()
+            .unwrap();
+        let workload = Workload::multi_client(chain, 20, 1).traced(true);
+        let cold = engine.run(&workload).unwrap();
+        assert_eq!(cold.plan_store.hits, 0);
+        assert_eq!(cold.plan_store.lookups, 1);
+        let warm = engine.run(&workload).unwrap();
+        assert_eq!(warm.plan_store.hits, 1);
+        // The determinism contract extends to the store: the warm
+        // report and event log are bit-identical (PartialEq ignores
+        // the counters; the sections and events are compared fully).
+        assert_eq!(cold, warm);
+        assert!(!warm.events.is_empty());
+    }
+
+    #[test]
+    fn shared_store_warms_a_fresh_engine() {
+        let chain = MarkovChain::random(10, 2, 4, 5, 20, 5).unwrap();
+        let store = build_plan_store("memory:2x16").unwrap();
+        let catalog: Vec<f64> = (0..10).map(|i| 2.0 + i as f64).collect();
+        let engine = |store: Arc<dyn PlanStore>| {
+            Engine::builder()
+                .backend(Backend::MultiClient { clients: 3 })
+                .catalog(catalog.clone())
+                .plan_store_instance(store)
+                .build()
+                .unwrap()
+        };
+        let workload = Workload::multi_client(chain, 20, 1);
+        let cold = engine(store.clone()).run(&workload).unwrap();
+        // A different engine, same store: served from the shared state.
+        let warm = engine(store.clone()).run(&workload).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().lookups, 2);
+    }
+
+    #[test]
+    fn custom_policy_instances_bypass_the_store() {
+        // An instance policy has no registry spec: its purity cannot be
+        // keyed, so population runs never touch the store.
+        let chain = MarkovChain::random(8, 2, 4, 5, 20, 5).unwrap();
+        let mut engine = Engine::builder()
+            .policy_instance(build_policy("skp-exact").unwrap())
+            .backend(Backend::MultiClient { clients: 2 })
+            .catalog((0..8).map(|i| 2.0 + i as f64).collect())
+            .plan_store("memory:2x16")
+            .build()
+            .unwrap();
+        let workload = Workload::multi_client(chain, 10, 1);
+        engine.run(&workload).unwrap();
+        let report = engine.run(&workload).unwrap();
+        assert_eq!(report.plan_store.lookups, 0);
+        assert_eq!(report.plan_store.hits, 0);
+    }
+
+    #[test]
+    fn stale_store_entries_are_ignored_not_trusted() {
+        // Seed the store with a colliding key whose guard does not
+        // match the live inputs: the run must treat it as a miss.
+        let chain = MarkovChain::random(6, 2, 4, 5, 20, 3).unwrap();
+        let catalog: Vec<f64> = (0..6).map(|i| 2.0 + i as f64).collect();
+        let store = build_plan_store("memory:1x8").unwrap();
+        let key = planstore::population_plan_key("skp-exact", &chain, &catalog);
+        store.put(
+            key,
+            Arc::new(PlanSet {
+                plans: vec![Some(vec![0]); 6],
+                guard: PlanGuard {
+                    policy_spec: "greedy".into(),
+                    catalog: catalog.clone(),
+                },
+            }),
+        );
+        let mut engine = Engine::builder()
+            .backend(Backend::MultiClient { clients: 2 })
+            .catalog(catalog)
+            .plan_store_instance(store.clone())
+            .build()
+            .unwrap();
+        let baseline = {
+            let mut fresh = Engine::builder()
+                .backend(Backend::MultiClient { clients: 2 })
+                .catalog((0..6).map(|i| 2.0 + i as f64).collect())
+                .build()
+                .unwrap();
+            fresh
+                .run(&Workload::multi_client(chain.clone(), 10, 1))
+                .unwrap()
+        };
+        let guarded = engine.run(&Workload::multi_client(chain, 10, 1)).unwrap();
+        assert_eq!(baseline, guarded, "stale entry must not leak into the run");
+        // The mismatched entry was replaced by the freshly solved one.
+        assert_eq!(store.get(key).unwrap().guard.policy_spec, "skp-exact");
     }
 
     #[test]

@@ -167,6 +167,17 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<planstore::StoreError> for Error {
+    fn from(e: planstore::StoreError) -> Self {
+        // Plan-store spec errors are parameter errors of the same shape
+        // as the backend registry's — one variant covers both.
+        Error::InvalidParam {
+            what: e.what,
+            detail: e.detail,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

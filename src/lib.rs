@@ -19,7 +19,14 @@
 //!    private-channel single client, shared channel, sharded farm, the
 //!    multi-threaded parallel executor over that farm
 //!    (`parallel:4x16:hash:0`, bit-identical to `sharded:4x16:hash`),
-//!    parallel Monte-Carlo, plus anything you [`register_backend`]).
+//!    parallel Monte-Carlo, plus anything you [`register_backend`]),
+//!
+//! plus a fifth, orthogonal seam: a **plan store** ([`PlanStore`];
+//! [`build_plan_store`]) that caches solved population plan sets
+//! across runs, engines and — via `skp-serve` — across clients.
+//! `SessionBuilder::plan_store("tiered:hot:64,file:/var/cache/skp")`
+//! selects a tier chain by spec string; warm runs are bit-identical to
+//! cold ones, just faster.
 //!
 //! ## Quickstart
 //!
@@ -141,6 +148,11 @@ pub use backend::{
 };
 pub use engine::{Engine, SessionBuilder};
 pub use error::Error;
+pub use planstore::{
+    build_plan_store, plan_store_names, plan_store_specs, population_plan_key, register_plan_store,
+    PlanGuard, PlanSet, PlanStore, PlanStoreBuilder, PlanStoreSpec, PlanStoreStats, StoreError,
+    TierStats,
+};
 pub use predictor::{build_predictor, predictor_names, predictor_specs, Predictor, PredictorSpec};
 pub use registry::{build_policy, policy_names, policy_specs, PolicySpec};
 pub use report::{PlanReport, ReportSection, RunReport, SimReport, TraceReport};

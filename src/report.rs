@@ -13,6 +13,7 @@ use distsys::multiclient::MultiClientResult;
 use distsys::scheduler::{ShardReport, SimEvent};
 use distsys::stats::AccessStats;
 use montecarlo::stats::RunningStats;
+use planstore::PlanStoreStats;
 use skp_core::PrefetchPlan;
 
 /// Closed-form evaluation of one prefetch decision (empty-cache view,
@@ -97,7 +98,7 @@ impl ReportSection {
 
 /// The result of [`Engine::run`](crate::Engine::run): one shape for
 /// every workload.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// The common access-time summary every workload reports
     /// (count/mean/p50/p99/min/max), so any two runs are comparable.
@@ -107,6 +108,21 @@ pub struct RunReport {
     /// Mechanistic event log — non-empty only when the workload set
     /// `traced` and the backend records events (population replays).
     pub events: Vec<SimEvent>,
+    /// Snapshot of the engine's plan-store counters after the run
+    /// (cumulative over the engine's — or a shared store's — life).
+    /// Excluded from `PartialEq` and the wire form: the determinism
+    /// contract makes a warm run *equal* to a cold run even though
+    /// their hit counters differ.
+    pub plan_store: PlanStoreStats,
+}
+
+/// Equality is the determinism contract: access stats, section and
+/// event log — the [`plan_store`](RunReport::plan_store) counters are
+/// observability, not results, and are deliberately left out.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.access == other.access && self.section == other.section && self.events == other.events
+    }
 }
 
 impl RunReport {
@@ -168,6 +184,7 @@ mod tests {
                 wasted_per_request: 0.0,
             }),
             events: Vec::new(),
+            plan_store: PlanStoreStats::default(),
         };
         assert_eq!(report.section.name(), "trace");
         assert!(report.trace().is_some());
@@ -176,5 +193,23 @@ mod tests {
         assert!(report.multi_client().is_none());
         assert!(report.sharded().is_none());
         assert_eq!(report.access.mean, 2.0);
+    }
+
+    #[test]
+    fn equality_ignores_the_plan_store_counters() {
+        let report = RunReport {
+            access: AccessStats::single(2.0),
+            section: ReportSection::MonteCarlo(SimReport {
+                access: RunningStats::new(),
+                gain: RunningStats::new(),
+                iterations: 1,
+            }),
+            events: Vec::new(),
+            plan_store: PlanStoreStats::default(),
+        };
+        let mut warm = report.clone();
+        warm.plan_store.lookups = 5;
+        warm.plan_store.hits = 5;
+        assert_eq!(report, warm, "counters are observability, not results");
     }
 }

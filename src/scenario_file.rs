@@ -191,6 +191,10 @@ pub struct WorkloadFile {
     pub traced: bool,
     /// Backend registry spec (default: single-client).
     pub backend: Option<String>,
+    /// Plan-store registry spec (default: the engine's small private
+    /// in-memory store). A file-level spec wins over any store a host
+    /// (e.g. `skp-serve`) would otherwise inject.
+    pub plan_store: Option<String>,
     /// Policy registry spec (default: skp-exact).
     pub policy: Option<String>,
     /// Predictor registry spec (required by trace workloads).
@@ -260,6 +264,7 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
         kind: WorkloadKind::Plan,
         traced: false,
         backend: None,
+        plan_store: None,
         policy: None,
         predictor: None,
         cache: None,
@@ -350,6 +355,15 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
                     .is_some()
                 {
                     return Err(bad("duplicate 'backend' line"));
+                }
+            }
+            Some("plan-store") if workload => {
+                if file
+                    .plan_store
+                    .replace(one_token!("plan-store").to_string())
+                    .is_some()
+                {
+                    return Err(bad("duplicate 'plan-store' line"));
                 }
             }
             Some("policy") if workload => {
@@ -453,8 +467,8 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
             Some(other) => {
                 let expected = if workload {
                     "expected a scenario ('v', 'item') or workload directive \
-                     ('workload', 'traced', 'backend', 'policy', 'predictor', 'cache', \
-                     'requests', 'seed', 'iterations', 'mc-method', 'chain', 'access')"
+                     ('workload', 'traced', 'backend', 'plan-store', 'policy', 'predictor', \
+                     'cache', 'requests', 'seed', 'iterations', 'mc-method', 'chain', 'access')"
                 } else {
                     "expected 'v' or 'item'"
                 };
@@ -499,6 +513,9 @@ pub fn render_workload(file: &WorkloadFile) -> String {
     }
     if let Some(backend) = &file.backend {
         out.push_str(&format!("backend {backend}\n"));
+    }
+    if let Some(plan_store) = &file.plan_store {
+        out.push_str(&format!("plan-store {plan_store}\n"));
     }
     if let Some(policy) = &file.policy {
         out.push_str(&format!("policy {policy}\n"));
@@ -612,9 +629,20 @@ impl WorkloadFile {
     }
 
     /// Builds the [`Engine`] this file composes: the `item` lines as
-    /// catalog, plus the file's policy / predictor / cache / backend
-    /// specs (engine defaults where omitted).
+    /// catalog, plus the file's policy / predictor / cache / backend /
+    /// plan-store specs (engine defaults where omitted).
     pub fn build_engine(&self) -> Result<Engine, Error> {
+        self.build_engine_with_store(None)
+    }
+
+    /// Like [`build_engine`](Self::build_engine), but with a host-supplied
+    /// shared plan store as the default. The file's own `plan-store`
+    /// directive wins when present — a workload that pins its store
+    /// behaves identically whether run by the CLI or inside a daemon.
+    pub fn build_engine_with_store(
+        &self,
+        shared: Option<std::sync::Arc<dyn planstore::PlanStore>>,
+    ) -> Result<Engine, Error> {
         let mut builder = Engine::builder().catalog(self.scenario.retrievals().to_vec());
         if let Some(policy) = &self.policy {
             builder = builder.policy(policy);
@@ -627,6 +655,11 @@ impl WorkloadFile {
         }
         if let Some(backend) = &self.backend {
             builder = builder.backend_spec(backend);
+        }
+        match (&self.plan_store, shared) {
+            (Some(spec), _) => builder = builder.plan_store(spec),
+            (None, Some(store)) => builder = builder.plan_store_instance(store),
+            (None, None) => {}
         }
         builder.build()
     }
@@ -724,6 +757,7 @@ mod tests {
 workload sharded
 traced
 backend sharded:2x4:range
+plan-store memory:2x64
 policy network-aware:0.4
 requests 50
 seed 7
@@ -740,6 +774,7 @@ item 0.2 9 video
         assert_eq!(f.kind, WorkloadKind::Sharded);
         assert!(f.traced);
         assert_eq!(f.backend.as_deref(), Some("sharded:2x4:range"));
+        assert_eq!(f.plan_store.as_deref(), Some("memory:2x64"));
         assert_eq!(f.policy.as_deref(), Some("network-aware:0.4"));
         assert_eq!(f.requests, Some(50));
         assert_eq!(f.seed, Some(7));
@@ -781,6 +816,9 @@ item 0.2 9 video
             "workload plan\nworkload trace\n",
             "workload warp\n",
             "backend a\nbackend b\n",
+            "plan-store memory:2x8\nplan-store none\n",
+            "plan-store\n",
+            "plan-store memory:2x8 junk\n",
             "cache none\n",
             "chain 3 1 2 2\n",
             "mc-method cubic\n",
@@ -846,5 +884,35 @@ item 0.2 9 video
         let sharded = report.sharded().expect("sharded section");
         assert_eq!(sharded.requests(), 4 * 50);
         assert!(!report.events.is_empty(), "traced file records events");
+    }
+
+    #[test]
+    fn plan_store_directive_configures_the_engine() {
+        let f = parse_workload(WORKLOAD_SAMPLE).unwrap();
+        let engine = f.build_engine().unwrap();
+        assert_eq!(engine.plan_store_spec_string(), "memory:2x64");
+        // A malformed spec surfaces through build_engine.
+        let mut bad = f.clone();
+        bad.plan_store = Some("memory:0x4".to_string());
+        assert!(matches!(
+            bad.build_engine(),
+            Err(crate::Error::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn file_plan_store_wins_over_an_injected_store() {
+        let shared = planstore::build_plan_store("hot:4").unwrap();
+        // The file pins its own store: the host's shared one is ignored.
+        let pinned = parse_workload(WORKLOAD_SAMPLE).unwrap();
+        let engine = pinned
+            .build_engine_with_store(Some(shared.clone()))
+            .unwrap();
+        assert_eq!(engine.plan_store_spec_string(), "memory:2x64");
+        // Without a directive, the injected store is the default.
+        let mut open = pinned.clone();
+        open.plan_store = None;
+        let engine = open.build_engine_with_store(Some(shared)).unwrap();
+        assert_eq!(engine.plan_store_spec_string(), "hot:4");
     }
 }

@@ -663,6 +663,10 @@ pub fn parse_report(text: &str) -> Result<RunReport, Error> {
         access,
         section,
         events,
+        // Store counters are not results, so they do not travel: the
+        // wire form omits them (keeping warm and cold bodies
+        // byte-identical) and the reconstruction reports zeros.
+        plan_store: planstore::PlanStoreStats::default(),
     })
 }
 
@@ -791,17 +795,38 @@ impl WireRun {
     /// `engine.run(&workload)` replays the original simulation
     /// bit-identically (same chain rows, same seed, same specs).
     pub fn instantiate(&self) -> Result<(Engine, Workload), Error> {
+        self.build_with_store(None)
+    }
+
+    /// Like [`instantiate`](Self::instantiate), but composing a shared
+    /// plan store into the engine — `skp-serve` hands every request the
+    /// daemon-wide store, which is what turns the second identical run
+    /// into a store hit (the report stays bit-identical either way).
+    pub fn instantiate_with_store(
+        &self,
+        store: std::sync::Arc<dyn planstore::PlanStore>,
+    ) -> Result<(Engine, Workload), Error> {
+        self.build_with_store(Some(store))
+    }
+
+    fn build_with_store(
+        &self,
+        store: Option<std::sync::Arc<dyn planstore::PlanStore>>,
+    ) -> Result<(Engine, Workload), Error> {
         let chain = MarkovChain::new(self.rows.clone(), self.viewing.clone()).map_err(|e| {
             Error::InvalidParam {
                 what: RUN,
                 detail: format!("field 'chain' is not a valid markov chain: {e}"),
             }
         })?;
-        let engine = Engine::builder()
+        let mut builder = Engine::builder()
             .policy(&self.policy)
             .catalog(self.retrievals.clone())
-            .backend_spec(&self.backend)
-            .build()?;
+            .backend_spec(&self.backend);
+        if let Some(store) = store {
+            builder = builder.plan_store_instance(store);
+        }
+        let engine = builder.build()?;
         let workload = match self.kind.as_str() {
             "multi-client" => Workload::multi_client(chain, self.requests_per_client, self.seed),
             "sharded" => Workload::sharded(chain, self.requests_per_client, self.seed),

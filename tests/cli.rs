@@ -88,7 +88,7 @@ fn unknown_solver_rejected() {
 }
 
 #[test]
-fn list_enumerates_policies_predictors_and_backends() {
+fn list_enumerates_policies_predictors_backends_and_plan_stores() {
     let (stdout, _, ok) = run_cli(&["--list"]);
     assert!(ok);
     assert!(stdout.contains("registered policies"));
@@ -101,6 +101,13 @@ fn list_enumerates_policies_predictors_and_backends() {
         );
     }
     assert!(stdout.contains("hash|range|hot-cold"));
+    assert!(stdout.contains("registered plan stores"), "{stdout}");
+    for store in ["none", "hot", "memory", "file", "tiered"] {
+        assert!(
+            stdout.contains(store),
+            "missing plan store {store}:\n{stdout}"
+        );
+    }
 }
 
 /// Registry consistency: `--list` enumerates *exactly* the backend
@@ -136,6 +143,54 @@ fn list_backends_match_the_registry_exactly() {
         assert_eq!(again.name(), spec.name);
         assert_eq!(again.spec_string(), canonical);
     }
+}
+
+/// Same consistency for the plan-store seam: `--list` enumerates
+/// exactly `plan_store_specs()`. Bare `file` and `tiered` names do not
+/// build (they need a directory / a chain), so the build →
+/// `spec_string()` → build fixed point is checked on one concrete spec
+/// per tier.
+#[test]
+fn list_plan_stores_match_the_registry_exactly() {
+    let (stdout, _, ok) = run_cli(&["--list"]);
+    assert!(ok);
+    let listed: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("registered plan stores"))
+        .skip(1)
+        .take_while(|l| l.starts_with("  "))
+        .map(|l| l.split_whitespace().next().expect("name column"))
+        .collect();
+    let registry: Vec<&str> = speculative_prefetch::plan_store_specs()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(listed, registry, "--list drifted from plan_store_specs()");
+
+    let dir = std::env::temp_dir().join(format!("skp-cli-store-{}", std::process::id()));
+    let examples = [
+        "none".to_string(),
+        "hot:32".to_string(),
+        "memory:2x64".to_string(),
+        format!("file:{}", dir.display()),
+        "tiered:hot:4,memory:1x16".to_string(),
+    ];
+    assert_eq!(examples.len(), registry.len(), "cover every tier");
+    for (spec, entry) in examples
+        .iter()
+        .zip(speculative_prefetch::plan_store_specs())
+    {
+        let store =
+            speculative_prefetch::build_plan_store(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(store.name(), entry.name);
+        // Canonical spec string → store: a fixed point.
+        let canonical = store.spec_string();
+        let again = speculative_prefetch::build_plan_store(&canonical)
+            .unwrap_or_else(|e| panic!("{canonical}: {e}"));
+        assert_eq!(again.name(), entry.name);
+        assert_eq!(again.spec_string(), canonical);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,160 @@
+//! Acceptance tests for the plan-store subsystem: a warm run (plans
+//! served from any store tier) is **bit-identical** to the cold run
+//! that populated it — same common stats, same section, same
+//! mechanistic event log — pinned by goldens per tier and a property
+//! test over random chains, policies, seeds and store specs. Running
+//! under `cfg(debug_assertions)` keeps the PR-4 cross-check alive for
+//! every tier: each store-seeded plan is re-solved fresh and compared
+//! on first use.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use speculative_prefetch::{build_plan_store, Engine, MarkovChain, PlanStore, RunReport, Workload};
+
+const N: usize = 24;
+
+fn catalog() -> Vec<f64> {
+    (0..N).map(|i| 1.0 + (i % 9) as f64).collect()
+}
+
+fn chain(seed: u64) -> MarkovChain {
+    MarkovChain::random(N, 2, 5, 4, 14, seed).expect("valid chain")
+}
+
+/// One engine per call — sharing happens only through the injected
+/// store, exactly the cross-run / cross-client shape the subsystem
+/// exists for.
+fn run_with(store: &Arc<dyn PlanStore>, policy: &str, chain: &MarkovChain, seed: u64) -> RunReport {
+    let mut engine = Engine::builder()
+        .policy(policy)
+        .backend_spec("parallel:3x6:hash:2")
+        .catalog(catalog())
+        .plan_store_instance(Arc::clone(store))
+        .build()
+        .expect("valid session");
+    engine
+        .run(&Workload::sharded(chain.clone(), 30, seed).traced(true))
+        .expect("runs")
+}
+
+/// Golden equivalence: for every built-in tier shape, the warm run out
+/// of a store populated by a cold run reports the identical
+/// `RunReport` — and the warm run actually hit the store.
+#[test]
+fn warm_runs_are_bit_identical_to_cold_runs_on_every_tier() {
+    let chain = chain(77);
+    for spec in ["hot:4", "memory:2x32", "tiered:hot:4,memory:2x32"] {
+        let store = build_plan_store(spec).expect("valid spec");
+        let cold = run_with(&store, "skp-exact", &chain, 1999);
+        let warm = run_with(&store, "skp-exact", &chain, 1999);
+        assert!(!cold.events.is_empty(), "{spec}: traced run has events");
+        assert_eq!(cold, warm, "{spec}: warm run diverged from cold");
+        assert_eq!(cold.plan_store.hits, 0, "{spec}: cold run cannot hit");
+        assert!(
+            warm.plan_store.hits >= 1,
+            "{spec}: warm run must be served from the store ({:?})",
+            warm.plan_store
+        );
+    }
+}
+
+/// The `none` store opts out of reuse without changing results.
+#[test]
+fn the_none_store_never_hits_but_never_diverges() {
+    let chain = chain(5);
+    let store = build_plan_store("none").expect("valid spec");
+    let cold = run_with(&store, "skp-exact", &chain, 42);
+    let warm = run_with(&store, "skp-exact", &chain, 42);
+    assert_eq!(cold, warm);
+    // The null store counts nothing: never hits, never retains.
+    assert_eq!(warm.plan_store.lookups, 0);
+    assert_eq!(warm.plan_store.hits, 0);
+}
+
+/// The persistent tier: a *fresh* `file:` store instance over the same
+/// directory — the restart shape — serves the warm run bit-identically.
+#[test]
+fn file_store_survives_a_restart_bit_exactly() {
+    let dir = std::env::temp_dir().join(format!("skp-planstore-it-{}", std::process::id()));
+    let spec = format!("file:{}", dir.display());
+    let chain = chain(13);
+
+    let cold_store = build_plan_store(&spec).expect("valid spec");
+    let cold = run_with(&cold_store, "skp-exact", &chain, 7);
+    drop(cold_store); // "restart": nothing survives but the files
+
+    let warm_store = build_plan_store(&spec).expect("valid spec");
+    let warm = run_with(&warm_store, "skp-exact", &chain, 7);
+    assert_eq!(cold, warm, "plans reloaded from disk diverged");
+    assert!(
+        warm.plan_store.hits >= 1,
+        "warm run must be served from disk ({:?})",
+        warm.plan_store
+    );
+
+    std::fs::remove_dir_all(&dir).expect("scratch dir removable");
+}
+
+/// Different seeds key different entries: warming with one seed must
+/// not cross-contaminate a run with another (the key covers the chain
+/// and catalog, and the guard re-checks both on every hit).
+#[test]
+fn runs_with_different_chains_do_not_share_entries() {
+    let store = build_plan_store("memory:2x32").expect("valid spec");
+    let a = chain(1);
+    let b = chain(2);
+    let cold_a = run_with(&store, "skp-exact", &a, 9);
+    let cold_b = run_with(&store, "skp-exact", &b, 9);
+    assert_ne!(cold_a, cold_b, "distinct chains give distinct reports");
+    assert_eq!(
+        store.stats().hits,
+        0,
+        "different chains must not hit each other's entries"
+    );
+    let warm_a = run_with(&store, "skp-exact", &a, 9);
+    assert_eq!(cold_a, warm_a);
+    assert_eq!(store.stats().hits, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Warm == cold holds across random chains, policies, seeds and
+    /// store specs — traced, so the comparison covers the event log.
+    #[test]
+    fn warm_equals_cold_over_random_runs(
+        states in 4usize..18,
+        fanout in 1usize..4,
+        chain_seed in 0u64..10_000,
+        run_seed in 0u64..10_000,
+        requests in 5u64..20,
+        policy_pick in 0usize..3,
+        store_pick in 0usize..3,
+    ) {
+        let max_fanout = (fanout + 1).min(states - 1).max(1);
+        let min_fanout = fanout.min(max_fanout);
+        let chain = MarkovChain::random(states, min_fanout, max_fanout, 2, 9, chain_seed)
+            .expect("valid chain");
+        let policy = ["skp-exact", "no-prefetch", "greedy"][policy_pick];
+        let spec = ["hot:8", "memory:2x16", "tiered:hot:2,memory:1x16"][store_pick];
+        let retrievals: Vec<f64> = (0..states).map(|i| 1.0 + (i % 6) as f64).collect();
+        let store = build_plan_store(spec).expect("valid spec");
+        let workload = Workload::sharded(chain, requests, run_seed).traced(true);
+
+        let run = |store: &Arc<dyn PlanStore>| -> RunReport {
+            Engine::builder()
+                .policy(policy)
+                .backend_spec("sharded:2x4:hash")
+                .catalog(retrievals.clone())
+                .plan_store_instance(Arc::clone(store))
+                .build()
+                .expect("valid session")
+                .run(&workload)
+                .expect("runs")
+        };
+        let cold = run(&store);
+        let warm = run(&store);
+        prop_assert_eq!(cold, warm);
+    }
+}
