@@ -53,9 +53,10 @@ use crossbeam::channel;
 
 use crate::exec;
 use crate::scheduler::{
-    ChannelStats, ClientPolicy, ClientWorkload, Ev, Flow, Placement, Scheduler, ShardObserver,
-    ShardOp, ShardReport, ShardedSim, SimEvent, SimState,
+    ChannelStats, ClientPolicy, ClientWorkload, Ev, Flow, Placement, SchedProbe, Scheduler,
+    ShardObserver, ShardOp, ShardReport, ShardedSim, SimEvent, SimState,
 };
+use obs::{EpochMark, Obs};
 
 /// How many closed epochs the coordinator may run ahead of the slowest
 /// shard worker before blocking on its barrier acknowledgement.
@@ -215,7 +216,7 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
     /// Panics when `clients == 0`, `shards == 0`, or retrieval data does
     /// not cover the workload's items.
     pub fn run(&self, policy: &mut dyn ClientPolicy) -> ShardReport {
-        self.run_core(policy, None)
+        self.run_core(policy, None, &Obs::off(), None)
     }
 
     /// Like [`run`](Self::run), but also records the full mechanistic
@@ -223,7 +224,25 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
     /// executor's.
     pub fn run_traced(&self, policy: &mut dyn ClientPolicy) -> (ShardReport, Vec<SimEvent>) {
         let mut log = Vec::new();
-        let report = self.run_core(policy, Some(&mut log));
+        let report = self.run_core(policy, Some(&mut log), &Obs::off(), None);
+        (report, log)
+    }
+
+    /// Like [`run_traced`](Self::run_traced), with the event loop
+    /// observed: scheduler counters/gauges fold into `o`, and one mark
+    /// is appended to `marks` per closed epoch (at the conservative
+    /// lookahead boundaries this executor already synchronises on). The
+    /// event log is collected only when `traced` (empty otherwise).
+    /// Observation never changes results.
+    pub fn run_observed(
+        &self,
+        policy: &mut dyn ClientPolicy,
+        o: &Obs,
+        marks: Option<&mut Vec<EpochMark>>,
+        traced: bool,
+    ) -> (ShardReport, Vec<SimEvent>) {
+        let mut log = Vec::new();
+        let report = self.run_core(policy, traced.then_some(&mut log), o, marks);
         (report, log)
     }
 
@@ -256,6 +275,8 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
         &self,
         policy: &mut dyn ClientPolicy,
         trace: Option<&mut Vec<SimEvent>>,
+        o: &Obs,
+        marks: Option<&mut Vec<EpochMark>>,
     ) -> ShardReport {
         let mut cached = CachedPolicy::new(policy, self.clients, self.workload.n_items());
         let lookahead = self.lookahead();
@@ -272,15 +293,14 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
                 requests_per_client: self.requests_per_client,
                 seed: self.seed,
             };
-            return match trace {
-                None => sequential.run(&mut cached),
-                Some(log) => {
-                    let (report, events) = sequential.run_traced(&mut cached);
-                    *log = events;
-                    report
-                }
-            };
+            let traced = trace.is_some();
+            let (report, events) = sequential.run_observed(&mut cached, o, marks, traced);
+            if let Some(log) = trace {
+                *log = events;
+            }
+            return report;
         }
+        let mut probe = SchedProbe::new(o, marks);
 
         let shards = self.shards;
         let total_requests = self.requests_per_client * self.clients as u64;
@@ -342,7 +362,12 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
             let mut epoch: u64 = 0;
             let mut boundary = lookahead;
             let mut acked = vec![0u64; workers];
+            let probing = probe.is_some();
+            let mut events: u64 = 0;
             let span = sched.run(|now, ev, q| {
+                if probing {
+                    events += 1;
+                }
                 if now >= boundary {
                     // The window behind `boundary` is causally closed:
                     // flush it and advance to the boundary just past
@@ -351,6 +376,9 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
                     flush_ops(&mut obs.buffers, &worker_tx);
                     for tx in &worker_tx {
                         tx.send(Msg::Barrier { epoch }).expect("worker alive");
+                    }
+                    if let Some(p) = probe.as_mut() {
+                        p.mark(now, events, q.len(), st.dirty_count());
                     }
                     boundary = ((now / lookahead).floor() + 1.0) * lookahead;
                     // Conservative synchronisation: stay at most
@@ -377,6 +405,9 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
             });
 
             // Final (possibly partial) epoch, then close the streams.
+            if let Some(p) = probe.as_mut() {
+                p.mark(span, events, sched.queue_mut().len(), st.dirty_count());
+            }
             flush_ops(&mut obs.buffers, &worker_tx);
             drop(worker_tx);
 

@@ -23,6 +23,7 @@ use crate::engine::EventQueue;
 use crate::network::RetrievalModel;
 use crate::session::SessionConfig;
 use crate::stats::{AccessStats, Histogram};
+use obs::{EpochMark, Obs};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -568,6 +569,67 @@ impl ShardOp {
     }
 }
 
+/// Sequential executors emit one scheduler mark every this many popped
+/// events (the parallel executor marks at its real epoch boundaries).
+pub(crate) const MARK_EVERY: u64 = 1024;
+
+/// The observation tap of an executor's event loop: folds per-epoch
+/// scheduler state (events popped, queue occupancy, dirty shards) into
+/// `obs` instruments and, when trace collection is on, an
+/// [`EpochMark`] series. Built only for observed runs — the plain
+/// `run`/`run_traced` paths never construct one, so their loops keep a
+/// single `is_some` branch per event and nothing else.
+pub(crate) struct SchedProbe<'m> {
+    marks: Option<&'m mut Vec<EpochMark>>,
+    events_total: obs::Counter,
+    epochs_total: obs::Counter,
+    queue_depth: obs::Gauge,
+    dirty_shards: obs::Gauge,
+    epoch: u64,
+    last_events: u64,
+}
+
+impl<'m> SchedProbe<'m> {
+    /// A probe over `o` and an optional mark log; `None` when both are
+    /// off (the executor then skips all bookkeeping).
+    pub(crate) fn new(o: &Obs, marks: Option<&'m mut Vec<EpochMark>>) -> Option<Self> {
+        if !o.enabled() && marks.is_none() {
+            return None;
+        }
+        Some(Self {
+            marks,
+            events_total: o.counter("sim_events_total"),
+            epochs_total: o.counter("sim_epochs_total"),
+            queue_depth: o.gauge("sim_queue_depth"),
+            dirty_shards: o.gauge("sim_dirty_shards"),
+            epoch: 0,
+            last_events: 0,
+        })
+    }
+
+    /// Records one boundary: `events` is the loop's cumulative popped
+    /// count, `pending`/`dirty` the queue and dirty-shard occupancy at
+    /// the boundary.
+    pub(crate) fn mark(&mut self, at: f64, events: u64, pending: usize, dirty: u32) {
+        let delta = events - self.last_events;
+        self.last_events = events;
+        self.events_total.add(delta);
+        self.epochs_total.inc();
+        self.queue_depth.set(pending as f64);
+        self.dirty_shards.set(f64::from(dirty));
+        if let Some(marks) = self.marks.as_deref_mut() {
+            marks.push(EpochMark {
+                epoch: self.epoch,
+                at,
+                events: delta,
+                pending,
+                dirty_shards: dirty,
+            });
+        }
+        self.epoch += 1;
+    }
+}
+
 /// All mutable state of one run, so the event handlers can live as
 /// methods instead of a closure juggling a dozen `&mut` locals.
 ///
@@ -683,6 +745,13 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
     #[inline]
     pub(crate) fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Shards currently marked dirty (whichever representation holds
+    /// them) — a scheduler-mark diagnostic, not a hot-path value.
+    #[inline]
+    pub(crate) fn dirty_count(&self) -> u32 {
+        self.dirty_bits.count_ones() + self.dirty.len() as u32
     }
 
     /// Plans client `c`'s round: fills `planned[c]` and queues one
@@ -973,14 +1042,33 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
     /// Panics when `clients == 0`, `shards == 0`, or retrieval data does
     /// not cover the workload's items.
     pub fn run(&self, policy: &mut dyn ClientPolicy) -> ShardReport {
-        self.run_core(policy, None)
+        self.run_core(policy, None, None)
     }
 
     /// Like [`run`](Self::run), but also records the full mechanistic
     /// event log (requests, services, transfer starts/completions).
     pub fn run_traced(&self, policy: &mut dyn ClientPolicy) -> (ShardReport, Vec<SimEvent>) {
         let mut log = Vec::new();
-        let report = self.run_core(policy, Some(&mut log));
+        let report = self.run_core(policy, Some(&mut log), None);
+        (report, log)
+    }
+
+    /// Like [`run_traced`](Self::run_traced), with the event loop
+    /// observed: scheduler counters/gauges fold into `o`, and a mark is
+    /// appended to `marks` every [`MARK_EVERY`] popped events. The
+    /// event log is collected only when `traced` (empty otherwise).
+    /// Observation never changes results — the report and event log are
+    /// bit-identical to the unobserved run's.
+    pub fn run_observed(
+        &self,
+        policy: &mut dyn ClientPolicy,
+        o: &Obs,
+        marks: Option<&mut Vec<EpochMark>>,
+        traced: bool,
+    ) -> (ShardReport, Vec<SimEvent>) {
+        let mut log = Vec::new();
+        let probe = SchedProbe::new(o, marks);
+        let report = self.run_core(policy, traced.then_some(&mut log), probe);
         (report, log)
     }
 
@@ -988,6 +1076,7 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
         &self,
         policy: &mut dyn ClientPolicy,
         trace: Option<&mut Vec<SimEvent>>,
+        mut probe: Option<SchedProbe<'_>>,
     ) -> ShardReport {
         let total_requests = self.requests_per_client * self.clients as u64;
         let mut obs: Vec<ChannelStats> = (0..self.shards).map(|_| ChannelStats::new()).collect();
@@ -1003,10 +1092,20 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
         let mut sched: Scheduler<Ev> = Scheduler::new();
         st.kickoff(policy, &mut sched, &mut obs);
 
+        let probing = probe.is_some();
+        let mut events: u64 = 0;
         let span = sched.run(|now, ev, q| {
             match ev {
                 Ev::Request(c) => st.on_request(c as usize, now, q, policy, &mut obs),
                 Ev::JobDone(shard) => st.on_job_done(shard as usize, now, q, policy, &mut obs),
+            }
+            if probing {
+                events += 1;
+                if events.is_multiple_of(MARK_EVERY) {
+                    if let Some(p) = probe.as_mut() {
+                        p.mark(now, events, q.len(), st.dirty_count());
+                    }
+                }
             }
             if st.served() >= total_requests {
                 Flow::Stop
@@ -1014,6 +1113,9 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
                 Flow::Continue
             }
         });
+        if let Some(p) = probe.as_mut() {
+            p.mark(span, events, sched.queue_mut().len(), st.dirty_count());
+        }
         st.build_report(span, obs)
     }
 }
@@ -1253,6 +1355,39 @@ mod tests {
         // Served events match the request count.
         let served = log.iter().filter(|e| e.kind == EventKind::Served).count();
         assert_eq!(served as u64, traced.requests());
+    }
+
+    /// The observability contract at the executor level: an observed
+    /// run's report and event log are bit-identical to the unobserved
+    /// run's, while the sink and the mark series fill up.
+    #[test]
+    fn observed_run_matches_unobserved_bit_for_bit() {
+        let rr = RoundRobin { viewing: 2.0, n: 8 };
+        let retrievals = vec![3.0; 8];
+        let mut p1 = |_c: usize, s: usize| vec![(s + 1) % 8];
+        let (plain, plain_log) = sim(&rr, &retrievals, 3, 2).run_traced(&mut p1);
+        let o = obs::build_obs("memory").expect("builtin");
+        let mut marks = Vec::new();
+        let mut p2 = |_c: usize, s: usize| vec![(s + 1) % 8];
+        let (observed, observed_log) =
+            sim(&rr, &retrievals, 3, 2).run_observed(&mut p2, &o, Some(&mut marks), true);
+        assert_eq!(plain, observed);
+        assert_eq!(plain_log, observed_log);
+        // The final-boundary mark always fires; its cumulative event
+        // count matches the sink's counter.
+        assert!(!marks.is_empty());
+        let total: u64 = marks.iter().map(|m| m.events).sum();
+        let snap = o.snapshot();
+        let events = snap
+            .counters
+            .iter()
+            .find(|(k, _)| k == "sim_events_total")
+            .expect("counter registered");
+        assert_eq!(events.1, total);
+        assert!(total > 0);
+        // Marks carry monotone epochs and timestamps.
+        assert!(marks.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert!(marks.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

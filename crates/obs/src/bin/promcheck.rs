@@ -1,0 +1,34 @@
+//! `promcheck`: validates Prometheus text exposition read from stdin
+//! with the strict parser in [`obs::prom`]. Exit 0 when the input
+//! parses and contains at least one metric family; exit 1 with a
+//! diagnosis otherwise. CI pipes `curl /metrics` output through this.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("promcheck: cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match obs::prom::parse(&text) {
+        Ok(families) if families.is_empty() => {
+            eprintln!("promcheck: no metric families in input");
+            ExitCode::FAILURE
+        }
+        Ok(families) => {
+            let points: usize = families.iter().map(|f| f.points.len()).sum();
+            println!(
+                "promcheck: ok — {} families, {} samples",
+                families.len(),
+                points
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("promcheck: invalid exposition: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

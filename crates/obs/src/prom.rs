@@ -1,0 +1,720 @@
+//! Prometheus text exposition (version 0.0.4): rendering metric
+//! families to the scrape format and a strict parser used both by the
+//! round-trip tests and by the `promcheck` binary CI runs against
+//! `skp-serve`'s `GET /metrics`.
+//!
+//! The parser is deliberately stricter than a Prometheus server:
+//! every sample must follow a `# TYPE` line, histogram series must
+//! form complete `_bucket`/`_sum`/`_count` triples with a `+Inf`
+//! bucket, cumulative bucket counts must be monotone and agree with
+//! `_count`. Anything this module renders parses back to equal
+//! families.
+
+use std::fmt::Write as _;
+
+/// The exposition type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (`_total` suffix by convention).
+    Counter,
+    /// Last-value-wins gauge.
+    Gauge,
+    /// Cumulative histogram (`_bucket`/`_sum`/`_count` series).
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// One sample of a family: a label set and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Label pairs, rendered in order (without the histogram `le`
+    /// label, which is synthesised per bucket).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: PointValue,
+}
+
+/// The value of a [`Point`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointValue {
+    /// A plain counter/gauge value.
+    Value(f64),
+    /// A cumulative histogram.
+    Histogram {
+        /// `(upper_edge, cumulative_count)`; the final edge must be
+        /// `+Inf` and its count must equal `count`.
+        buckets: Vec<(f64, u64)>,
+        /// Sum of observations.
+        sum: f64,
+        /// Total observation count.
+        count: u64,
+    },
+}
+
+/// A metric family: one `# HELP`/`# TYPE` header and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Help text (empty to omit the `# HELP` line).
+    pub help: String,
+    /// Exposition type.
+    pub kind: MetricKind,
+    /// Samples, rendered in order.
+    pub points: Vec<Point>,
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders an `f64` the way the exposition format expects: shortest
+/// round-trip decimal, `+Inf`/`-Inf`/`NaN` for non-finite values.
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// Renders families to the text exposition format. The output always
+/// parses back ([`parse`]) to equal families.
+pub fn render(families: &[Family]) -> String {
+    let mut out = String::new();
+    for f in families {
+        if !f.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+        }
+        let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.as_str());
+        for p in &f.points {
+            match &p.value {
+                PointValue::Value(v) => {
+                    out.push_str(&f.name);
+                    render_labels(&mut out, &p.labels, None);
+                    let _ = writeln!(out, " {}", num(*v));
+                }
+                PointValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    for (le, n) in buckets {
+                        let _ = write!(out, "{}_bucket", f.name);
+                        render_labels(&mut out, &p.labels, Some(("le", &num(*le))));
+                        let _ = writeln!(out, " {n}");
+                    }
+                    let _ = write!(out, "{}_sum", f.name);
+                    render_labels(&mut out, &p.labels, None);
+                    let _ = writeln!(out, " {}", num(*sum));
+                    let _ = write!(out, "{}_count", f.name);
+                    render_labels(&mut out, &p.labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+    }
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(raw: &str) -> Result<f64, String> {
+    match raw {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => raw
+            .parse::<f64>()
+            .map_err(|_| format!("'{raw}' is not a number")),
+    }
+}
+
+fn unescape_help(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn unescape_label(raw: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape '\\{}'", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+/// Scans a `{name="value",...}` body (without the braces).
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in '{rest}'"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name '{name}'"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label '{name}' value is not quoted"));
+        }
+        rest = &rest[1..];
+        // Find the closing quote, skipping escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated value for label '{name}'"))?;
+        labels.push((name.to_string(), unescape_label(&rest[..end])?));
+        rest = &rest[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            if stripped.is_empty() {
+                return Err("trailing ',' in label set".to_string());
+            }
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("junk '{rest}' after label value"));
+        }
+    }
+    Ok(labels)
+}
+
+/// A histogram point being assembled from its series.
+struct PartialHist {
+    labels: Vec<(String, String)>,
+    buckets: Vec<(f64, u64)>,
+    sum: Option<f64>,
+    count: Option<u64>,
+}
+
+struct ParseFamily {
+    family: Family,
+    partials: Vec<PartialHist>,
+}
+
+enum HistPart {
+    Bucket,
+    Sum,
+    Count,
+}
+
+/// Parses text exposition back into families. Strict: see the module
+/// docs for what is rejected beyond plain syntax errors.
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<ParseFamily> = Vec::new();
+    let mut helps: Vec<(String, String)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let at = |msg: String| format!("line {n}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = match rest.split_once(' ') {
+                Some((name, help)) => (name, help),
+                None => (rest, ""),
+            };
+            if !valid_metric_name(name) {
+                return Err(at(format!("invalid metric name '{name}' in HELP")));
+            }
+            if helps.iter().any(|(h, _)| h == name) {
+                return Err(at(format!("duplicate # HELP for '{name}'")));
+            }
+            helps.push((name.to_string(), unescape_help(help)));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at(format!("malformed TYPE line '{line}'")))?;
+            if !valid_metric_name(name) {
+                return Err(at(format!("invalid metric name '{name}' in TYPE")));
+            }
+            let kind = MetricKind::parse(kind)
+                .ok_or_else(|| at(format!("unknown metric type '{kind}'")))?;
+            if families.iter().any(|f| f.family.name == name) {
+                return Err(at(format!("duplicate # TYPE for '{name}'")));
+            }
+            let help = helps
+                .iter()
+                .find(|(h, _)| h == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            families.push(ParseFamily {
+                family: Family {
+                    name: name.to_string(),
+                    help,
+                    kind,
+                    points: Vec::new(),
+                },
+                partials: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // A sample line: name[{labels}] value
+        let (series, value_raw) = {
+            let name_end = line
+                .find(['{', ' '])
+                .ok_or_else(|| at(format!("malformed sample line '{line}'")))?;
+            if line.as_bytes()[name_end] == b'{' {
+                // The closing '}' is the first one outside a quoted
+                // (escape-aware) label value.
+                let mut close = None;
+                let mut in_quote = false;
+                let mut escaped = false;
+                for (i, c) in line[name_end..].char_indices() {
+                    if escaped {
+                        escaped = false;
+                    } else if in_quote {
+                        match c {
+                            '\\' => escaped = true,
+                            '"' => in_quote = false,
+                            _ => {}
+                        }
+                    } else if c == '"' {
+                        in_quote = true;
+                    } else if c == '}' {
+                        close = Some(i + name_end);
+                        break;
+                    }
+                }
+                let close = close.ok_or_else(|| at("unterminated label set".to_string()))?;
+                let value = line[close + 1..].trim_start();
+                ((&line[..name_end], &line[name_end + 1..close]), value)
+            } else {
+                ((&line[..name_end], ""), line[name_end + 1..].trim_start())
+            }
+        };
+        let (series_name, label_body) = series;
+        if !valid_metric_name(series_name) {
+            return Err(at(format!("invalid metric name '{series_name}'")));
+        }
+        if value_raw.is_empty() {
+            return Err(at(format!("sample '{series_name}' has no value")));
+        }
+        let mut labels = parse_labels(label_body).map_err(&at)?;
+
+        // Histogram series route to their base family.
+        let hist = [
+            ("_bucket", HistPart::Bucket),
+            ("_sum", HistPart::Sum),
+            ("_count", HistPart::Count),
+        ]
+        .into_iter()
+        .find_map(|(suffix, part)| {
+            let base = series_name.strip_suffix(suffix)?;
+            let owns = families
+                .iter()
+                .position(|f| f.family.name == base && f.family.kind == MetricKind::Histogram)?;
+            Some((owns, part))
+        });
+
+        if let Some((idx, part)) = hist {
+            let fam = &mut families[idx];
+            let le = match part {
+                HistPart::Bucket => {
+                    let pos = labels
+                        .iter()
+                        .position(|(k, _)| k == "le")
+                        .ok_or_else(|| at(format!("'{series_name}' bucket without an le label")))?;
+                    Some(parse_value(&labels.remove(pos).1).map_err(&at)?)
+                }
+                _ => None,
+            };
+            let slot = match fam.partials.iter_mut().find(|p| p.labels == labels) {
+                Some(p) => p,
+                None => {
+                    fam.partials.push(PartialHist {
+                        labels: labels.clone(),
+                        buckets: Vec::new(),
+                        sum: None,
+                        count: None,
+                    });
+                    fam.partials.last_mut().expect("just pushed")
+                }
+            };
+            match part {
+                HistPart::Bucket => {
+                    let count = value_raw.parse::<u64>().map_err(|_| {
+                        at(format!(
+                            "bucket count '{value_raw}' is not a non-negative integer"
+                        ))
+                    })?;
+                    slot.buckets.push((le.expect("bucket has le"), count));
+                }
+                HistPart::Sum => {
+                    if slot
+                        .sum
+                        .replace(parse_value(value_raw).map_err(&at)?)
+                        .is_some()
+                    {
+                        return Err(at(format!("duplicate {series_name} for one label set")));
+                    }
+                }
+                HistPart::Count => {
+                    let count = value_raw.parse::<u64>().map_err(|_| {
+                        at(format!("count '{value_raw}' is not a non-negative integer"))
+                    })?;
+                    if slot.count.replace(count).is_some() {
+                        return Err(at(format!("duplicate {series_name} for one label set")));
+                    }
+                }
+            }
+            continue;
+        }
+
+        let fam = families
+            .iter_mut()
+            .find(|f| f.family.name == series_name)
+            .ok_or_else(|| {
+                at(format!(
+                    "sample for metric '{series_name}' without a # TYPE line"
+                ))
+            })?;
+        if fam.family.kind == MetricKind::Histogram {
+            return Err(at(format!(
+                "histogram '{series_name}' samples must use _bucket/_sum/_count"
+            )));
+        }
+        if fam.family.points.iter().any(|p| p.labels == labels) {
+            return Err(at(format!("duplicate sample for '{series_name}'")));
+        }
+        fam.family.points.push(Point {
+            labels,
+            value: PointValue::Value(parse_value(value_raw).map_err(&at)?),
+        });
+    }
+
+    // Finalise histogram points and validate their invariants.
+    let mut out = Vec::with_capacity(families.len());
+    for pf in families {
+        let mut family = pf.family;
+        for p in pf.partials {
+            let label_desc = || {
+                if p.labels.is_empty() {
+                    "{}".to_string()
+                } else {
+                    format!("{:?}", p.labels)
+                }
+            };
+            let sum = p.sum.ok_or_else(|| {
+                format!(
+                    "histogram '{}' {} is missing _sum",
+                    family.name,
+                    label_desc()
+                )
+            })?;
+            let count = p.count.ok_or_else(|| {
+                format!(
+                    "histogram '{}' {} is missing _count",
+                    family.name,
+                    label_desc()
+                )
+            })?;
+            if p.buckets.is_empty() {
+                return Err(format!(
+                    "histogram '{}' {} has no buckets",
+                    family.name,
+                    label_desc()
+                ));
+            }
+            for w in p.buckets.windows(2) {
+                if w[1].0 <= w[0].0 {
+                    return Err(format!(
+                        "histogram '{}' bucket edges are not increasing",
+                        family.name
+                    ));
+                }
+                if w[1].1 < w[0].1 {
+                    return Err(format!(
+                        "histogram '{}' bucket counts are not cumulative",
+                        family.name
+                    ));
+                }
+            }
+            let (last_le, last_n) = *p.buckets.last().expect("non-empty");
+            if !(last_le.is_infinite() && last_le > 0.0) {
+                return Err(format!(
+                    "histogram '{}' is missing the le=\"+Inf\" bucket",
+                    family.name
+                ));
+            }
+            if last_n != count {
+                return Err(format!(
+                    "histogram '{}': +Inf bucket {} disagrees with _count {}",
+                    family.name, last_n, count
+                ));
+            }
+            family.points.push(Point {
+                labels: p.labels,
+                value: PointValue::Histogram {
+                    buckets: p.buckets,
+                    sum,
+                    count,
+                },
+            });
+        }
+        out.push(family);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, points: Vec<Point>) -> Family {
+        Family {
+            name: name.to_string(),
+            help: format!("{name} help"),
+            kind: MetricKind::Counter,
+            points,
+        }
+    }
+
+    fn plain(labels: &[(&str, &str)], v: f64) -> Point {
+        Point {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: PointValue::Value(v),
+        }
+    }
+
+    #[test]
+    fn renders_the_exact_expected_text() {
+        let fams = vec![
+            counter(
+                "skp_requests_total",
+                vec![
+                    plain(&[("route", "/run")], 3.0),
+                    plain(&[("route", "/stats")], 1.0),
+                ],
+            ),
+            Family {
+                name: "skp_run_latency_seconds".to_string(),
+                help: "run latency".to_string(),
+                kind: MetricKind::Histogram,
+                points: vec![Point {
+                    labels: vec![],
+                    value: PointValue::Histogram {
+                        buckets: vec![(0.001, 1), (1.0, 2), (f64::INFINITY, 3)],
+                        sum: 1.25,
+                        count: 3,
+                    },
+                }],
+            },
+        ];
+        let text = render(&fams);
+        let expected = "\
+# HELP skp_requests_total skp_requests_total help
+# TYPE skp_requests_total counter
+skp_requests_total{route=\"/run\"} 3
+skp_requests_total{route=\"/stats\"} 1
+# HELP skp_run_latency_seconds run latency
+# TYPE skp_run_latency_seconds histogram
+skp_run_latency_seconds_bucket{le=\"0.001\"} 1
+skp_run_latency_seconds_bucket{le=\"1\"} 2
+skp_run_latency_seconds_bucket{le=\"+Inf\"} 3
+skp_run_latency_seconds_sum 1.25
+skp_run_latency_seconds_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_round_trip() {
+        let fams = vec![counter(
+            "weird",
+            vec![plain(&[("path", "a\"b\\c\nd")], 1.0)],
+        )];
+        let text = render(&fams);
+        assert!(text.contains(r#"path="a\"b\\c\nd""#), "{text}");
+        assert_eq!(parse(&text).unwrap(), fams);
+    }
+
+    #[test]
+    fn render_parse_round_trips_mixed_families() {
+        let fams = vec![
+            Family {
+                name: "up".to_string(),
+                help: String::new(),
+                kind: MetricKind::Gauge,
+                points: vec![plain(&[], 1.0)],
+            },
+            counter("hits_total", vec![plain(&[("tier", "hot")], 10.0)]),
+            Family {
+                name: "lat_seconds".to_string(),
+                help: "with\nnewline and \\slash".to_string(),
+                kind: MetricKind::Histogram,
+                points: vec![Point {
+                    labels: vec![("route".to_string(), "/run".to_string())],
+                    value: PointValue::Histogram {
+                        buckets: vec![(0.5, 0), (f64::INFINITY, 4)],
+                        sum: 8.5,
+                        count: 4,
+                    },
+                }],
+            },
+        ];
+        assert_eq!(parse(&render(&fams)).unwrap(), fams);
+    }
+
+    #[test]
+    fn parser_rejects_untyped_samples_and_bad_histograms() {
+        assert!(parse("loose_metric 1\n")
+            .unwrap_err()
+            .contains("without a # TYPE"));
+        let missing_inf = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_sum 1.0
+h_count 2
+";
+        assert!(parse(missing_inf).unwrap_err().contains("+Inf"));
+        let mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_bucket{le=\"+Inf\"} 2
+h_sum 1.0
+h_count 3
+";
+        assert!(parse(mismatch)
+            .unwrap_err()
+            .contains("disagrees with _count"));
+        let non_cumulative = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_bucket{le=\"+Inf\"} 1
+h_sum 1.0
+h_count 1
+";
+        assert!(parse(non_cumulative)
+            .unwrap_err()
+            .contains("not cumulative"));
+    }
+
+    #[test]
+    fn parser_rejects_duplicates_and_syntax_errors() {
+        assert!(parse("# TYPE a counter\n# TYPE a counter\n")
+            .unwrap_err()
+            .contains("duplicate # TYPE"));
+        assert!(parse("# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n")
+            .unwrap_err()
+            .contains("duplicate sample"));
+        assert!(parse("# TYPE a counter\na{x=1} 1\n")
+            .unwrap_err()
+            .contains("not quoted"));
+        assert!(parse("# TYPE a counter\na nope\n")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(parse("# TYPE a wat\n")
+            .unwrap_err()
+            .contains("unknown metric type"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property test: anything `obs::prom::render` emits parses back
+//! (`obs::prom::parse`) to equal families — label escaping, histogram
+//! triples and all.
+
+use obs::prom::{parse, render, Family, MetricKind, Point, PointValue};
+use proptest::prelude::*;
+
+fn label_name(i: usize) -> String {
+    ["route", "tier", "shard", "kind"][i % 4].to_string()
+}
+
+type RawPoint = (Vec<(usize, String)>, u32, Vec<(u32, u32)>);
+type RawFamily = (u32, String, Vec<RawPoint>);
+
+fn build_family(index: usize, raw: &RawFamily) -> Family {
+    let (kind_pick, help, raw_points) = raw;
+    let kind = match kind_pick % 3 {
+        0 => MetricKind::Counter,
+        1 => MetricKind::Gauge,
+        _ => MetricKind::Histogram,
+    };
+    let name = match kind {
+        MetricKind::Counter => format!("c{index}_total"),
+        MetricKind::Gauge => format!("g{index}"),
+        MetricKind::Histogram => format!("h{index}_seconds"),
+    };
+    let mut points: Vec<Point> = Vec::new();
+    for (raw_labels, value, raw_buckets) in raw_points {
+        let mut labels: Vec<(String, String)> = Vec::new();
+        for (pick, text) in raw_labels {
+            let lname = label_name(*pick);
+            if labels.iter().all(|(k, _)| *k != lname) {
+                labels.push((lname, text.clone()));
+            }
+        }
+        // One sample per label set: skip duplicates the renderer would
+        // emit as (invalid) duplicate series.
+        if points.iter().any(|p| p.labels == labels) {
+            continue;
+        }
+        let value = match kind {
+            MetricKind::Histogram => {
+                let mut edge = 0u32;
+                let mut cum = 0u64;
+                let mut buckets = Vec::with_capacity(raw_buckets.len() + 1);
+                for (edge_delta, inc) in raw_buckets {
+                    edge += (*edge_delta).max(1);
+                    cum += u64::from(*inc);
+                    buckets.push((f64::from(edge) / 1000.0, cum));
+                }
+                buckets.push((f64::INFINITY, cum));
+                PointValue::Histogram {
+                    buckets,
+                    sum: f64::from(*value) / 16.0,
+                    count: cum,
+                }
+            }
+            _ => PointValue::Value(f64::from(*value) / 16.0),
+        };
+        points.push(Point { labels, value });
+    }
+    Family {
+        name,
+        help: help.clone(),
+        kind,
+        points,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ render is the identity on arbitrary families.
+    #[test]
+    fn exposition_round_trips(
+        raw in proptest::collection::vec(
+            (
+                0u32..3,
+                ".{0,16}",
+                proptest::collection::vec(
+                    (
+                        proptest::collection::vec((0usize..4, ".{0,10}"), 0..3),
+                        0u32..100_000,
+                        proptest::collection::vec((1u32..2000, 0u32..50), 1..4),
+                    ),
+                    0..4,
+                ),
+            ),
+            1..5,
+        )
+    ) {
+        let families: Vec<Family> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, f)| build_family(i, f))
+            .collect();
+        let text = render(&families);
+        let parsed = parse(&text)
+            .unwrap_or_else(|e| panic!("rendered text must parse: {e}\n---\n{text}"));
+        prop_assert_eq!(parsed, families);
+    }
+}

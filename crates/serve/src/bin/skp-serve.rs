@@ -20,7 +20,7 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("defaults: --addr 127.0.0.1:7077, --workers 4, --queue 32,");
     eprintln!("          --plan-store memory:8x1024 (see `skp-plan --list` for specs)");
-    eprintln!("routes:   GET /version | GET /registry | GET /stats");
+    eprintln!("routes:   GET /version | GET /registry | GET /stats | GET /metrics");
     eprintln!("          POST /run (a .skp file or wire-run JSON) | POST /shutdown");
     std::process::exit(2);
 }

@@ -196,14 +196,18 @@ fn truncate(raw: &str) -> String {
     }
 }
 
-/// A response ready to serialise: status, JSON body and the optional
-/// `Retry-After` hint the load-shedding path sets.
+/// A response ready to serialise: status, body, content type and the
+/// optional `Retry-After` hint the load-shedding path sets.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value (`application/json` unless a
+    /// constructor or [`with_content_type`](Self::with_content_type)
+    /// says otherwise — `GET /metrics` answers Prometheus text).
+    pub content_type: &'static str,
     /// Seconds for the `Retry-After` header, set on `503`.
     pub retry_after: Option<u32>,
 }
@@ -214,6 +218,7 @@ impl Response {
         Response {
             status: 200,
             body,
+            content_type: "application/json",
             retry_after: None,
         }
     }
@@ -227,6 +232,7 @@ impl Response {
                 speculative_prefetch::wire::esc(kind),
                 speculative_prefetch::wire::esc(detail)
             ),
+            content_type: "application/json",
             retry_after: None,
         }
     }
@@ -234,6 +240,12 @@ impl Response {
     /// Attaches a `Retry-After` hint (the load-shedding `503` path).
     pub fn with_retry_after(mut self, seconds: u32) -> Self {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Overrides the `Content-Type` header.
+    pub fn with_content_type(mut self, content_type: &'static str) -> Self {
+        self.content_type = content_type;
         self
     }
 
@@ -255,8 +267,9 @@ impl Response {
             .map(|s| format!("Retry-After: {s}\r\n"))
             .unwrap_or_default();
         let head = format!(
-            "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
+            "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
             self.status,
+            self.content_type,
             self.body.len()
         );
         stream.write_all(head.as_bytes())?;
@@ -281,6 +294,18 @@ mod tests {
     fn retry_after_is_carried() {
         let r = Response::error(503, "queue-full", "x").with_retry_after(1);
         assert_eq!(r.retry_after, Some(1));
+    }
+
+    #[test]
+    fn content_type_defaults_to_json_and_can_be_overridden() {
+        assert_eq!(Response::json("{}".into()).content_type, "application/json");
+        assert_eq!(
+            Response::error(400, "bad-request", "x").content_type,
+            "application/json"
+        );
+        let r = Response::json("x 1\n".into())
+            .with_content_type("text/plain; version=0.0.4; charset=utf-8");
+        assert!(r.content_type.starts_with("text/plain"));
     }
 
     #[test]

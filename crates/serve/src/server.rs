@@ -19,9 +19,9 @@ use std::time::{Duration, Instant};
 
 use speculative_prefetch::wire::{esc, list, render_access};
 use speculative_prefetch::{
-    backend_specs, build_plan_store, parse_workload, plan_store_specs, policy_specs,
-    predictor_specs, render_report_fields, AccessStats, Engine, Error, PlanStore, WireRun,
-    Workload,
+    backend_specs, build_plan_store, obs_sink_specs, parse_workload, plan_store_specs,
+    policy_specs, predictor_specs, render_report_fields, AccessStats, Engine, Error, PlanStore,
+    PlanStoreStats, WireRun, Workload,
 };
 
 use crate::http::{self, Request, Response};
@@ -60,16 +60,81 @@ impl Default for ServeConfig {
     }
 }
 
+/// Per-route request counters over the daemon's fixed route set.
+/// Requests to unknown paths fold into `other`, so the counters sum to
+/// every routed request.
+#[derive(Debug, Default)]
+struct RouteCounters {
+    version: AtomicU64,
+    registry: AtomicU64,
+    stats: AtomicU64,
+    metrics: AtomicU64,
+    run: AtomicU64,
+    shutdown: AtomicU64,
+    other: AtomicU64,
+}
+
+impl RouteCounters {
+    /// Counts a routed request against its path (any method — a `405`
+    /// is still traffic on that route).
+    fn hit(&self, path: &str) {
+        let counter = match path {
+            "/version" => &self.version,
+            "/registry" => &self.registry,
+            "/stats" => &self.stats,
+            "/metrics" => &self.metrics,
+            "/run" => &self.run,
+            "/shutdown" => &self.shutdown,
+            _ => &self.other,
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("/version", &self.version),
+            ("/registry", &self.registry),
+            ("/stats", &self.stats),
+            ("/metrics", &self.metrics),
+            ("/run", &self.run),
+            ("/shutdown", &self.shutdown),
+            ("other", &self.other),
+        ]
+        .into_iter()
+        .map(|(name, c)| (name, c.load(Ordering::SeqCst)))
+        .collect()
+    }
+}
+
 /// Shared daemon state: counters the accept loop and workers update and
-/// `GET /stats` reports, plus the plan store every worker runs against.
+/// `GET /stats` / `GET /metrics` report, plus the plan store every
+/// worker runs against.
 pub struct ServerState {
     addr: SocketAddr,
+    started: Instant,
     served: AtomicU64,
     shed: AtomicU64,
     in_flight: AtomicU64,
+    queued: AtomicU64,
+    routes: RouteCounters,
     shutdown: AtomicBool,
     run_latencies_ms: Mutex<Vec<f64>>,
     store: Arc<dyn PlanStore>,
+}
+
+/// One consistent view of the daemon's counters, taken once per
+/// `GET /stats` or `GET /metrics` answer. Both endpoints render from
+/// this struct, so they cannot drift apart on what they report.
+struct StatsSnapshot {
+    uptime_secs: f64,
+    served: u64,
+    shed: u64,
+    in_flight: u64,
+    queue_depth: u64,
+    routes: Vec<(&'static str, u64)>,
+    latencies_ms: Vec<f64>,
+    store_spec: String,
+    store: PlanStoreStats,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -107,6 +172,30 @@ impl ServerState {
         self.in_flight.load(Ordering::SeqCst)
     }
 
+    /// Connections admitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> u64 {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Seconds since the daemon bound its listener.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_secs: self.uptime_secs(),
+            served: self.served(),
+            shed: self.shed(),
+            in_flight: self.in_flight(),
+            queue_depth: self.queue_depth(),
+            routes: self.routes.snapshot(),
+            latencies_ms: self.run_latencies_ms.lock().expect("latency lock").clone(),
+            store_spec: self.store.spec_string(),
+            store: self.store.stats(),
+        }
+    }
+
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop: it only re-checks the flag after an
@@ -130,9 +219,12 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let state = Arc::new(ServerState {
             addr: listener.local_addr()?,
+            started: Instant::now(),
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            routes: RouteCounters::default(),
             shutdown: AtomicBool::new(false),
             run_latencies_ms: Mutex::new(Vec::new()),
             store,
@@ -176,6 +268,7 @@ impl Server {
                     .spawn(move || loop {
                         let next = rx.lock().expect("queue lock").recv();
                         let Ok(stream) = next else { break };
+                        state.queued.fetch_sub(1, Ordering::SeqCst);
                         state.in_flight.fetch_add(1, Ordering::SeqCst);
                         handle_connection(stream, &state, &cfg);
                         state.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -188,9 +281,13 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            // Count the slot before handing the stream over: a worker
+            // may pull it (and decrement) the instant try_send returns.
+            state.queued.fetch_add(1, Ordering::SeqCst);
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(mpsc::TrySendError::Full(mut stream)) => {
+                    state.queued.fetch_sub(1, Ordering::SeqCst);
                     state.shed.fetch_add(1, Ordering::SeqCst);
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
                     let _ = Response::error(
@@ -204,7 +301,10 @@ impl Server {
                     .with_retry_after(RETRY_AFTER_SECS)
                     .write(&mut stream);
                 }
-                Err(mpsc::TrySendError::Disconnected(_)) => break,
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    state.queued.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
             }
         }
         drop(tx);
@@ -295,6 +395,7 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>, cfg: &Serv
 }
 
 fn route(req: &Request, state: &Arc<ServerState>, cfg: &ServeConfig) -> Response {
+    state.routes.hit(&req.path);
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/version") => Response::json(format!(
             "{{\"name\":\"skp-serve\",\"version\":\"{}\",\"workers\":{},\"queue\":{}}}",
@@ -303,22 +404,25 @@ fn route(req: &Request, state: &Arc<ServerState>, cfg: &ServeConfig) -> Response
             cfg.queue.max(1)
         )),
         ("GET", "/registry") => Response::json(registry_json()),
-        ("GET", "/stats") => Response::json(stats_json(state)),
+        ("GET", "/stats") => Response::json(stats_json(&state.snapshot())),
+        ("GET", "/metrics") => Response::json(metrics_text(&state.snapshot()))
+            .with_content_type("text/plain; version=0.0.4; charset=utf-8"),
         ("POST", "/run") => handle_run(&req.body, &state.store),
         ("POST", "/shutdown") => {
             state.request_shutdown();
             Response::json("{\"shutting_down\":true}".to_string())
         }
-        (method, path @ ("/version" | "/registry" | "/stats" | "/run" | "/shutdown")) => {
-            Response::error(
-                405,
-                "method-not-allowed",
-                &format!(
-                    "{method} is not allowed on {path} \
-                     (GET /version|/registry|/stats, POST /run|/shutdown)"
-                ),
-            )
-        }
+        (
+            method,
+            path @ ("/version" | "/registry" | "/stats" | "/metrics" | "/run" | "/shutdown"),
+        ) => Response::error(
+            405,
+            "method-not-allowed",
+            &format!(
+                "{method} is not allowed on {path} \
+                 (GET /version|/registry|/stats|/metrics, POST /run|/shutdown)"
+            ),
+        ),
         (_, path) => Response::error(404, "not-found", &format!("no route for '{path}'")),
     }
 }
@@ -361,16 +465,24 @@ fn registry_json() -> String {
             esc(s.summary)
         )
     });
+    let obs_sinks = list(&obs_sink_specs(), |s| {
+        format!(
+            "{{\"name\":\"{}\",\"params\":\"{}\",\"summary\":\"{}\"}}",
+            esc(s.name),
+            esc(s.params),
+            esc(s.summary)
+        )
+    });
     format!(
         "{{\"policies\":{policies},\"predictors\":{predictors},\
-         \"backends\":{backends},\"plan_stores\":{plan_stores}}}"
+         \"backends\":{backends},\"plan_stores\":{plan_stores},\"obs_sinks\":{obs_sinks}}}"
     )
 }
 
-fn stats_json(state: &ServerState) -> String {
-    let mut samples = state.run_latencies_ms.lock().expect("latency lock").clone();
+fn stats_json(snap: &StatsSnapshot) -> String {
+    let mut samples = snap.latencies_ms.clone();
     let access = AccessStats::from_samples(&mut samples);
-    let ps = state.store.stats();
+    let ps = &snap.store;
     let tiers = list(&ps.tiers, |t| {
         format!(
             "{{\"tier\":\"{}\",\"hits\":{},\"misses\":{},\"evictions\":{},\
@@ -383,19 +495,186 @@ fn stats_json(state: &ServerState) -> String {
             t.entries
         )
     });
+    let requests = list(&snap.routes, |(route, n)| {
+        format!("{{\"route\":\"{}\",\"requests\":{n}}}", esc(route))
+    });
     format!(
-        "{{\"served\":{},\"shed\":{},\"in_flight\":{},\"run_latency_ms\":{},\
+        "{{\"uptime_secs\":{:.3},\"served\":{},\"shed\":{},\"in_flight\":{},\
+         \"queue_depth\":{},\"requests\":{requests},\"run_latency_ms\":{},\
          \"plan_store\":{{\"spec\":\"{}\",\"lookups\":{},\"hits\":{},\"misses\":{},\
          \"tiers\":{tiers}}}}}",
-        state.served(),
-        state.shed(),
-        state.in_flight(),
+        snap.uptime_secs,
+        snap.served,
+        snap.shed,
+        snap.in_flight,
+        snap.queue_depth,
         render_access(&access),
-        esc(&state.store.spec_string()),
+        esc(&snap.store_spec),
         ps.lookups,
         ps.hits,
         ps.misses(),
     )
+}
+
+/// The `GET /metrics` body: the same [`StatsSnapshot`] as `/stats`,
+/// rendered to the Prometheus text exposition format by the shared
+/// `obs::prom` module — so the output is guaranteed to parse back
+/// (`obs::prom::parse`, the `promcheck` binary CI runs against it).
+fn metrics_text(snap: &StatsSnapshot) -> String {
+    use obs::prom::{Family, MetricKind, Point, PointValue};
+    let value = |v: f64| PointValue::Value(v);
+    let plain = |name: &str, help: &str, kind: MetricKind, v: f64| Family {
+        name: name.to_string(),
+        help: help.to_string(),
+        kind,
+        points: vec![Point {
+            labels: Vec::new(),
+            value: value(v),
+        }],
+    };
+    let labelled =
+        |name: &str, help: &str, kind: MetricKind, label: &str, points: &[(&str, f64)]| Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            points: points
+                .iter()
+                .map(|(who, v)| Point {
+                    labels: vec![(label.to_string(), who.to_string())],
+                    value: value(*v),
+                })
+                .collect(),
+        };
+
+    // The run-latency histogram: `/stats` keeps millisecond percentiles
+    // for humans; the exposition uses base-unit seconds over the same
+    // bucket edges every obs time histogram uses.
+    let mut buckets: Vec<(f64, u64)> = obs::TIME_BUCKETS.iter().map(|&le| (le, 0)).collect();
+    buckets.push((f64::INFINITY, 0));
+    let mut sum = 0.0;
+    for &ms in &snap.latencies_ms {
+        let seconds = ms / 1e3;
+        sum += seconds;
+        for (le, n) in buckets.iter_mut() {
+            if seconds <= *le {
+                *n += 1;
+            }
+        }
+    }
+
+    let routes: Vec<(&str, f64)> = snap.routes.iter().map(|&(r, n)| (r, n as f64)).collect();
+    let ps = &snap.store;
+    let tier_points = |pick: fn(&speculative_prefetch::TierStats) -> f64| -> Vec<(&str, f64)> {
+        ps.tiers
+            .iter()
+            .map(|t| (t.tier.as_str(), pick(t)))
+            .collect()
+    };
+
+    let mut families = vec![
+        plain(
+            "skp_uptime_seconds",
+            "Seconds since the daemon bound its listener.",
+            MetricKind::Gauge,
+            snap.uptime_secs,
+        ),
+        labelled(
+            "skp_requests_total",
+            "Requests routed, by route ('other' folds unknown paths).",
+            MetricKind::Counter,
+            "route",
+            &routes,
+        ),
+        plain(
+            "skp_requests_served_total",
+            "Requests answered by a worker (any status).",
+            MetricKind::Counter,
+            snap.served as f64,
+        ),
+        plain(
+            "skp_requests_shed_total",
+            "Connections shed with 503 by the accept loop.",
+            MetricKind::Counter,
+            snap.shed as f64,
+        ),
+        plain(
+            "skp_in_flight",
+            "Connections currently held by workers.",
+            MetricKind::Gauge,
+            snap.in_flight as f64,
+        ),
+        plain(
+            "skp_worker_queue_depth",
+            "Connections admitted but not yet picked up by a worker.",
+            MetricKind::Gauge,
+            snap.queue_depth as f64,
+        ),
+        Family {
+            name: "skp_run_latency_seconds".to_string(),
+            help: "POST /run wall time, request read to response routed.".to_string(),
+            kind: MetricKind::Histogram,
+            points: vec![Point {
+                labels: Vec::new(),
+                value: PointValue::Histogram {
+                    buckets,
+                    sum,
+                    count: snap.latencies_ms.len() as u64,
+                },
+            }],
+        },
+        plain(
+            "skp_plan_store_lookups_total",
+            "Plan-set lookups against the daemon's shared plan store.",
+            MetricKind::Counter,
+            ps.lookups as f64,
+        ),
+        plain(
+            "skp_plan_store_hits_total",
+            "Plan-set lookups answered from the shared plan store.",
+            MetricKind::Counter,
+            ps.hits as f64,
+        ),
+    ];
+    if !ps.tiers.is_empty() {
+        families.extend([
+            labelled(
+                "skp_plan_store_tier_hits_total",
+                "Per-tier plan store hits.",
+                MetricKind::Counter,
+                "tier",
+                &tier_points(|t| t.hits as f64),
+            ),
+            labelled(
+                "skp_plan_store_tier_misses_total",
+                "Per-tier plan store misses.",
+                MetricKind::Counter,
+                "tier",
+                &tier_points(|t| t.misses as f64),
+            ),
+            labelled(
+                "skp_plan_store_tier_evictions_total",
+                "Per-tier plan store evictions.",
+                MetricKind::Counter,
+                "tier",
+                &tier_points(|t| t.evictions as f64),
+            ),
+            labelled(
+                "skp_plan_store_tier_promotions_total",
+                "Per-tier plan store promotions on hit.",
+                MetricKind::Counter,
+                "tier",
+                &tier_points(|t| t.promotions as f64),
+            ),
+            labelled(
+                "skp_plan_store_tier_entries",
+                "Plan sets currently retained, per tier.",
+                MetricKind::Gauge,
+                "tier",
+                &tier_points(|t| t.entries as f64),
+            ),
+        ]);
+    }
+    obs::prom::render(&families)
 }
 
 // ---------------------------------------------------------------------
@@ -503,17 +782,135 @@ mod tests {
     }
 
     #[test]
-    fn registry_json_lists_all_four_registries() {
+    fn registry_json_lists_every_registry() {
         let j = registry_json();
         assert!(j.contains("\"policies\":["));
         assert!(j.contains("\"predictors\":["));
         assert!(j.contains("\"backends\":["));
         assert!(j.contains("\"plan_stores\":["));
+        assert!(j.contains("\"obs_sinks\":["));
         assert!(j.contains("skp-exact"));
         assert!(j.contains("\"served\""));
         assert!(j.contains("\"tiered\""));
+        assert!(j.contains("\"sampled\""));
         // It is valid JSON by the wire module's own parser.
         speculative_prefetch::wire::Json::parse(&j).expect("registry JSON parses");
+    }
+
+    /// A fully deterministic snapshot for the exposition goldens.
+    fn sample_snapshot() -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_secs: 12.5,
+            served: 9,
+            shed: 2,
+            in_flight: 1,
+            queue_depth: 3,
+            routes: vec![("/run", 4), ("/stats", 1), ("other", 0)],
+            latencies_ms: vec![250.0, 500.0, 750.0],
+            store_spec: "tiered:hot:4,memory:1x8".to_string(),
+            store: PlanStoreStats {
+                lookups: 4,
+                hits: 3,
+                tiers: vec![
+                    speculative_prefetch::TierStats {
+                        tier: "hot:4".to_string(),
+                        hits: 2,
+                        misses: 2,
+                        evictions: 0,
+                        promotions: 1,
+                        entries: 2,
+                    },
+                    speculative_prefetch::TierStats {
+                        tier: "memory:1x8".to_string(),
+                        hits: 1,
+                        misses: 1,
+                        evictions: 0,
+                        promotions: 0,
+                        entries: 1,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn metrics_text_matches_the_exposition_golden() {
+        let text = metrics_text(&sample_snapshot());
+        let golden = "\
+# HELP skp_uptime_seconds Seconds since the daemon bound its listener.\n\
+# TYPE skp_uptime_seconds gauge\n\
+skp_uptime_seconds 12.5\n\
+# HELP skp_requests_total Requests routed, by route ('other' folds unknown paths).\n\
+# TYPE skp_requests_total counter\n\
+skp_requests_total{route=\"/run\"} 4\n\
+skp_requests_total{route=\"/stats\"} 1\n\
+skp_requests_total{route=\"other\"} 0\n\
+# HELP skp_requests_served_total Requests answered by a worker (any status).\n\
+# TYPE skp_requests_served_total counter\n\
+skp_requests_served_total 9\n\
+# HELP skp_requests_shed_total Connections shed with 503 by the accept loop.\n\
+# TYPE skp_requests_shed_total counter\n\
+skp_requests_shed_total 2\n\
+# HELP skp_in_flight Connections currently held by workers.\n\
+# TYPE skp_in_flight gauge\n\
+skp_in_flight 1\n\
+# HELP skp_worker_queue_depth Connections admitted but not yet picked up by a worker.\n\
+# TYPE skp_worker_queue_depth gauge\n\
+skp_worker_queue_depth 3\n";
+        assert!(
+            text.starts_with(golden),
+            "exposition prefix drifted:\n{text}"
+        );
+        // The latency histogram is a complete triple over the shared
+        // bucket edges: 250ms and 500ms fall under the 0.5s edge,
+        // 750ms under 1s.
+        assert!(text.contains("skp_run_latency_seconds_bucket{le=\"0.005\"} 0\n"));
+        assert!(text.contains("skp_run_latency_seconds_bucket{le=\"0.5\"} 2\n"));
+        assert!(text.contains("skp_run_latency_seconds_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("skp_run_latency_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("skp_run_latency_seconds_sum 1.5\n"));
+        assert!(text.contains("skp_run_latency_seconds_count 3\n"));
+        // Per-tier families carry the tier label.
+        assert!(text.contains("skp_plan_store_tier_hits_total{tier=\"hot:4\"} 2\n"));
+        assert!(text.contains("skp_plan_store_tier_entries{tier=\"memory:1x8\"} 1\n"));
+    }
+
+    #[test]
+    fn metrics_text_parses_back_to_the_same_counters() {
+        let snap = sample_snapshot();
+        let families = obs::prom::parse(&metrics_text(&snap)).expect("own exposition parses");
+        let find = |name: &str| {
+            families
+                .iter()
+                .find(|f| f.name == name)
+                .unwrap_or_else(|| panic!("family {name} missing"))
+        };
+        let scalar = |name: &str| match &find(name).points[0].value {
+            obs::prom::PointValue::Value(v) => *v,
+            other => panic!("{name}: expected a scalar, got {other:?}"),
+        };
+        assert_eq!(scalar("skp_requests_served_total"), snap.served as f64);
+        assert_eq!(scalar("skp_requests_shed_total"), snap.shed as f64);
+        assert_eq!(scalar("skp_worker_queue_depth"), snap.queue_depth as f64);
+        assert_eq!(scalar("skp_plan_store_hits_total"), snap.store.hits as f64);
+        let routes = find("skp_requests_total");
+        assert_eq!(routes.points.len(), snap.routes.len());
+        match &find("skp_run_latency_seconds").points[0].value {
+            obs::prom::PointValue::Histogram { count, .. } => {
+                assert_eq!(*count, snap.latencies_ms.len() as u64)
+            }
+            other => panic!("expected a histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_json_and_metrics_report_the_same_snapshot() {
+        let snap = sample_snapshot();
+        let j = stats_json(&snap);
+        assert!(j.contains("\"uptime_secs\":12.500"), "{j}");
+        assert!(j.contains("\"queue_depth\":3"), "{j}");
+        assert!(j.contains("{\"route\":\"/run\",\"requests\":4}"), "{j}");
+        speculative_prefetch::wire::Json::parse(&j).expect("stats JSON parses");
     }
 
     #[test]

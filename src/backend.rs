@@ -152,6 +152,16 @@ pub struct PopulationRun<'a> {
     /// was configured from one (`None` for custom policy instances).
     /// Remote backends ship this spec instead of the closure.
     pub policy_spec: Option<&'a str>,
+    /// The engine's observability handle. Detached (`obs "none"`) by
+    /// default, in which case the sharded executors skip their
+    /// scheduler probes entirely; drivers without probe support
+    /// (multi-client, served) ignore it.
+    pub obs: obs::Obs,
+    /// When set, the sharded executors push one [`obs::EpochMark`] per
+    /// scheduler epoch here — the feed for trace export. `None` when
+    /// observability is off; always `None` on drivers that do not
+    /// probe (multi-client, served).
+    pub marks: Option<&'a mut Vec<obs::EpochMark>>,
 }
 
 /// One simulation substrate: everything the engine needs to replay a
@@ -390,11 +400,7 @@ impl BackendDriver for ShardedDriver {
             requests_per_client: run.requests_per_client,
             seed: run.seed,
         };
-        let (report, log) = if run.traced {
-            sim.run_traced(run.planner)
-        } else {
-            (sim.run(run.planner), Vec::new())
-        };
+        let (report, log) = sim.run_observed(run.planner, &run.obs, run.marks, run.traced);
         Ok((report.access, ReportSection::Sharded(report), log))
     }
 }
@@ -465,11 +471,7 @@ impl BackendDriver for ParallelDriver {
             seed: run.seed,
             threads: self.threads,
         };
-        let (report, log) = if run.traced {
-            sim.run_traced(run.planner)
-        } else {
-            (sim.run(run.planner), Vec::new())
-        };
+        let (report, log) = sim.run_observed(run.planner, &run.obs, run.marks, run.traced);
         // The section is `Sharded` deliberately: the run *is* a sharded
         // run, so the whole `RunReport` is bit-comparable to the
         // sequential backend's.

@@ -13,20 +13,22 @@
 //!
 //! ```text
 //! skp-plan <scenario-file> [--solver <policy-spec>|all] [--format text|json]
-//! skp-plan run <workload-file> [--plan-store <spec>] [--format text|json]
+//! skp-plan run <workload-file> [--plan-store <spec>] [--obs <spec>]
+//!              [--trace-out <file>] [--format text|json]
 //! skp-plan --list
 //! ```
 
 use speculative_prefetch::wire::{esc, list, num};
 use speculative_prefetch::{
-    backend_specs, global_applicable, parse_scenario_file, parse_workload, plan_store_specs,
-    policy_specs, predictor_specs, render_report_fields, Engine, Error, PlanReport, ReportSection,
-    RunReport, Scenario, Workload, WorkloadFile,
+    backend_specs, global_applicable, obs_sink_specs, parse_scenario_file, parse_workload,
+    plan_store_specs, policy_specs, predictor_specs, render_report_fields, trace_json, Engine,
+    Error, PhaseSpan, PlanReport, ReportSection, RunReport, Scenario, Workload, WorkloadFile,
 };
 
 fn usage() -> ! {
     eprintln!("usage: skp-plan <scenario-file> [--solver <policy>|all] [--format text|json]");
-    eprintln!("       skp-plan run <workload-file> [--plan-store <spec>] [--format text|json]");
+    eprintln!("       skp-plan run <workload-file> [--plan-store <spec>] [--obs <spec>]");
+    eprintln!("                    [--trace-out <file>] [--format text|json]");
     eprintln!("       skp-plan --list");
     eprintln!();
     eprintln!("scenario file format:");
@@ -41,48 +43,104 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// `(params: ...)` suffix shared by every registry whose spec type
+/// carries a `params` grammar string.
+fn params_suffix(params: &str) -> String {
+    if params.is_empty() {
+        String::new()
+    } else {
+        format!(" (params: {params})")
+    }
+}
+
+/// The `--list` output as one table: every registry contributes a
+/// `(header, rows)` section and one loop prints them all, so a new
+/// seam cannot format differently — or be forgotten — without editing
+/// this single function.
+fn registry_sections() -> Vec<(&'static str, Vec<(String, String)>)> {
+    vec![
+        (
+            "registered policies (--solver):",
+            policy_specs()
+                .iter()
+                .map(|spec| {
+                    let aliases = if spec.aliases.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (aliases: {})", spec.aliases.join(", "))
+                    };
+                    let param = spec
+                        .param
+                        .map(|p| format!("; :param = {p}"))
+                        .unwrap_or_default();
+                    (
+                        spec.name.to_string(),
+                        format!("{}{aliases}{param}", spec.summary),
+                    )
+                })
+                .collect(),
+        ),
+        (
+            "registered predictors (for the library's SessionBuilder):",
+            predictor_specs()
+                .iter()
+                .map(|spec| {
+                    let param = spec
+                        .param
+                        .map(|p| format!("; :param = {p}"))
+                        .unwrap_or_default();
+                    (spec.name.to_string(), format!("{}{param}", spec.summary))
+                })
+                .collect(),
+        ),
+        (
+            "registered backends (workload files' 'backend' / SessionBuilder::backend_spec):",
+            backend_specs()
+                .iter()
+                .map(|spec| {
+                    (
+                        spec.name.to_string(),
+                        format!("{}{}", spec.summary, params_suffix(spec.params)),
+                    )
+                })
+                .collect(),
+        ),
+        (
+            "registered plan stores ('plan-store' directive / --plan-store / SessionBuilder::plan_store):",
+            plan_store_specs()
+                .iter()
+                .map(|spec| {
+                    (
+                        spec.name.to_string(),
+                        format!("{}{}", spec.summary, params_suffix(spec.params)),
+                    )
+                })
+                .collect(),
+        ),
+        (
+            "registered obs sinks ('obs' directive / --obs / SessionBuilder::obs):",
+            obs_sink_specs()
+                .iter()
+                .map(|spec| {
+                    (
+                        spec.name.to_string(),
+                        format!("{}{}", spec.summary, params_suffix(spec.params)),
+                    )
+                })
+                .collect(),
+        ),
+    ]
+}
+
 fn print_registry() {
-    println!("registered policies (--solver):");
-    for spec in policy_specs() {
-        let aliases = if spec.aliases.is_empty() {
-            String::new()
-        } else {
-            format!(" (aliases: {})", spec.aliases.join(", "))
-        };
-        let param = spec
-            .param
-            .map(|p| format!("; :param = {p}"))
-            .unwrap_or_default();
-        println!("  {:<18} {}{aliases}{param}", spec.name, spec.summary);
-    }
-    println!();
-    println!("registered predictors (for the library's SessionBuilder):");
-    for spec in predictor_specs() {
-        let param = spec
-            .param
-            .map(|p| format!("; :param = {p}"))
-            .unwrap_or_default();
-        println!("  {:<18} {}{param}", spec.name, spec.summary);
-    }
-    println!();
-    println!("registered backends (workload files' 'backend' / SessionBuilder::backend_spec):");
-    for spec in backend_specs() {
-        let params = if spec.params.is_empty() {
-            String::new()
-        } else {
-            format!(" (params: {})", spec.params)
-        };
-        println!("  {:<18} {}{params}", spec.name, spec.summary);
-    }
-    println!();
-    println!("registered plan stores ('plan-store' directive / --plan-store / SessionBuilder::plan_store):");
-    for spec in plan_store_specs() {
-        let params = if spec.params.is_empty() {
-            String::new()
-        } else {
-            format!(" (params: {})", spec.params)
-        };
-        println!("  {:<18} {}{params}", spec.name, spec.summary);
+    for (i, (header, rows)) in registry_sections().iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("{header}");
+        for (name, detail) in rows {
+            println!("  {name:<18} {detail}");
+        }
     }
 }
 
@@ -109,7 +167,15 @@ fn main() {
             usage();
         };
         let plan_store = flag("--plan-store").map(String::from);
-        run_workload_file(path, plan_store.as_deref(), &format);
+        let obs = flag("--obs").map(String::from);
+        let trace_out = flag("--trace-out").map(String::from);
+        run_workload_file(
+            path,
+            plan_store.as_deref(),
+            obs.as_deref(),
+            trace_out.as_deref(),
+            &format,
+        );
         return;
     }
 
@@ -286,7 +352,13 @@ fn print_plans_json(
 // Run mode: execute a workload file through Engine::run.
 // ---------------------------------------------------------------------
 
-fn run_workload_file(path: &str, plan_store: Option<&str>, format: &str) {
+fn run_workload_file(
+    path: &str,
+    plan_store: Option<&str>,
+    obs: Option<&str>,
+    trace_out: Option<&str>,
+    format: &str,
+) {
     let text = read_file(path);
     let mut file = match parse_workload(&text) {
         Ok(f) => f,
@@ -295,9 +367,15 @@ fn run_workload_file(path: &str, plan_store: Option<&str>, format: &str) {
             std::process::exit(1);
         }
     };
+    // CLI flags override the matching file directives.
     if let Some(spec) = plan_store {
-        // The CLI flag overrides any `plan-store` directive in the file.
         file.plan_store = Some(spec.to_string());
+    }
+    if let Some(spec) = obs {
+        file.obs = Some(spec.to_string());
+    }
+    if let Some(out) = trace_out {
+        file.trace_out = Some(out.to_string());
     }
     let mut engine = match file.build_engine() {
         Ok(e) => e,
@@ -320,10 +398,32 @@ fn run_workload_file(path: &str, plan_store: Option<&str>, format: &str) {
             std::process::exit(1);
         }
     };
+    if let Some(out) = file.trace_out.as_deref() {
+        write_trace(out, &report);
+    }
     match format {
         "json" => print_run_json(&file, &engine, &report),
         _ => print_run_text(&file, &engine, &report),
     }
+}
+
+/// Writes the Chrome/Perfetto trace, appending skp-plan's own `wire`
+/// span (the serialisation cost) — trace-only, never in the report:
+/// the first render times the conversion, the second includes it.
+fn write_trace(out: &str, report: &RunReport) {
+    let started = std::time::Instant::now();
+    let _ = trace_json(report);
+    let mut timed = report.clone();
+    timed.phases.spans.push(PhaseSpan {
+        name: "wire",
+        seconds: started.elapsed().as_secs_f64(),
+    });
+    if let Err(e) = std::fs::write(out, trace_json(&timed)) {
+        eprintln!("skp-plan: cannot write trace to {out}: {e}");
+        std::process::exit(1);
+    }
+    // On stderr so `--format json` output stays parseable.
+    eprintln!("skp-plan: trace written to {out}");
 }
 
 fn print_run_text(file: &WorkloadFile, engine: &Engine, report: &RunReport) {

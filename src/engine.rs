@@ -33,6 +33,7 @@ use distsys::{Catalog, SessionConfig, Trace};
 use montecarlo::parallel::par_monte_carlo;
 use montecarlo::scenario_gen::ScenarioGen;
 use montecarlo::stats::RunningStats;
+use obs::{build_obs, EpochMark, Obs, PhaseTimer};
 use planstore::{
     build_plan_store, population_plan_key, MemoryStore, PlanGuard, PlanSet, PlanStore,
     PlanStoreStats,
@@ -71,6 +72,8 @@ pub struct SessionBuilder {
     backend_spec_err: Option<Error>,
     store: Option<Arc<dyn PlanStore>>,
     store_spec_err: Option<Error>,
+    obs: Option<Obs>,
+    obs_spec_err: Option<Error>,
 }
 
 impl Default for SessionBuilder {
@@ -97,6 +100,8 @@ impl SessionBuilder {
             backend_spec_err: None,
             store: None,
             store_spec_err: None,
+            obs: None,
+            obs_spec_err: None,
         }
     }
 
@@ -225,6 +230,33 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the observability sink by registry spec string (e.g.
+    /// `"memory"`, `"sampled:64"`; see
+    /// [`obs_sink_specs`](obs::obs_sink_specs)). The default is
+    /// `"none"`: every instrument is a branch-on-null no-op, the phase
+    /// clock is never read and [`RunReport::phases`](crate::RunReport)
+    /// stays empty. Observability never changes results — reports and
+    /// event logs are bit-identical with the sink on or off.
+    pub fn obs(mut self, spec: &str) -> Self {
+        match build_obs(spec) {
+            Ok(o) => {
+                self.obs = Some(o);
+                self.obs_spec_err = None;
+            }
+            Err(e) => self.obs_spec_err = Some(e.into()),
+        }
+        self
+    }
+
+    /// Installs an already-built observability handle — the route for
+    /// *sharing* one sink across engines (`skp-serve` hands every
+    /// worker the same handle so `/metrics` aggregates the fleet).
+    pub fn obs_instance(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self.obs_spec_err = None;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     pub fn build(self) -> Result<Engine, Error> {
         if let Some(e) = self.policy_spec_err {
@@ -234,6 +266,9 @@ impl SessionBuilder {
             return Err(e);
         }
         if let Some(e) = self.store_spec_err {
+            return Err(e);
+        }
+        if let Some(e) = self.obs_spec_err {
             return Err(e);
         }
         let (policy, policy_spec) = match self.policy {
@@ -308,6 +343,7 @@ impl SessionBuilder {
             retrievals: self.retrievals,
             driver,
             store,
+            obs: self.obs.unwrap_or_default(),
         })
     }
 }
@@ -334,6 +370,10 @@ pub struct Engine {
     /// policies bypass the store: they carry no registry spec to key
     /// on, and their purity cannot be vouched for.
     store: Arc<dyn PlanStore>,
+    /// Observability handle every run records into. Detached
+    /// (`"none"`) by default: each probe site costs one branch, the
+    /// phase clock is never read, and no epoch marks are collected.
+    obs: Obs,
 }
 
 impl Engine {
@@ -384,6 +424,20 @@ impl Engine {
         self.store.stats()
     }
 
+    /// Canonical spec string of the configured observability sink
+    /// (`"none"` when detached; reparses to an equivalent handle
+    /// through [`build_obs`]).
+    pub fn obs_spec_string(&self) -> String {
+        self.obs.spec_string()
+    }
+
+    /// The engine's observability handle — snapshot it after runs to
+    /// read the recorded counters ([`obs::Obs::snapshot`]; empty when
+    /// the sink is `"none"`).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// The cache contents, when a cache is configured.
     pub fn cached_items(&self) -> Vec<usize> {
         self.client
@@ -412,47 +466,66 @@ impl Engine {
     /// `report`, `run_trace`, `monte_carlo`, `multi_client`, `sharded`
     /// — were removed in 0.5).
     pub fn run(&mut self, workload: &Workload) -> Result<RunReport, Error> {
+        // One branch when observability is off: the timer never reads
+        // the clock, no marks are collected, `phases` stays empty.
+        let mut timer = PhaseTimer::new(self.obs.enabled());
         match workload {
             Workload::Plan(w) => {
+                timer.start("plan-solve");
                 let report = self.plan_report(&w.scenario);
+                timer.start("stat-fold");
+                let access = plan_access_stats(&w.scenario, &report.per_request);
+                timer.stop();
                 Ok(RunReport {
-                    access: plan_access_stats(&w.scenario, &report.per_request),
+                    access,
                     section: ReportSection::Plan(report),
                     events: Vec::new(),
                     plan_store: self.store.stats(),
+                    phases: timer.finish(Vec::new()),
                 })
             }
             Workload::Trace(w) => {
+                timer.start("simulate");
                 let (access, report) = self.trace_report(&w.trace)?;
+                timer.stop();
                 Ok(RunReport {
                     access,
                     section: ReportSection::Trace(report),
                     events: Vec::new(),
                     plan_store: self.store.stats(),
+                    phases: timer.finish(Vec::new()),
                 })
             }
             Workload::MonteCarlo(w) => {
+                timer.start("simulate");
                 let (access, report) = self.monte_carlo_report(w.spec)?;
+                timer.stop();
                 Ok(RunReport {
                     access,
                     section: ReportSection::MonteCarlo(report),
                     events: Vec::new(),
                     plan_store: self.store.stats(),
+                    phases: timer.finish(Vec::new()),
                 })
             }
             Workload::MultiClient(w) | Workload::Sharded(w) => {
+                let mut marks = Vec::new();
+                let collect = self.obs.enabled();
                 let (access, section, events) = self.population_report(
                     &w.chain,
                     w.requests_per_client,
                     w.seed,
                     w.traced,
                     workload.name(),
+                    &mut timer,
+                    collect.then_some(&mut marks),
                 )?;
                 Ok(RunReport {
                     access,
                     section,
                     events,
                     plan_store: self.store.stats(),
+                    phases: timer.finish(marks),
                 })
             }
         }
@@ -816,6 +889,7 @@ impl Engine {
     /// The engine of the population workloads: builds the per-round
     /// planner from this engine's policy and hands the replay to the
     /// backend driver.
+    #[allow(clippy::too_many_arguments)]
     fn population_report(
         &self,
         chain: &MarkovChain,
@@ -823,7 +897,10 @@ impl Engine {
         seed: u64,
         traced: bool,
         operation: &'static str,
+        timer: &mut PhaseTimer,
+        marks: Option<&mut Vec<EpochMark>>,
     ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        timer.start("build");
         let retrievals = match self.catalog_for(chain, operation) {
             Ok(r) => r,
             // A backend that cannot run populations at all outranks a
@@ -870,6 +947,7 @@ impl Engine {
                 self.policy.plan(&scenario).into_items()
             },
         );
+        timer.start("simulate");
         let out = self.driver.run_population(PopulationRun {
             chain,
             retrievals,
@@ -879,7 +957,10 @@ impl Engine {
             traced,
             operation,
             policy_spec: self.policy_spec.as_deref(),
+            obs: self.obs.clone(),
+            marks,
         });
+        timer.start("stat-fold");
         // Write back only when the run added information: a hit whose
         // rounds solved nothing new would rewrite identical bytes into
         // every tier (the `file:` tier in particular) for no gain.
@@ -897,6 +978,7 @@ impl Engine {
                 );
             }
         }
+        timer.stop();
         out
     }
 }

@@ -178,6 +178,16 @@ impl From<planstore::StoreError> for Error {
     }
 }
 
+impl From<obs::ObsError> for Error {
+    fn from(e: obs::ObsError) -> Self {
+        // Obs-sink spec errors follow the same parameter-error shape.
+        Error::InvalidParam {
+            what: e.what,
+            detail: e.detail,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

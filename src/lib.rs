@@ -28,6 +28,19 @@
 //! selects a tier chain by spec string; warm runs are bit-identical to
 //! cold ones, just faster.
 //!
+//! A sixth seam is **observability** ([`Obs`]; [`build_obs`]):
+//! `SessionBuilder::obs("memory")` (or `"sampled:64"`) attaches a
+//! telemetry sink, and every run then carries a wall-clock
+//! [`PhaseBreakdown`] (`build` / `plan-solve` / `simulate` /
+//! `stat-fold` spans plus per-epoch scheduler marks) in
+//! [`RunReport::phases`], ready for Chrome/Perfetto export via
+//! [`trace_json`] (`skp-plan run --trace-out <file>`). The default is
+//! `"none"`: every probe site compiles to a branch on a null sink, the
+//! phase clock is never read, and the overhead contract is pinned by
+//! `crates/bench/benches/obs.rs`. Like the plan store, observability
+//! never changes results — reports and event logs are bit-identical
+//! with the sink on or off.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -131,6 +144,7 @@ pub mod registry;
 pub mod report;
 pub mod scenario_file;
 pub mod served;
+pub mod trace_export;
 pub mod wire;
 pub mod workload;
 
@@ -148,6 +162,10 @@ pub use backend::{
 };
 pub use engine::{Engine, SessionBuilder};
 pub use error::Error;
+pub use obs::{
+    build_obs, obs_sink_names, obs_sink_specs, register_obs_sink, EpochMark, Obs, ObsError,
+    ObsSink, ObsSpec, PhaseBreakdown, PhaseSpan, Snapshot as ObsSnapshot,
+};
 pub use planstore::{
     build_plan_store, plan_store_names, plan_store_specs, population_plan_key, register_plan_store,
     PlanGuard, PlanSet, PlanStore, PlanStoreBuilder, PlanStoreSpec, PlanStoreStats, StoreError,
@@ -161,6 +179,7 @@ pub use scenario_file::{
     ScenarioFile, WorkloadFile, WorkloadKind,
 };
 pub use served::{http_request, HttpResponse};
+pub use trace_export::trace_json;
 pub use wire::{parse_report, render_report_fields, WireRun};
 pub use workload::{
     MonteCarloSpec, MonteCarloWorkload, PlanWorkload, PopulationWorkload, TraceWorkload, Workload,

@@ -13,6 +13,7 @@ use distsys::multiclient::MultiClientResult;
 use distsys::scheduler::{ShardReport, SimEvent};
 use distsys::stats::AccessStats;
 use montecarlo::stats::RunningStats;
+use obs::PhaseBreakdown;
 use planstore::PlanStoreStats;
 use skp_core::PrefetchPlan;
 
@@ -114,11 +115,20 @@ pub struct RunReport {
     /// contract makes a warm run *equal* to a cold run even though
     /// their hit counters differ.
     pub plan_store: PlanStoreStats,
+    /// Wall-clock phase decomposition of the run (build / plan-solve /
+    /// simulate / stat-fold spans, plus per-epoch scheduler marks from
+    /// the sharded executors). Empty unless the engine's observability
+    /// sink is on ([`SessionBuilder::obs`](crate::SessionBuilder::obs)).
+    /// Excluded from `PartialEq` and the wire form exactly like
+    /// [`plan_store`](RunReport::plan_store): timings are
+    /// observability, not results.
+    pub phases: PhaseBreakdown,
 }
 
 /// Equality is the determinism contract: access stats, section and
-/// event log — the [`plan_store`](RunReport::plan_store) counters are
-/// observability, not results, and are deliberately left out.
+/// event log — the [`plan_store`](RunReport::plan_store) counters and
+/// the [`phases`](RunReport::phases) timing block are observability,
+/// not results, and are deliberately left out.
 impl PartialEq for RunReport {
     fn eq(&self, other: &Self) -> bool {
         self.access == other.access && self.section == other.section && self.events == other.events
@@ -185,6 +195,7 @@ mod tests {
             }),
             events: Vec::new(),
             plan_store: PlanStoreStats::default(),
+            phases: PhaseBreakdown::default(),
         };
         assert_eq!(report.section.name(), "trace");
         assert!(report.trace().is_some());
@@ -206,10 +217,39 @@ mod tests {
             }),
             events: Vec::new(),
             plan_store: PlanStoreStats::default(),
+            phases: PhaseBreakdown::default(),
         };
         let mut warm = report.clone();
         warm.plan_store.lookups = 5;
         warm.plan_store.hits = 5;
         assert_eq!(report, warm, "counters are observability, not results");
+    }
+
+    #[test]
+    fn equality_ignores_the_phase_breakdown() {
+        let report = RunReport {
+            access: AccessStats::single(2.0),
+            section: ReportSection::MonteCarlo(SimReport {
+                access: RunningStats::new(),
+                gain: RunningStats::new(),
+                iterations: 1,
+            }),
+            events: Vec::new(),
+            plan_store: PlanStoreStats::default(),
+            phases: PhaseBreakdown::default(),
+        };
+        let mut timed = report.clone();
+        timed.phases.spans.push(obs::PhaseSpan {
+            name: "simulate",
+            seconds: 0.25,
+        });
+        timed.phases.marks.push(obs::EpochMark {
+            epoch: 0,
+            at: 1.0,
+            events: 100,
+            pending: 3,
+            dirty_shards: 1,
+        });
+        assert_eq!(report, timed, "timings are observability, not results");
     }
 }

@@ -195,6 +195,14 @@ pub struct WorkloadFile {
     /// in-memory store). A file-level spec wins over any store a host
     /// (e.g. `skp-serve`) would otherwise inject.
     pub plan_store: Option<String>,
+    /// Observability-sink registry spec (default: none, unless
+    /// `trace_out` forces the in-process `memory` sink).
+    pub obs: Option<String>,
+    /// Chrome/Perfetto trace output path (`skp-plan run` writes
+    /// [`trace_json`](crate::trace_json) here). Forces `traced` and —
+    /// when no explicit `obs` spec is given — the `memory` sink, so
+    /// the trace has phase spans and epoch marks to show.
+    pub trace_out: Option<String>,
     /// Policy registry spec (default: skp-exact).
     pub policy: Option<String>,
     /// Predictor registry spec (required by trace workloads).
@@ -265,6 +273,8 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
         traced: false,
         backend: None,
         plan_store: None,
+        obs: None,
+        trace_out: None,
         policy: None,
         predictor: None,
         cache: None,
@@ -364,6 +374,20 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
                     .is_some()
                 {
                     return Err(bad("duplicate 'plan-store' line"));
+                }
+            }
+            Some("obs") if workload => {
+                if file.obs.replace(one_token!("obs").to_string()).is_some() {
+                    return Err(bad("duplicate 'obs' line"));
+                }
+            }
+            Some("trace-out") if workload => {
+                if file
+                    .trace_out
+                    .replace(one_token!("trace-out").to_string())
+                    .is_some()
+                {
+                    return Err(bad("duplicate 'trace-out' line"));
                 }
             }
             Some("policy") if workload => {
@@ -467,8 +491,9 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
             Some(other) => {
                 let expected = if workload {
                     "expected a scenario ('v', 'item') or workload directive \
-                     ('workload', 'traced', 'backend', 'plan-store', 'policy', 'predictor', \
-                     'cache', 'requests', 'seed', 'iterations', 'mc-method', 'chain', 'access')"
+                     ('workload', 'traced', 'backend', 'plan-store', 'obs', 'trace-out', \
+                     'policy', 'predictor', 'cache', 'requests', 'seed', 'iterations', \
+                     'mc-method', 'chain', 'access')"
                 } else {
                     "expected 'v' or 'item'"
                 };
@@ -516,6 +541,12 @@ pub fn render_workload(file: &WorkloadFile) -> String {
     }
     if let Some(plan_store) = &file.plan_store {
         out.push_str(&format!("plan-store {plan_store}\n"));
+    }
+    if let Some(obs) = &file.obs {
+        out.push_str(&format!("obs {obs}\n"));
+    }
+    if let Some(trace_out) = &file.trace_out {
+        out.push_str(&format!("trace-out {trace_out}\n"));
     }
     if let Some(policy) = &file.policy {
         out.push_str(&format!("policy {policy}\n"));
@@ -625,7 +656,8 @@ impl WorkloadFile {
                 }
             }
         };
-        Ok(workload.traced(self.traced))
+        // A trace-out destination needs the event log: force tracing.
+        Ok(workload.traced(self.traced || self.trace_out.is_some()))
     }
 
     /// Builds the [`Engine`] this file composes: the `item` lines as
@@ -659,6 +691,14 @@ impl WorkloadFile {
         match (&self.plan_store, shared) {
             (Some(spec), _) => builder = builder.plan_store(spec),
             (None, Some(store)) => builder = builder.plan_store_instance(store),
+            (None, None) => {}
+        }
+        match (&self.obs, &self.trace_out) {
+            (Some(spec), _) => builder = builder.obs(spec),
+            // A trace destination without an explicit sink gets the
+            // in-process one: the export needs phase spans and epoch
+            // marks to show.
+            (None, Some(_)) => builder = builder.obs("memory"),
             (None, None) => {}
         }
         builder.build()
@@ -758,6 +798,7 @@ workload sharded
 traced
 backend sharded:2x4:range
 plan-store memory:2x64
+obs memory
 policy network-aware:0.4
 requests 50
 seed 7
@@ -775,6 +816,8 @@ item 0.2 9 video
         assert!(f.traced);
         assert_eq!(f.backend.as_deref(), Some("sharded:2x4:range"));
         assert_eq!(f.plan_store.as_deref(), Some("memory:2x64"));
+        assert_eq!(f.obs.as_deref(), Some("memory"));
+        assert!(f.trace_out.is_none());
         assert_eq!(f.policy.as_deref(), Some("network-aware:0.4"));
         assert_eq!(f.requests, Some(50));
         assert_eq!(f.seed, Some(7));
@@ -819,6 +862,11 @@ item 0.2 9 video
             "plan-store memory:2x8\nplan-store none\n",
             "plan-store\n",
             "plan-store memory:2x8 junk\n",
+            "obs memory\nobs none\n",
+            "obs\n",
+            "obs memory junk\n",
+            "trace-out a.json\ntrace-out b.json\n",
+            "trace-out\n",
             "cache none\n",
             "chain 3 1 2 2\n",
             "mc-method cubic\n",
@@ -898,6 +946,43 @@ item 0.2 9 video
             bad.build_engine(),
             Err(crate::Error::InvalidParam { .. })
         ));
+    }
+
+    #[test]
+    fn obs_directive_configures_the_engine() {
+        let f = parse_workload(WORKLOAD_SAMPLE).unwrap();
+        let engine = f.build_engine().unwrap();
+        assert_eq!(engine.obs_spec_string(), "memory");
+        // Without a directive the engine stays unobserved.
+        let mut off = f.clone();
+        off.obs = None;
+        assert_eq!(off.build_engine().unwrap().obs_spec_string(), "none");
+        // A malformed spec surfaces through build_engine.
+        let mut bad = f;
+        bad.obs = Some("sampled:0".to_string());
+        assert!(matches!(
+            bad.build_engine(),
+            Err(crate::Error::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_out_forces_tracing_and_the_memory_sink() {
+        let text = "v 5\nitem 0.4 2\nitem 0.3 3\nitem 0.3 4\nworkload sharded\n\
+                    chain 3 1 2 2 8 11\ntrace-out out.json\n";
+        let f = parse_workload(text).unwrap();
+        assert_eq!(f.trace_out.as_deref(), Some("out.json"));
+        assert!(!f.traced, "the directive itself is not 'traced'");
+        assert!(f.workload().unwrap().is_traced());
+        assert_eq!(f.build_engine().unwrap().obs_spec_string(), "memory");
+        // An explicit obs spec wins over the forced default.
+        let mut sampled = f.clone();
+        sampled.obs = Some("sampled:4".to_string());
+        let engine = sampled.build_engine().unwrap();
+        assert_eq!(engine.obs_spec_string(), "sampled:4");
+        // And the directive round-trips.
+        let again = parse_workload(&f.to_string()).unwrap();
+        assert_eq!(again, f);
     }
 
     #[test]

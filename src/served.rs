@@ -383,6 +383,8 @@ mod tests {
                 traced: false,
                 operation: "sharded",
                 policy_spec: None,
+                obs: obs::Obs::off(),
+                marks: None,
             })
             .unwrap_err();
         assert!(err.to_string().contains("cannot cross the wire"), "{err}");
@@ -410,6 +412,8 @@ mod tests {
                 traced: false,
                 operation: "sharded",
                 policy_spec: Some("skp-exact"),
+                obs: obs::Obs::off(),
+                marks: None,
             })
             .unwrap_err();
         assert!(matches!(err, Error::Io(_)), "{err}");

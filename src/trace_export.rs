@@ -1,0 +1,190 @@
+//! Chrome/Perfetto export of a traced, observed run.
+//!
+//! [`trace_json`] folds a [`RunReport`]'s observability artefacts into
+//! one Chrome trace-event JSON document (load it in `chrome://tracing`
+//! or <https://ui.perfetto.dev>):
+//!
+//! - the [`phases`](RunReport::phases) spans become an `engine` track
+//!   (wall-clock microseconds),
+//! - each shard's `TransferStart → TransferDone` pairs from the
+//!   mechanistic [`events`](RunReport::events) log become per-shard
+//!   busy-interval tracks,
+//! - the per-epoch scheduler marks become counter tracks (events per
+//!   epoch, queue occupancy, dirty shards).
+//!
+//! The shard and counter tracks live in *simulated* time, which has no
+//! wall-clock unit; one simulated time unit renders as one microsecond
+//! so both domains stay readable on the shared timeline. `skp-plan run
+//! --trace-out <file>` writes this document (plus its own `wire` span
+//! covering serialisation).
+
+use distsys::scheduler::{EventKind, JobKind, SimEvent};
+use obs::trace::{render_chrome_trace, TraceCounter, TraceSpan};
+
+use crate::report::RunReport;
+
+/// Track name of the engine-phase spans.
+const ENGINE_TRACK: &str = "engine";
+
+/// Folds the report's phase spans, event log and epoch marks into a
+/// Chrome trace-event JSON document (see the module docs). Pure and
+/// deterministic: the same report always yields the same bytes.
+///
+/// Runs without observability (or without tracing) simply contribute
+/// fewer tracks — an un-traced, un-observed report renders a valid
+/// document with only the process metadata.
+pub fn trace_json(report: &RunReport) -> String {
+    let mut spans = phase_spans(&report.phases.spans);
+    spans.extend(busy_spans(&report.events));
+
+    let mut counters = Vec::new();
+    if !report.phases.marks.is_empty() {
+        let marks = &report.phases.marks;
+        counters.push(TraceCounter {
+            name: "events per epoch".to_string(),
+            points: marks.iter().map(|m| (m.at, m.events as f64)).collect(),
+        });
+        counters.push(TraceCounter {
+            name: "queue depth".to_string(),
+            points: marks.iter().map(|m| (m.at, m.pending as f64)).collect(),
+        });
+        counters.push(TraceCounter {
+            name: "dirty shards".to_string(),
+            points: marks
+                .iter()
+                .map(|m| (m.at, f64::from(m.dirty_shards)))
+                .collect(),
+        });
+    }
+    render_chrome_trace("skp run", &spans, &counters)
+}
+
+/// The engine phases laid end to end: `PhaseSpan` records durations
+/// only, and the phases are sequential by construction, so start times
+/// are the running total.
+fn phase_spans(phases: &[obs::PhaseSpan]) -> Vec<TraceSpan> {
+    let mut at = 0.0;
+    phases
+        .iter()
+        .map(|p| {
+            let span = TraceSpan {
+                track: ENGINE_TRACK.to_string(),
+                name: p.name.to_string(),
+                start_us: at * 1e6,
+                dur_us: p.seconds * 1e6,
+            };
+            at += p.seconds;
+            span
+        })
+        .collect()
+}
+
+/// Per-shard channel busy intervals. Each shard's channel transfers
+/// one job at a time in FIFO order, so the first unmatched
+/// `TransferStart` on a shard pairs with that shard's next
+/// `TransferDone`.
+fn busy_spans(events: &[SimEvent]) -> Vec<TraceSpan> {
+    use std::collections::{BTreeMap, VecDeque};
+    let mut open: BTreeMap<usize, VecDeque<&SimEvent>> = BTreeMap::new();
+    let mut spans = Vec::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::TransferStart(_) => {
+                open.entry(ev.shard).or_default().push_back(ev);
+            }
+            EventKind::TransferDone(kind) => {
+                if let Some(start) = open.get_mut(&ev.shard).and_then(VecDeque::pop_front) {
+                    let what = match kind {
+                        JobKind::Demand => "demand",
+                        JobKind::Prefetch => "prefetch",
+                    };
+                    spans.push(TraceSpan {
+                        track: format!("shard {}", ev.shard),
+                        name: format!("{what} item {} (client {})", start.item, start.client),
+                        start_us: start.at,
+                        dur_us: ev.at - start.at,
+                    });
+                }
+            }
+            EventKind::Request | EventKind::Served => {}
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::engine::Engine;
+    use crate::workload::Workload;
+    use access_model::MarkovChain;
+
+    #[test]
+    fn observed_traced_run_renders_all_track_families() {
+        let chain = MarkovChain::random(10, 2, 4, 5, 20, 5).unwrap();
+        let mut engine = Engine::builder()
+            .backend(Backend::Sharded {
+                shards: 2,
+                clients: 3,
+                placement: distsys::scheduler::Placement::Hash,
+            })
+            .catalog((0..10).map(|i| 2.0 + i as f64).collect())
+            .obs("memory")
+            .build()
+            .unwrap();
+        let report = engine
+            .run(&Workload::sharded(chain, 40, 7).traced(true))
+            .unwrap();
+        assert!(!report.phases.spans.is_empty());
+        assert!(!report.phases.marks.is_empty());
+        let json = trace_json(&report);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"engine\""));
+        assert!(json.contains("\"name\":\"simulate\""));
+        assert!(json.contains("\"name\":\"shard 0\""));
+        assert!(json.contains("\"name\":\"queue depth\""));
+        assert!(json.contains("\"name\":\"dirty shards\""));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
+    }
+
+    #[test]
+    fn unobserved_report_still_renders_a_valid_document() {
+        let chain = MarkovChain::random(8, 2, 4, 5, 20, 5).unwrap();
+        let mut engine = Engine::builder()
+            .backend(Backend::MultiClient { clients: 2 })
+            .catalog((0..8).map(|i| 2.0 + i as f64).collect())
+            .build()
+            .unwrap();
+        let report = engine.run(&Workload::multi_client(chain, 10, 1)).unwrap();
+        let json = trace_json(&report);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(!json.contains("\"ph\":\"X\""), "no spans without obs");
+    }
+
+    #[test]
+    fn busy_intervals_pair_start_and_done_per_shard() {
+        use distsys::scheduler::{EventKind, JobKind, SimEvent};
+        let ev = |at, shard, kind| SimEvent {
+            at,
+            client: 0,
+            shard,
+            item: shard,
+            kind,
+        };
+        // Two shards interleaved: pairing is per shard, not global.
+        let events = vec![
+            ev(1.0, 0, EventKind::TransferStart(JobKind::Demand)),
+            ev(2.0, 1, EventKind::TransferStart(JobKind::Prefetch)),
+            ev(4.0, 1, EventKind::TransferDone(JobKind::Prefetch)),
+            ev(5.0, 0, EventKind::TransferDone(JobKind::Demand)),
+        ];
+        let spans = busy_spans(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].track, "shard 1");
+        assert_eq!(spans[0].dur_us, 2.0);
+        assert_eq!(spans[1].track, "shard 0");
+        assert_eq!(spans[1].dur_us, 4.0);
+        assert!(spans[1].name.starts_with("demand item 0"));
+    }
+}

@@ -663,10 +663,11 @@ pub fn parse_report(text: &str) -> Result<RunReport, Error> {
         access,
         section,
         events,
-        // Store counters are not results, so they do not travel: the
-        // wire form omits them (keeping warm and cold bodies
-        // byte-identical) and the reconstruction reports zeros.
+        // Store counters and phase timings are not results, so they do
+        // not travel: the wire form omits them (keeping warm and cold
+        // bodies byte-identical) and the reconstruction reports zeros.
         plan_store: planstore::PlanStoreStats::default(),
+        phases: Default::default(),
     })
 }
 

@@ -160,6 +160,17 @@ impl Workload {
         self
     }
 
+    /// Whether the tracing knob is set (see [`traced`](Self::traced)).
+    pub fn is_traced(&self) -> bool {
+        match self {
+            Workload::Plan(w) => w.traced,
+            Workload::Trace(w) => w.traced,
+            Workload::MonteCarlo(w) => w.traced,
+            Workload::MultiClient(w) => w.traced,
+            Workload::Sharded(w) => w.traced,
+        }
+    }
+
     /// Short name of the workload shape (for output and errors).
     pub fn name(&self) -> &'static str {
         match self {

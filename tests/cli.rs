@@ -108,6 +108,36 @@ fn list_enumerates_policies_predictors_backends_and_plan_stores() {
             "missing plan store {store}:\n{stdout}"
         );
     }
+    assert!(stdout.contains("registered obs sinks"), "{stdout}");
+    assert!(stdout.contains("sampled"), "{stdout}");
+}
+
+/// Every registry seam is named by `--list`: the section headers are
+/// exactly the known set, in order — a new seam that forgets to add
+/// itself to `registry_sections()` fails here.
+#[test]
+fn list_names_every_registry() {
+    let (stdout, _, ok) = run_cli(&["--list"]);
+    assert!(ok);
+    let headers: Vec<&str> = stdout
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with("  "))
+        .collect();
+    let sections: Vec<&str> = headers
+        .iter()
+        .map(|h| h.split(" (").next().unwrap().trim_end_matches(':'))
+        .collect();
+    assert_eq!(
+        sections,
+        [
+            "registered policies",
+            "registered predictors",
+            "registered backends",
+            "registered plan stores",
+            "registered obs sinks",
+        ],
+        "--list sections drifted:\n{stdout}"
+    );
 }
 
 /// Registry consistency: `--list` enumerates *exactly* the backend
@@ -193,6 +223,41 @@ fn list_plan_stores_match_the_registry_exactly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Same consistency for the obs seam: `--list` enumerates exactly
+/// `obs_sink_specs()`, and each sink's canonical spec string rebuilds
+/// to itself (`sampled:1` canonicalises to `memory` and is checked
+/// separately in the obs crate).
+#[test]
+fn list_obs_sinks_match_the_registry_exactly() {
+    let (stdout, _, ok) = run_cli(&["--list"]);
+    assert!(ok);
+    let listed: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("registered obs sinks"))
+        .skip(1)
+        .take_while(|l| l.starts_with("  "))
+        .map(|l| l.split_whitespace().next().expect("name column"))
+        .collect();
+    let registry: Vec<&str> = speculative_prefetch::obs_sink_specs()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(listed, registry, "--list drifted from obs_sink_specs()");
+
+    let examples = ["none", "memory", "sampled:64"];
+    assert_eq!(examples.len(), registry.len(), "cover every sink");
+    for (spec, entry) in examples.iter().zip(speculative_prefetch::obs_sink_specs()) {
+        let obs = speculative_prefetch::build_obs(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(obs.name(), entry.name);
+        // Canonical spec string → sink: a fixed point.
+        let canonical = obs.spec_string();
+        let again = speculative_prefetch::build_obs(&canonical)
+            .unwrap_or_else(|e| panic!("{canonical}: {e}"));
+        assert_eq!(again.name(), entry.name);
+        assert_eq!(again.spec_string(), canonical);
+    }
+}
+
 // ---------------------------------------------------------------------
 // The `run <workload-file>` mode.
 // ---------------------------------------------------------------------
@@ -223,6 +288,37 @@ fn run_executes_a_sharded_workload_file() {
     assert!(stdout.contains("sharded: 80 requests"), "{stdout}");
     assert!(stdout.contains("shard 0:") && stdout.contains("shard 1:"));
     assert!(stdout.contains("events:"), "traced file must report events");
+}
+
+/// `--trace-out` writes a Chrome/Perfetto trace next to the normal
+/// report output, including the CLI's own `wire` span, and stdout
+/// stays parseable JSON (the note goes to stderr).
+#[test]
+fn run_trace_out_writes_a_chrome_trace() {
+    let path = write_scenario(
+        "wf_trace_out.skp",
+        "workload sharded\ntraced\nbackend sharded:2x4:range\nrequests 20\nseed 7\n\
+         chain 4 1 2 2 8 11\nv 5\nitem 0.25 3 a\nitem 0.25 4 b\nitem 0.25 5 c\nitem 0.25 6 d\n",
+    );
+    let out = std::env::temp_dir().join(format!("skp-cli-trace-{}.json", std::process::id()));
+    let (stdout, stderr, ok) = run_cli(&[
+        "run",
+        path.to_str().unwrap(),
+        "--trace-out",
+        out.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("trace written"), "stderr: {stderr}");
+    json::check(stdout.trim()).expect("stdout stays pure JSON");
+    let trace = std::fs::read_to_string(&out).expect("trace file written");
+    let _ = std::fs::remove_file(&out);
+    json::check(trace.trim()).expect("trace is valid JSON");
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    for track in ["\"engine\"", "\"shard 0\"", "\"wire\"", "\"queue depth\""] {
+        assert!(trace.contains(track), "missing {track}");
+    }
 }
 
 #[test]

@@ -6,9 +6,11 @@ use montecarlo::prefetch_cache::PrefetchCacheSim;
 use montecarlo::prefetch_only::PrefetchOnlySim;
 use montecarlo::probgen::ProbMethod;
 use montecarlo::scenario_gen::ScenarioGen;
+use proptest::prelude::*;
 use speculative_prefetch::access::MarkovChain;
 use speculative_prefetch::core::policy::PolicyKind;
 use speculative_prefetch::distsys::Catalog;
+use speculative_prefetch::{Engine, Workload};
 
 fn prefetch_only(threads: usize, chunks: usize) -> PrefetchOnlySim {
     PrefetchOnlySim {
@@ -79,6 +81,59 @@ fn workload_generators_pure_in_seed() {
         Catalog::uniform(100, 1, 30, 4),
         Catalog::uniform(100, 1, 30, 5)
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Observability never changes results: with the sink off, on, or
+    /// sampling, the same seed yields bit-identical reports and event
+    /// logs — on the sequential farm and on the parallel executor.
+    #[test]
+    fn observability_never_changes_results(
+        shards in 1usize..=3,
+        clients in 1usize..=3,
+        requests in 5u64..=30,
+        seed in 0u64..1_000_000,
+    ) {
+        let chain = MarkovChain::random(12, 2, 4, 2, 10, seed ^ 0x5eed).unwrap();
+        let catalog: Vec<f64> = (0..12).map(|i| 1.0 + (i % 5) as f64).collect();
+        let run = |backend_spec: &str, obs: &str| {
+            let mut engine = Engine::builder()
+                .policy("skp-exact")
+                .catalog(catalog.clone())
+                .backend_spec(backend_spec)
+                .obs(obs)
+                .build()
+                .unwrap();
+            engine
+                .run(&Workload::sharded(chain.clone(), requests, seed).traced(true))
+                .unwrap()
+        };
+        let spec = format!("sharded:{shards}x{clients}:hash");
+        let base = run(&spec, "none");
+        prop_assert!(base.phases.spans.is_empty(), "no clock reads with obs off");
+        for obs in ["memory", "sampled:3"] {
+            let observed = run(&spec, obs);
+            prop_assert!(!observed.phases.spans.is_empty());
+            // Report equality covers access/section/events (and
+            // excludes phases); the event log is additionally checked
+            // bit for bit.
+            prop_assert_eq!(&base, &observed);
+            prop_assert_eq!(base.access.mean.to_bits(), observed.access.mean.to_bits());
+            prop_assert_eq!(base.events.len(), observed.events.len());
+            for (a, b) in base.events.iter().zip(&observed.events) {
+                prop_assert_eq!(a.at.to_bits(), b.at.to_bits());
+                prop_assert_eq!(a.client, b.client);
+                prop_assert_eq!(a.shard, b.shard);
+                prop_assert_eq!(a.item, b.item);
+                prop_assert_eq!(a.kind, b.kind);
+            }
+        }
+        // The observed run on the parallel executor still matches.
+        let par = run(&format!("parallel:{shards}x{clients}:hash:2"), "memory");
+        prop_assert_eq!(&base, &par);
+    }
 }
 
 #[test]
