@@ -363,10 +363,18 @@ impl<E> Calendar<E> {
             .map(|w| w[1].at - w[0].at)
             .filter(|&g| g > 0.0 && g.is_finite())
             .collect();
+        // Degenerate schedules — a single pending event, or every
+        // pending event at the same time — yield zero positive gaps;
+        // the width then stays at its previous (positive) value, so the
+        // day arithmetic below can never divide by zero.
         if !gaps.is_empty() {
             gaps.sort_unstable_by(f64::total_cmp);
             self.width = gaps[gaps.len() / 2];
         }
+        debug_assert!(
+            self.width > 0.0 && self.width.is_finite(),
+            "bucket width must stay positive and finite"
+        );
 
         let target = (RESIZE_LOAD * pending.len().max(INITIAL_BUCKETS))
             .next_power_of_two()
@@ -681,6 +689,58 @@ mod tests {
             got.push((at, i));
         }
         assert_eq!(got, expect);
+    }
+
+    fn calendar_width(q: &EventQueue<usize>) -> f64 {
+        match &q.imp {
+            Impl::Calendar(c) => c.width,
+            Impl::Heap(_) => unreachable!("test constructs a calendar queue"),
+        }
+    }
+
+    /// Degenerate-schedule regression: every pending event at the same
+    /// time leaves zero positive gaps at resize time — the width
+    /// re-estimate must keep its previous positive value, never panic
+    /// on an empty gap sample or set `width = 0.0`.
+    #[test]
+    fn resize_with_all_equal_pending_times_keeps_width_positive() {
+        let mut q: EventQueue<usize> = EventQueue::with_kind(EventQueueKind::Calendar);
+        // One giant tie pile: overflowing the flat list forces a resize
+        // while every gap between sorted pending times is zero.
+        for i in 0..(LIST_MAX + 8) {
+            q.schedule(42.0, i);
+        }
+        let w = calendar_width(&q);
+        assert!(w > 0.0 && w.is_finite(), "width {w}");
+        // The pile drains in FIFO order and the queue keeps working.
+        for i in 0..(LIST_MAX + 8) {
+            assert_eq!(q.pop(), Some((42.0, i)));
+        }
+        assert_eq!(q.pop(), None);
+        q.schedule(43.0, 0);
+        assert_eq!(q.pop(), Some((43.0, 0)));
+    }
+
+    /// Degenerate-schedule regression: a resize over a single pending
+    /// event (no gap sample at all) keeps the previous width and
+    /// redistributes the event intact.
+    #[test]
+    fn resize_with_a_single_pending_event_is_benign() {
+        let mut c: Calendar<usize> = Calendar::new();
+        c.push(Scheduled {
+            at: 5.0,
+            seq: 0,
+            payload: 7,
+        });
+        c.small = false;
+        c.resize();
+        assert!(c.width > 0.0 && c.width.is_finite(), "width {}", c.width);
+        assert_eq!(c.pop().map(|ev| (ev.at, ev.payload)), Some((5.0, 7)));
+        assert!(c.pop().is_none());
+        // An empty resize (zero pending events) is equally benign.
+        c.resize();
+        assert!(c.width > 0.0 && c.width.is_finite());
+        assert_eq!(c.len(), 0);
     }
 
     /// The equivalence pin at the queue level: random interleavings of

@@ -24,6 +24,10 @@
 //! - [`exec`] — shared deterministic-parallel plumbing (thread-pool
 //!   sizing, ordered parallel map, seed derivation) used by the
 //!   parallel executor and the Monte-Carlo runner alike;
+//! - [`faults`] — fault-injection specs ([`FaultSpec`]: outage windows,
+//!   slow links, seed-derived heterogeneous service times) materialised
+//!   per run and applied inside the shared `SimState` handlers, so both
+//!   executors stay bit-identical with faults active;
 //! - [`network`] — links (latency + bandwidth) and item catalogs mapping
 //!   items to retrieval times, including the paper's `r ∈ [1, 30]`
 //!   uniform catalog;
@@ -74,6 +78,7 @@
 
 pub mod engine;
 pub mod exec;
+pub mod faults;
 pub mod multiclient;
 pub mod network;
 pub mod parallel;
@@ -84,6 +89,7 @@ pub mod stats;
 pub mod trace;
 
 pub use engine::EventQueue;
+pub use faults::{FaultPlan, FaultSpec, Outage};
 pub use network::{Catalog, Link, RetrievalModel};
 pub use parallel::ParallelShardedSim;
 pub use scheduler::{

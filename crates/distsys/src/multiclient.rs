@@ -25,6 +25,7 @@
 //! determinism contract). The workspace tests assert they agree event
 //! for event.
 
+use crate::faults::FaultSpec;
 use crate::scheduler::{Placement, ShardReport, ShardedSim, SimEvent};
 use crate::stats::AccessStats;
 
@@ -114,6 +115,9 @@ pub struct MultiClientSim<'a, W: ClientWorkload> {
     pub requests_per_client: u64,
     /// Root seed.
     pub seed: u64,
+    /// Optional fault injection, applied to the single shared channel
+    /// (shard 0 of the underlying sharded run).
+    pub faults: Option<&'a FaultSpec>,
 }
 
 impl<W: ClientWorkload> MultiClientSim<'_, W> {
@@ -126,6 +130,7 @@ impl<W: ClientWorkload> MultiClientSim<'_, W> {
             placement: Placement::Hash,
             requests_per_client: self.requests_per_client,
             seed: self.seed,
+            faults: self.faults,
         }
     }
 
@@ -180,6 +185,7 @@ mod tests {
             clients,
             requests_per_client: requests,
             seed: 9,
+            faults: None,
         }
     }
 

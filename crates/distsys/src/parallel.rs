@@ -52,6 +52,7 @@
 use crossbeam::channel;
 
 use crate::exec;
+use crate::faults::FaultSpec;
 use crate::scheduler::{
     ChannelStats, ClientPolicy, ClientWorkload, Ev, Flow, Placement, SchedProbe, Scheduler,
     ShardObserver, ShardOp, ShardReport, ShardedSim, SimEvent, SimState,
@@ -114,6 +115,9 @@ impl ShardObserver for BatchObserver {
     }
     fn stall(&mut self, shard: usize, stall: f64) {
         self.buffers[shard].push(ShardOp::Stall(stall));
+    }
+    fn outage_wait(&mut self, shard: usize, wait: f64) {
+        self.buffers[shard].push(ShardOp::OutageWait(wait));
     }
 }
 
@@ -204,6 +208,11 @@ pub struct ParallelShardedSim<'a, W: ClientWorkload> {
     pub requests_per_client: u64,
     /// Root seed.
     pub seed: u64,
+    /// Optional fault injection (outage windows, slow links,
+    /// heterogeneous service times) — applied inside the shared
+    /// `SimState` handlers, so results stay bit-identical to the
+    /// sequential executor's with faults active.
+    pub faults: Option<&'a FaultSpec>,
     /// Worker threads (0 = auto: hardware parallelism capped by the
     /// shard count).
     pub threads: usize,
@@ -292,6 +301,7 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
                 placement: self.placement,
                 requests_per_client: self.requests_per_client,
                 seed: self.seed,
+                faults: self.faults,
             };
             let traced = trace.is_some();
             let (report, events) = sequential.run_observed(&mut cached, o, marks, traced);
@@ -354,6 +364,7 @@ impl<W: ClientWorkload> ParallelShardedSim<'_, W> {
                 shards,
                 self.placement,
                 self.seed,
+                self.faults,
                 trace,
             );
             let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -460,6 +471,7 @@ mod tests {
             placement: Placement::Hash,
             requests_per_client: 50,
             seed: 42,
+            faults: None,
         }
     }
 
@@ -477,6 +489,7 @@ mod tests {
             placement: Placement::Hash,
             requests_per_client: 50,
             seed: 42,
+            faults: None,
             threads,
         }
     }

@@ -20,6 +20,7 @@
 //! capacity stops being a single queue.
 
 use crate::engine::EventQueue;
+use crate::faults::{FaultPlan, FaultSpec};
 use crate::network::RetrievalModel;
 use crate::session::SessionConfig;
 use crate::stats::{AccessStats, Histogram};
@@ -159,8 +160,9 @@ impl fmt::Display for Placement {
     }
 }
 
-/// SplitMix64 finaliser: a cheap, well-mixed item-id hash.
-fn mix(mut x: u64) -> u64 {
+/// SplitMix64 finaliser: a cheap, well-mixed item-id hash (shared with
+/// the fault layer's seed-derived service spread).
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -211,6 +213,13 @@ impl ShardMap {
     }
 
     /// The shard holding `item` — always in `0..shards`.
+    ///
+    /// With a single shard the partition is trivial and every placement
+    /// collapses to the constant map — the explicit early return below,
+    /// not a property of the strategy arms (`hot-cold`'s cold arm would
+    /// otherwise divide by `shards - 1 == 0`). Pinned against `hash`
+    /// across the `hot-cold` boundary thresholds in
+    /// `tests/scenario_file_props.rs`.
     ///
     /// # Panics
     /// Panics when `item` is outside the catalog.
@@ -363,6 +372,18 @@ pub struct ShardStats {
     pub max_queue_depth: usize,
     /// Total transfer time issued to this shard.
     pub total_transfer: f64,
+    /// Scheduled outage time overlapping the simulated span (from the
+    /// materialised fault plan; `0.0` on unfaulted runs).
+    pub outage_time: f64,
+    /// Total admission delay outage windows imposed on this shard's
+    /// job starts (`0.0` on unfaulted runs) — the outage-aware half of
+    /// the stall accounting: stalls measured during a window include
+    /// this wait, and this field attributes it to the fault rather
+    /// than to queueing.
+    pub outage_delay: f64,
+    /// Service-duration multiplier applied to this shard (slow links x
+    /// heterogeneous spread; exactly `1.0` when unfaulted).
+    pub service_scale: f64,
     /// Histogram of request stall times attributed to this shard.
     pub stalls: Histogram,
 }
@@ -421,6 +442,10 @@ pub struct ShardedSim<'a, W: ClientWorkload> {
     pub requests_per_client: u64,
     /// Root seed.
     pub seed: u64,
+    /// Optional fault injection (outage windows, slow links,
+    /// heterogeneous service times), materialised against this sim's
+    /// shard count and seed.
+    pub faults: Option<&'a FaultSpec>,
 }
 
 /// Scheduling state of the shard channels — the FIFO queues, the jobs in
@@ -471,6 +496,8 @@ pub(crate) trait ShardObserver {
     fn finished(&mut self, shard: usize, depth: usize);
     /// A request owned by this shard was served after `stall` time units.
     fn stall(&mut self, shard: usize, stall: f64);
+    /// An outage window delayed a job start on this shard by `wait`.
+    fn outage_wait(&mut self, shard: usize, wait: f64);
 }
 
 /// Measurement accumulator of one shard channel — the fold target of the
@@ -483,6 +510,7 @@ pub(crate) struct ChannelStats {
     pub(crate) queue_len_sum: f64,
     pub(crate) queue_samples: u64,
     pub(crate) max_queue_depth: usize,
+    pub(crate) outage_delay: f64,
     pub(crate) stalls: Histogram,
 }
 
@@ -495,6 +523,7 @@ impl ChannelStats {
             queue_len_sum: 0.0,
             queue_samples: 0,
             max_queue_depth: 0,
+            outage_delay: 0.0,
             stalls: Histogram::stalls(),
         }
     }
@@ -517,6 +546,10 @@ impl ChannelStats {
     pub(crate) fn stall(&mut self, stall: f64) {
         self.stalls.record(stall);
     }
+
+    pub(crate) fn outage_wait(&mut self, wait: f64) {
+        self.outage_delay += wait;
+    }
 }
 
 /// The inline (sequential) observer: fold straight into the per-shard
@@ -533,6 +566,9 @@ impl ShardObserver for Vec<ChannelStats> {
     }
     fn stall(&mut self, shard: usize, stall: f64) {
         self[shard].stall(stall);
+    }
+    fn outage_wait(&mut self, shard: usize, wait: f64) {
+        self[shard].outage_wait(wait);
     }
 }
 
@@ -553,6 +589,8 @@ pub(crate) enum ShardOp {
     Finished { depth: usize },
     /// A request owned by this shard stalled for this long.
     Stall(f64),
+    /// An outage window delayed a job start by this long.
+    OutageWait(f64),
 }
 
 impl ShardOp {
@@ -565,6 +603,7 @@ impl ShardOp {
             ShardOp::Started { duration } => ch.started(duration),
             ShardOp::Finished { depth } => ch.finished(depth),
             ShardOp::Stall(stall) => ch.stall(stall),
+            ShardOp::OutageWait(wait) => ch.outage_wait(wait),
         }
     }
 }
@@ -675,6 +714,9 @@ pub(crate) struct SimState<'a, 'p, W: ClientWorkload> {
     plan_buf: Vec<usize>,
     /// Scratch for trace records of transfers started in one pass.
     started_scratch: Vec<(f64, Job)>,
+    /// Materialised fault plan (service scaling + outage windows);
+    /// `None` on the fault-free path keeps that path branch-cheap.
+    faults: Option<FaultPlan>,
     trace: Option<&'p mut Vec<SimEvent>>,
 }
 
@@ -688,6 +730,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
     /// # Panics
     /// Panics when `clients == 0` or retrieval data does not cover the
     /// workload's items (`shards == 0` panics in [`ShardMap::new`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the ShardedSim fields
     pub(crate) fn new(
         workload: &'a W,
         retrievals: &'a [f64],
@@ -695,6 +738,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
         shards: usize,
         placement: Placement,
         seed: u64,
+        faults: Option<&FaultSpec>,
         trace: Option<&'p mut Vec<SimEvent>>,
     ) -> Self {
         assert!(clients >= 1, "need at least one client");
@@ -737,7 +781,18 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
             scratch: Vec::new(),
             plan_buf: Vec::new(),
             started_scratch: Vec::new(),
+            faults: faults.map(|f| f.materialise(shards, seed)),
             trace,
+        }
+    }
+
+    /// Retrieval duration of `item` after per-shard service scaling.
+    #[inline]
+    fn effective_duration(&self, item: usize) -> f64 {
+        let d = self.retrievals[item];
+        match &self.faults {
+            None => d,
+            Some(plan) => d * plan.scale[self.shard_lut[item] as usize],
         }
     }
 
@@ -775,7 +830,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
                     item: item as u32,
                     kind: JobKind::Prefetch,
                     round: self.round[c],
-                    duration: self.retrievals[item],
+                    duration: self.effective_duration(item),
                 },
                 obs,
             );
@@ -806,6 +861,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
     /// bit-equality contract.
     pub(crate) fn build_report(mut self, span: f64, stats: Vec<ChannelStats>) -> ShardReport {
         let n_shards = stats.len();
+        let plan = &self.faults;
         let shards: Vec<ShardStats> = stats
             .into_iter()
             .enumerate()
@@ -825,6 +881,9 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
                 },
                 max_queue_depth: ch.max_queue_depth,
                 total_transfer: ch.total_transfer,
+                outage_time: plan.as_ref().map_or(0.0, |p| p.outage_time(i, span)),
+                outage_delay: ch.outage_delay,
+                service_scale: plan.as_ref().map_or(1.0, |p| p.scale[i]),
                 stalls: ch.stalls,
             })
             .collect();
@@ -882,7 +941,17 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
         let lane = &mut self.lanes.0[shard];
         if lane.in_service.is_none() {
             if let Some(job) = lane.queue.pop_front() {
-                let start = now.max(lane.busy_until);
+                let mut start = now.max(lane.busy_until);
+                // Outage windows black out job *starts* only: in-flight
+                // transfers complete, so event counts are conserved and
+                // the lookahead bound (starts never precede `now`) holds.
+                if let Some(plan) = &self.faults {
+                    let admitted = plan.delayed_start(shard, start);
+                    if admitted > start {
+                        obs.outage_wait(shard, admitted - start);
+                        start = admitted;
+                    }
+                }
                 lane.busy_until = start + job.duration;
                 lane.in_service = Some(job);
                 obs.started(shard, job.duration);
@@ -963,7 +1032,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
                     item: alpha as u32,
                     kind: JobKind::Demand,
                     round: self.round[c],
-                    duration: self.retrievals[alpha],
+                    duration: self.effective_duration(alpha),
                 },
                 obs,
             );
@@ -1024,7 +1093,7 @@ impl<'a, 'p, W: ClientWorkload> SimState<'a, 'p, W> {
         self.wasted_transfer += self.done[c]
             .iter()
             .filter(|&&item| item != alpha as u32)
-            .map(|&item| self.retrievals[item as usize])
+            .map(|&item| self.effective_duration(item as usize))
             .sum::<f64>();
         // Next round.
         self.state[c] = alpha as u32;
@@ -1087,6 +1156,7 @@ impl<W: ClientWorkload> ShardedSim<'_, W> {
             self.shards,
             self.placement,
             self.seed,
+            self.faults,
             trace,
         );
         let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -1207,6 +1277,7 @@ mod tests {
             placement: Placement::Hash,
             requests_per_client: 40,
             seed: 9,
+            faults: None,
         }
     }
 
@@ -1421,6 +1492,7 @@ mod tests {
             placement: Placement::Hash,
             requests_per_client: 3,
             seed: 9,
+            faults: None,
         };
         let mut policy = |_c: usize, s: usize| vec![1 - s];
         let (report, log) = sim.run_traced(&mut policy);
@@ -1476,6 +1548,7 @@ mod tests {
             placement: Placement::Hash,
             requests_per_client: 2,
             seed: 9,
+            faults: None,
         };
         let mut policy = |_c: usize, _s: usize| Vec::new();
         let (report, log) = sim.run_traced(&mut policy);

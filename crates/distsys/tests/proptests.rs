@@ -194,6 +194,7 @@ proptest! {
             clients,
             requests_per_client: 25,
             seed,
+            faults: None,
         }
         .run_traced(&mut p1);
 
@@ -206,6 +207,7 @@ proptest! {
             placement,
             requests_per_client: 25,
             seed,
+            faults: None,
         }
         .run_traced(&mut p2);
 

@@ -48,7 +48,7 @@ pub mod prom;
 mod registry;
 pub mod trace;
 
-pub use phase::{EpochMark, PhaseBreakdown, PhaseSpan, PhaseTimer};
+pub use phase::{EpochMark, FaultWindow, PhaseBreakdown, PhaseSpan, PhaseTimer};
 pub use registry::{
     build_obs, obs_sink_names, obs_sink_specs, register_obs_sink, ObsBuilder, ObsSpec,
 };

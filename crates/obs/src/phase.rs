@@ -31,6 +31,20 @@ pub struct EpochMark {
     pub dirty_shards: u32,
 }
 
+/// One shard-outage window in *simulated* time — a fault-injection
+/// phase mark the facade attaches when a `faults:` generated workload
+/// ran observed, so trace exports can draw the blackout alongside the
+/// wall-clock spans.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultWindow {
+    /// Shard the outage applied to.
+    pub shard: usize,
+    /// Simulated start of the window.
+    pub start: f64,
+    /// Simulated end of the window.
+    pub end: f64,
+}
+
 /// The diagnostic timing block of a run: named spans plus scheduler
 /// marks. Empty (`Default`) when observability is off.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -40,6 +54,9 @@ pub struct PhaseBreakdown {
     /// Per-epoch scheduler marks in simulated-time order (only
     /// populated by the sharded executors).
     pub marks: Vec<EpochMark>,
+    /// Shard-outage windows in simulated time (only populated by
+    /// observed runs of fault-injecting generated workloads).
+    pub faults: Vec<FaultWindow>,
 }
 
 impl PhaseBreakdown {
@@ -50,7 +67,7 @@ impl PhaseBreakdown {
 
     /// Whether nothing was recorded (observability was off).
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.marks.is_empty()
+        self.spans.is_empty() && self.marks.is_empty() && self.faults.is_empty()
     }
 }
 
@@ -105,6 +122,7 @@ impl PhaseTimer {
         PhaseBreakdown {
             spans: self.spans,
             marks,
+            faults: Vec::new(),
         }
     }
 }

@@ -215,7 +215,7 @@ fn full_admission_queue_sheds_with_503_retry_after() {
     // full request/response cycle still works from the client side.
     let resp = http_request(&addr.to_string(), "GET", "/version", None).expect("connect C");
     assert_eq!(resp.status, 503);
-    assert_eq!(resp.retry_after.as_deref(), Some("1"));
+    assert_eq!(resp.retry_after, Some(1));
     assert!(resp.body.contains("queue-full"), "{}", resp.body);
     assert_eq!(handle.state().shed(), 1);
 

@@ -145,9 +145,15 @@ pub struct PopulationRun<'a> {
     pub seed: u64,
     /// Record the full mechanistic event log.
     pub traced: bool,
-    /// Name of the workload shape (`"multi-client"` / `"sharded"`),
-    /// also used in error messages.
+    /// Name of the workload shape (`"multi-client"` / `"sharded"` /
+    /// `"generated"`), also used in error messages.
     pub operation: &'static str,
+    /// Optional fault injection (outage windows, slow links,
+    /// heterogeneous service times) the substrate applies — produced by
+    /// the `faults:` workload generator. Drivers that cannot honour it
+    /// (e.g. the remote `served:` backend) must refuse rather than
+    /// silently run fault-free.
+    pub faults: Option<&'a distsys::FaultSpec>,
     /// Registry spec of the policy behind `planner`, when the engine
     /// was configured from one (`None` for custom policy instances).
     /// Remote backends ship this spec instead of the closure.
@@ -316,6 +322,7 @@ impl BackendDriver for MultiClientDriver {
             clients: self.clients,
             requests_per_client: run.requests_per_client,
             seed: run.seed,
+            faults: run.faults,
         };
         let (report, log) = if run.traced {
             sim.run_traced(run.planner)
@@ -399,6 +406,7 @@ impl BackendDriver for ShardedDriver {
             placement: self.placement,
             requests_per_client: run.requests_per_client,
             seed: run.seed,
+            faults: run.faults,
         };
         let (report, log) = sim.run_observed(run.planner, &run.obs, run.marks, run.traced);
         Ok((report.access, ReportSection::Sharded(report), log))
@@ -469,6 +477,7 @@ impl BackendDriver for ParallelDriver {
             placement: self.placement,
             requests_per_client: run.requests_per_client,
             seed: run.seed,
+            faults: run.faults,
             threads: self.threads,
         };
         let (report, log) = sim.run_observed(run.planner, &run.obs, run.marks, run.traced);

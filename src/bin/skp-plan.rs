@@ -20,9 +20,10 @@
 
 use speculative_prefetch::wire::{esc, list, num};
 use speculative_prefetch::{
-    backend_specs, global_applicable, obs_sink_specs, parse_scenario_file, parse_workload,
-    plan_store_specs, policy_specs, predictor_specs, render_report_fields, trace_json, Engine,
-    Error, PhaseSpan, PlanReport, ReportSection, RunReport, Scenario, Workload, WorkloadFile,
+    backend_specs, generator_specs, global_applicable, obs_sink_specs, parse_scenario_file,
+    parse_workload, plan_store_specs, policy_specs, predictor_specs, render_report_fields,
+    trace_json, Engine, Error, PhaseSpan, PlanReport, ReportSection, RunReport, Scenario, Workload,
+    WorkloadFile,
 };
 
 fn usage() -> ! {
@@ -120,6 +121,18 @@ fn registry_sections() -> Vec<(&'static str, Vec<(String, String)>)> {
         (
             "registered obs sinks ('obs' directive / --obs / SessionBuilder::obs):",
             obs_sink_specs()
+                .iter()
+                .map(|spec| {
+                    (
+                        spec.name.to_string(),
+                        format!("{}{}", spec.summary, params_suffix(spec.params)),
+                    )
+                })
+                .collect(),
+        ),
+        (
+            "registered workload generators ('generate' directive / Workload::generated):",
+            generator_specs()
                 .iter()
                 .map(|spec| {
                     (

@@ -50,6 +50,7 @@ use skp_core::{PrefetchPlan, Scenario};
 
 use crate::backend::{build_backend, Backend, BackendDriver, McFanout, PopulationRun};
 use crate::error::Error;
+use crate::generator::build_generator;
 use crate::predictor::{build_predictor, Predictor};
 use crate::registry::build_policy;
 use crate::report::{PlanReport, ReportSection, RunReport, SimReport, TraceReport};
@@ -517,6 +518,7 @@ impl Engine {
                     w.seed,
                     w.traced,
                     workload.name(),
+                    None,
                     &mut timer,
                     collect.then_some(&mut marks),
                 )?;
@@ -526,6 +528,67 @@ impl Engine {
                     events,
                     plan_store: self.store.stats(),
                     phases: timer.finish(marks),
+                })
+            }
+            Workload::Generated(w) => {
+                // The generator synthesises the chain against the full
+                // catalog; a backend that cannot run populations still
+                // outranks a missing catalog (the legacy error order).
+                let n_items = match self.retrievals.as_ref() {
+                    Some(r) => r.len(),
+                    None if !self.driver.supports_population() => {
+                        return Err(Error::UnsupportedBackend {
+                            operation: "generated",
+                            backend: self.driver.name(),
+                        });
+                    }
+                    None => {
+                        return Err(Error::MissingComponent {
+                            component: "catalog",
+                            needed_for: "generated",
+                        });
+                    }
+                };
+                let (chain, faults) = build_generator(&w.spec)?.build(n_items, w.seed)?;
+                let mut marks = Vec::new();
+                let collect = self.obs.enabled();
+                let (access, section, events) = self.population_report(
+                    &chain,
+                    w.requests_per_client,
+                    w.seed,
+                    w.traced,
+                    "generated",
+                    faults.as_ref(),
+                    &mut timer,
+                    collect.then_some(&mut marks),
+                )?;
+                let mut phases = timer.finish(marks);
+                // Fault-window phase marks for the trace export: the
+                // same materialisation the substrate derived, resolved
+                // against the shard count that actually ran.
+                if collect {
+                    if let (Some(spec), Some(shards)) = (&faults, section_shards(&section)) {
+                        phases.faults = spec
+                            .materialise(shards, w.seed)
+                            .windows
+                            .iter()
+                            .enumerate()
+                            .flat_map(|(shard, windows)| {
+                                windows.iter().map(move |&(start, end)| obs::FaultWindow {
+                                    shard,
+                                    start,
+                                    end,
+                                })
+                            })
+                            .collect();
+                    }
+                }
+                Ok(RunReport {
+                    access,
+                    section,
+                    events,
+                    plan_store: self.store.stats(),
+                    phases,
                 })
             }
         }
@@ -897,6 +960,7 @@ impl Engine {
         seed: u64,
         traced: bool,
         operation: &'static str,
+        faults: Option<&distsys::FaultSpec>,
         timer: &mut PhaseTimer,
         marks: Option<&mut Vec<EpochMark>>,
     ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
@@ -956,6 +1020,7 @@ impl Engine {
             seed,
             traced,
             operation,
+            faults,
             policy_spec: self.policy_spec.as_deref(),
             obs: self.obs.clone(),
             marks,
@@ -980,6 +1045,17 @@ impl Engine {
         }
         timer.stop();
         out
+    }
+}
+
+/// Shard count a population report section ran on — where fault
+/// windows are meaningful. The shared multi-client channel behaves as
+/// a single shard; non-population sections have none.
+fn section_shards(section: &ReportSection) -> Option<usize> {
+    match section {
+        ReportSection::Sharded(r) => Some(r.shards.len()),
+        ReportSection::MultiClient(_) => Some(1),
+        _ => None,
     }
 }
 

@@ -139,6 +139,7 @@
 pub mod backend;
 pub mod engine;
 pub mod error;
+pub mod generator;
 pub mod predictor;
 pub mod registry;
 pub mod report;
@@ -162,9 +163,12 @@ pub use backend::{
 };
 pub use engine::{Engine, SessionBuilder};
 pub use error::Error;
+pub use generator::{
+    build_generator, generator_names, generator_specs, register_generator, GeneratorSpec,
+};
 pub use obs::{
-    build_obs, obs_sink_names, obs_sink_specs, register_obs_sink, EpochMark, Obs, ObsError,
-    ObsSink, ObsSpec, PhaseBreakdown, PhaseSpan, Snapshot as ObsSnapshot,
+    build_obs, obs_sink_names, obs_sink_specs, register_obs_sink, EpochMark, FaultWindow, Obs,
+    ObsError, ObsSink, ObsSpec, PhaseBreakdown, PhaseSpan, Snapshot as ObsSnapshot,
 };
 pub use planstore::{
     build_plan_store, plan_store_names, plan_store_specs, population_plan_key, register_plan_store,
@@ -182,7 +186,8 @@ pub use served::{http_request, HttpResponse};
 pub use trace_export::trace_json;
 pub use wire::{parse_report, render_report_fields, WireRun};
 pub use workload::{
-    MonteCarloSpec, MonteCarloWorkload, PlanWorkload, PopulationWorkload, TraceWorkload, Workload,
+    GeneratedWorkload, MonteCarloSpec, MonteCarloWorkload, PlanWorkload, PopulationWorkload,
+    TraceWorkload, Workload,
 };
 
 // ---- model layer (skp-core) ------------------------------------------
@@ -221,7 +226,9 @@ pub use distsys::scheduler::{
 };
 pub use distsys::shared::{access_time_fifo, access_time_shared};
 pub use distsys::stats::{AccessStats, Histogram};
-pub use distsys::{run_session, Catalog, EventQueue, Link, RetrievalModel, SessionConfig, Trace};
+pub use distsys::{
+    run_session, Catalog, EventQueue, FaultSpec, Link, Outage, RetrievalModel, SessionConfig, Trace,
+};
 
 // ---- experiment harness (montecarlo) ---------------------------------
 pub use montecarlo::output::{ascii_plot, write_csv};

@@ -20,7 +20,7 @@
 //! A workload file ([`parse_workload`]) adds engine and run directives:
 //!
 //! ```text
-//! workload sharded          # plan|trace|monte-carlo|multi-client|sharded
+//! workload sharded          # plan|trace|monte-carlo|multi-client|sharded|generated
 //! traced                    # record the mechanistic event log
 //! backend sharded:4x8:hash  # backend registry spec
 //! policy skp-exact          # policy registry spec
@@ -31,6 +31,7 @@
 //! iterations 400            # monte-carlo iterations
 //! mc-method skewy:16        # skewy[:e] | flat | zipf:<s> | dirichlet:<a>
 //! chain 24 2 4 5 20 7       # states min_fanout max_fanout v_min v_max seed
+//! generate flash:1.2@0.5    # workload-generator spec (generated workloads)
 //! access 0 10               # one trace record (trace workloads)
 //! ```
 //!
@@ -128,6 +129,9 @@ pub enum WorkloadKind {
     MultiClient,
     /// Sharded population replay of the file's `chain`.
     Sharded,
+    /// Population replay of the file's `generate` spec (workload
+    /// generator registry) over the catalog.
+    Generated,
 }
 
 impl WorkloadKind {
@@ -139,6 +143,7 @@ impl WorkloadKind {
             WorkloadKind::MonteCarlo => "monte-carlo",
             WorkloadKind::MultiClient => "multi-client",
             WorkloadKind::Sharded => "sharded",
+            WorkloadKind::Generated => "generated",
         }
     }
 
@@ -150,6 +155,7 @@ impl WorkloadKind {
             "monte-carlo" => Some(WorkloadKind::MonteCarlo),
             "multi-client" => Some(WorkloadKind::MultiClient),
             "sharded" => Some(WorkloadKind::Sharded),
+            "generated" => Some(WorkloadKind::Generated),
             _ => None,
         }
     }
@@ -219,6 +225,9 @@ pub struct WorkloadFile {
     pub method: Option<ProbMethod>,
     /// Browsing chain for population workloads.
     pub chain: Option<ChainSpec>,
+    /// Workload-generator spec for generated workloads (the `generate`
+    /// directive, e.g. `flash:1.2@0.5`).
+    pub generate: Option<String>,
     /// Trace records (`access <item> <viewing>` lines, file order).
     pub accesses: Vec<(usize, f64)>,
 }
@@ -283,6 +292,7 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
         iterations: None,
         method: None,
         chain: None,
+        generate: None,
         accesses: Vec::new(),
     };
     let mut saw_kind = false;
@@ -344,7 +354,7 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
             }
             Some("workload") if workload => {
                 let kind = WorkloadKind::parse(one_token!("workload")).ok_or_else(|| {
-                    bad("'workload' expects plan|trace|monte-carlo|multi-client|sharded")
+                    bad("'workload' expects plan|trace|monte-carlo|multi-client|sharded|generated")
                 })?;
                 if saw_kind {
                     return Err(bad("duplicate 'workload' line"));
@@ -472,6 +482,15 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
                     return Err(bad("duplicate 'chain' line"));
                 }
             }
+            Some("generate") if workload => {
+                if file
+                    .generate
+                    .replace(one_token!("generate").to_string())
+                    .is_some()
+                {
+                    return Err(bad("duplicate 'generate' line"));
+                }
+            }
             Some("access") if workload => {
                 let item: usize = parts
                     .next()
@@ -493,7 +512,7 @@ fn parse_lines(text: &str, workload: bool) -> Result<WorkloadFile, ParseError> {
                     "expected a scenario ('v', 'item') or workload directive \
                      ('workload', 'traced', 'backend', 'plan-store', 'obs', 'trace-out', \
                      'policy', 'predictor', 'cache', 'requests', 'seed', 'iterations', \
-                     'mc-method', 'chain', 'access')"
+                     'mc-method', 'chain', 'generate', 'access')"
                 } else {
                     "expected 'v' or 'item'"
                 };
@@ -575,6 +594,9 @@ pub fn render_workload(file: &WorkloadFile) -> String {
             c.states, c.min_fanout, c.max_fanout, c.v_min, c.v_max, c.seed
         ));
     }
+    if let Some(spec) = &file.generate {
+        out.push_str(&format!("generate {spec}\n"));
+    }
     out.push_str(&format!("v {}\n", file.scenario.viewing()));
     for i in 0..file.scenario.n() {
         let label = file
@@ -654,6 +676,19 @@ impl WorkloadFile {
                 } else {
                     Workload::sharded(chain, requests, seed)
                 }
+            }
+            WorkloadKind::Generated => {
+                let spec = self.generate.as_ref().ok_or(Error::InvalidParam {
+                    what: "generated workload",
+                    detail: "needs a 'generate <spec>' line (e.g. 'generate flash:1.2@0.5'; \
+                             see `skp-plan --list`)"
+                        .into(),
+                })?;
+                Workload::generated(
+                    spec.clone(),
+                    self.requests.unwrap_or(Self::DEFAULT_REQUESTS),
+                    self.seed.unwrap_or(Self::DEFAULT_SEED),
+                )
             }
         };
         // A trace-out destination needs the event log: force tracing.
@@ -872,6 +907,9 @@ item 0.2 9 video
             "mc-method cubic\n",
             "access 1\n",
             "traced yes\n",
+            "generate flash:1.2@0.5\ngenerate churn:0.2/0.05\n",
+            "generate\n",
+            "generate flash:1.2@0.5 junk\n",
         ] {
             let text = format!("{base}{extra}");
             assert!(
@@ -907,6 +945,23 @@ item 0.2 9 video
         assert_eq!(w.name(), "trace");
         let short = parse_workload("v 5\nitem 1 1\nworkload trace\naccess 0 5\n").unwrap();
         assert!(short.workload().is_err());
+    }
+
+    #[test]
+    fn generated_workload_parses_roundtrips_and_requires_a_spec() {
+        let text = "v 5\nitem 0.5 2\nitem 0.5 3\nworkload generated\n\
+                    generate flash:1.2@0.5\nrequests 20\nseed 3\n";
+        let f = parse_workload(text).unwrap();
+        assert_eq!(f.kind, WorkloadKind::Generated);
+        assert_eq!(f.generate.as_deref(), Some("flash:1.2@0.5"));
+        let w = f.workload().unwrap();
+        assert_eq!(w.name(), "generated");
+        let again = parse_workload(&f.to_string()).unwrap();
+        assert_eq!(again, f);
+        // Without a 'generate' line the workload cannot be built.
+        let bare = parse_workload("v 5\nitem 1 1\nworkload generated\n").unwrap();
+        let err = bare.workload().unwrap_err();
+        assert!(err.to_string().contains("'generate <spec>'"), "{err}");
     }
 
     #[test]

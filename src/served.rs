@@ -100,14 +100,30 @@ impl BackendDriver for ServedDriver {
         &self,
         run: PopulationRun<'_>,
     ) -> Result<(AccessStats, ReportSection, Vec<SimEvent>), Error> {
+        if run.faults.is_some() {
+            return Err(Error::InvalidParam {
+                what: "served backend",
+                detail: "fault injection cannot cross the wire; run fault-injecting \
+                         generated workloads on an in-process backend"
+                    .into(),
+            });
+        }
         let policy = run.policy_spec.ok_or_else(|| Error::InvalidParam {
             what: "served backend",
             detail: "custom policy instances cannot cross the wire; configure the engine \
                      with a registry policy spec"
                 .into(),
         })?;
+        // The wire grammar predates generated workloads and admits only
+        // the two legacy population kinds; a generated chain runs as a
+        // sharded population on the daemon's substrate.
+        let wire_op = if run.operation == "multi-client" {
+            "multi-client"
+        } else {
+            "sharded"
+        };
         let wire_run = WireRun::new(
-            run.operation,
+            wire_op,
             &self.inner.spec_string(),
             policy,
             run.chain,
@@ -190,9 +206,11 @@ pub(crate) fn build_served(param: Option<&str>) -> Result<Arc<dyn BackendDriver>
 pub struct HttpResponse {
     /// Status code from the response line.
     pub status: u16,
-    /// The `Retry-After` header, if the server sent one (the daemon
-    /// does on `503` shed responses).
-    pub retry_after: Option<String>,
+    /// The `Retry-After` header in integer seconds, if the server sent
+    /// one (the daemon does on `503` shed responses). Parsed at
+    /// header-read time; a non-integer value fails the whole response
+    /// as malformed rather than smuggling garbage into retry logic.
+    pub retry_after: Option<u64>,
     /// The response body.
     pub body: String,
 }
@@ -212,7 +230,7 @@ impl HttpResponse {
                 Some(format!("{kind}: {text}"))
             })
             .unwrap_or_else(|| self.body.trim().to_string());
-        if let Some(after) = &self.retry_after {
+        if let Some(after) = self.retry_after {
             detail.push_str(&format!(" (retry after {after}s)"));
         }
         detail
@@ -271,7 +289,15 @@ pub fn http_request(
         }
         if let Some((key, value)) = line.split_once(':') {
             match key.trim().to_ascii_lowercase().as_str() {
-                "retry-after" => retry_after = Some(value.trim().to_string()),
+                "retry-after" => {
+                    let raw = value.trim();
+                    retry_after = Some(raw.parse::<u64>().map_err(|_| {
+                        malformed(format!(
+                            "daemon sent a malformed Retry-After header '{raw}' \
+                             (want integer seconds)"
+                        ))
+                    })?);
+                }
                 "content-length" => content_length = value.trim().parse().ok(),
                 _ => {}
             }
@@ -382,12 +408,38 @@ mod tests {
                 seed: 1,
                 traced: false,
                 operation: "sharded",
+                faults: None,
                 policy_spec: None,
                 obs: obs::Obs::off(),
                 marks: None,
             })
             .unwrap_err();
         assert!(err.to_string().contains("cannot cross the wire"), "{err}");
+    }
+
+    #[test]
+    fn fault_injection_cannot_cross_the_wire() {
+        let chain = MarkovChain::random(6, 2, 3, 2, 5, 1).unwrap();
+        let retrievals = vec![1.0; 6];
+        let faults = distsys::FaultSpec::inert();
+        let mut planner = |_client: usize, _state: usize| Vec::new();
+        let driver = build_backend("served:127.0.0.1:7077:parallel:1x1:hash:0").unwrap();
+        let err = driver
+            .run_population(PopulationRun {
+                chain: &chain,
+                retrievals: &retrievals,
+                planner: &mut planner,
+                requests_per_client: 5,
+                seed: 1,
+                traced: false,
+                operation: "generated",
+                faults: Some(&faults),
+                policy_spec: Some("skp-exact"),
+                obs: obs::Obs::off(),
+                marks: None,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("fault injection"), "{err}");
     }
 
     #[test]
@@ -411,11 +463,64 @@ mod tests {
                 seed: 1,
                 traced: false,
                 operation: "sharded",
+                faults: None,
                 policy_spec: Some("skp-exact"),
                 obs: obs::Obs::off(),
                 marks: None,
             })
             .unwrap_err();
         assert!(matches!(err, Error::Io(_)), "{err}");
+    }
+
+    /// Serves one canned raw HTTP response on an ephemeral port and
+    /// returns the address to request it from.
+    fn serve_canned(raw: &'static str) -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = std::io::Read::read(&mut sock, &mut buf);
+            sock.write_all(raw.as_bytes()).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn retry_after_parses_to_integer_seconds() {
+        let addr = serve_canned(
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 7\r\nContent-Length: 0\r\n\r\n",
+        );
+        let resp = http_request(&addr, "GET", "/", None).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(7));
+        assert!(resp.error_detail().contains("retry after 7s"));
+    }
+
+    #[test]
+    fn missing_retry_after_is_none() {
+        let addr = serve_canned("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+        let resp = http_request(&addr, "GET", "/", None).unwrap();
+        assert_eq!(resp.retry_after, None);
+    }
+
+    #[test]
+    fn garbage_retry_after_is_a_malformed_response() {
+        let addr = serve_canned(
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: soonish\r\nContent-Length: 0\r\n\r\n",
+        );
+        let err = http_request(&addr, "GET", "/", None).unwrap_err();
+        assert!(err.to_string().contains("Retry-After"), "{err}");
+        assert!(err.to_string().contains("soonish"), "{err}");
+    }
+
+    #[test]
+    fn huge_retry_after_is_a_malformed_response() {
+        // Overflows u64: garbage by another name, not a retry hint.
+        let addr = serve_canned(
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 99999999999999999999999\r\nContent-Length: 0\r\n\r\n",
+        );
+        let err = http_request(&addr, "GET", "/", None).unwrap_err();
+        assert!(err.to_string().contains("Retry-After"), "{err}");
     }
 }

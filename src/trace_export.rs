@@ -36,6 +36,7 @@ const ENGINE_TRACK: &str = "engine";
 pub fn trace_json(report: &RunReport) -> String {
     let mut spans = phase_spans(&report.phases.spans);
     spans.extend(busy_spans(&report.events));
+    spans.extend(fault_spans(&report.phases.faults));
 
     let mut counters = Vec::new();
     if !report.phases.marks.is_empty() {
@@ -112,6 +113,21 @@ fn busy_spans(events: &[SimEvent]) -> Vec<TraceSpan> {
     spans
 }
 
+/// Shard-outage windows from fault-injecting generated workloads,
+/// drawn on the same per-shard tracks as the busy intervals so the
+/// blackout and the admission backlog line up visually.
+fn fault_spans(faults: &[obs::FaultWindow]) -> Vec<TraceSpan> {
+    faults
+        .iter()
+        .map(|w| TraceSpan {
+            track: format!("shard {}", w.shard),
+            name: "outage".to_string(),
+            start_us: w.start,
+            dur_us: w.end - w.start,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +176,29 @@ mod tests {
         let json = trace_json(&report);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(!json.contains("\"ph\":\"X\""), "no spans without obs");
+    }
+
+    #[test]
+    fn observed_faulted_run_renders_outage_spans() {
+        let mut engine = Engine::builder()
+            .backend(Backend::Sharded {
+                shards: 2,
+                clients: 3,
+                placement: distsys::scheduler::Placement::Hash,
+            })
+            .catalog((0..10).map(|i| 2.0 + i as f64).collect())
+            .obs("memory")
+            .build()
+            .unwrap();
+        let report = engine
+            .run(&Workload::generated("faults:out=0@10+30", 40, 7).traced(true))
+            .unwrap();
+        assert!(
+            !report.phases.faults.is_empty(),
+            "observed faulted run records its outage windows"
+        );
+        let json = trace_json(&report);
+        assert!(json.contains("\"name\":\"outage\""), "{json}");
     }
 
     #[test]

@@ -512,7 +512,7 @@ fn render_section(section: &ReportSection, labels: &[String]) -> String {
             num(r.wasted_transfer),
             num(r.total_transfer),
             list(&r.shards, |s| format!(
-                "{{\"shard\":{},\"jobs\":{},\"busy_time\":{},\"utilisation\":{},\"mean_queue_depth\":{},\"max_queue_depth\":{},\"total_transfer\":{},\"stalls\":{}}}",
+                "{{\"shard\":{},\"jobs\":{},\"busy_time\":{},\"utilisation\":{},\"mean_queue_depth\":{},\"max_queue_depth\":{},\"total_transfer\":{},\"outage_time\":{},\"outage_delay\":{},\"service_scale\":{},\"stalls\":{}}}",
                 s.shard,
                 s.jobs,
                 num(s.busy_time),
@@ -520,6 +520,9 @@ fn render_section(section: &ReportSection, labels: &[String]) -> String {
                 num(s.mean_queue_depth),
                 s.max_queue_depth,
                 num(s.total_transfer),
+                num(s.outage_time),
+                num(s.outage_delay),
+                num(s.service_scale),
                 render_histogram(&s.stalls),
             )),
         ),
@@ -601,6 +604,9 @@ fn parse_sharded(j: &Json) -> Result<ShardReport, Error> {
                 mean_queue_depth: field_f64(s, "mean_queue_depth", REPORT)?,
                 max_queue_depth: field_usize(s, "max_queue_depth", REPORT)?,
                 total_transfer: field_f64(s, "total_transfer", REPORT)?,
+                outage_time: field_f64(s, "outage_time", REPORT)?,
+                outage_delay: field_f64(s, "outage_delay", REPORT)?,
+                service_scale: field_f64(s, "service_scale", REPORT)?,
                 stalls: parse_histogram(field(s, "stalls", REPORT)?)?,
             })
         })

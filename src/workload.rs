@@ -79,6 +79,25 @@ pub struct PopulationWorkload {
     pub traced: bool,
 }
 
+/// A population replay whose browsing chain (and, for `faults:`, fault
+/// specification) is synthesised by a registered workload generator
+/// ([`build_generator`](crate::build_generator)) against the engine's
+/// catalog — the adversarial counterpart of hand-written
+/// [`PopulationWorkload`] chains.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// Generator spec string (e.g. `"flash:1.2@0.5"`,
+    /// `"faults:out=1@40+20"`).
+    pub spec: String,
+    /// Requests served per client.
+    pub requests_per_client: u64,
+    /// Root seed; runs are a pure function of workload + backend.
+    pub seed: u64,
+    /// Record the full mechanistic event log in
+    /// [`RunReport::events`](crate::RunReport::events).
+    pub traced: bool,
+}
+
 /// What to simulate: the one input of [`Engine::run`](crate::Engine::run).
 ///
 /// The `MultiClient` and `Sharded` variants mirror the legacy entry
@@ -98,6 +117,9 @@ pub enum Workload {
     MultiClient(PopulationWorkload),
     /// Sharded population replay (the legacy `sharded` shape).
     Sharded(PopulationWorkload),
+    /// Population replay of a generator-synthesised adversarial
+    /// workload (flash crowds, diurnal load, churn, fault injection).
+    Generated(GeneratedWorkload),
 }
 
 impl Workload {
@@ -146,6 +168,18 @@ impl Workload {
         })
     }
 
+    /// A generator-synthesised population replay: `spec` is resolved
+    /// through the workload-generator registry against the engine's
+    /// catalog at run time.
+    pub fn generated(spec: impl Into<String>, requests_per_client: u64, seed: u64) -> Self {
+        Workload::Generated(GeneratedWorkload {
+            spec: spec.into(),
+            requests_per_client,
+            seed,
+            traced: false,
+        })
+    }
+
     /// Returns the workload with the tracing knob set: population
     /// replays record the full mechanistic event log into
     /// [`RunReport::events`](crate::RunReport::events).
@@ -156,6 +190,7 @@ impl Workload {
             Workload::MonteCarlo(w) => w.traced = traced,
             Workload::MultiClient(w) => w.traced = traced,
             Workload::Sharded(w) => w.traced = traced,
+            Workload::Generated(w) => w.traced = traced,
         }
         self
     }
@@ -168,6 +203,7 @@ impl Workload {
             Workload::MonteCarlo(w) => w.traced,
             Workload::MultiClient(w) => w.traced,
             Workload::Sharded(w) => w.traced,
+            Workload::Generated(w) => w.traced,
         }
     }
 
@@ -179,6 +215,7 @@ impl Workload {
             Workload::MonteCarlo(_) => "monte-carlo",
             Workload::MultiClient(_) => "multi-client",
             Workload::Sharded(_) => "sharded",
+            Workload::Generated(_) => "generated",
         }
     }
 }
@@ -208,6 +245,10 @@ mod tests {
             "multi-client"
         );
         assert_eq!(Workload::sharded(chain, 5, 1).name(), "sharded");
+        assert_eq!(
+            Workload::generated("flash:1.2@0.5", 5, 1).name(),
+            "generated"
+        );
     }
 
     #[test]

@@ -135,6 +135,7 @@ fn list_names_every_registry() {
             "registered backends",
             "registered plan stores",
             "registered obs sinks",
+            "registered workload generators",
         ],
         "--list sections drifted:\n{stdout}"
     );
@@ -258,6 +259,68 @@ fn list_obs_sinks_match_the_registry_exactly() {
     }
 }
 
+/// Same consistency for the workload-generator seam: `--list`
+/// enumerates exactly `generator_specs()`, every bare name builds with
+/// its defaults, and the canonical spec string is a fixed point.
+#[test]
+fn list_generators_match_the_registry_exactly() {
+    let (stdout, _, ok) = run_cli(&["--list"]);
+    assert!(ok);
+    let listed: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("registered workload generators"))
+        .skip(1)
+        .take_while(|l| l.starts_with("  "))
+        .map(|l| l.split_whitespace().next().expect("name column"))
+        .collect();
+    let registry: Vec<&str> = speculative_prefetch::generator_specs()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(listed, registry, "--list drifted from generator_specs()");
+
+    for spec in speculative_prefetch::generator_specs() {
+        let gen = speculative_prefetch::build_generator(spec.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(gen.name(), spec.name);
+        // Canonical spec string → generator: a fixed point.
+        let canonical = gen.spec_string();
+        let again = speculative_prefetch::build_generator(&canonical)
+            .unwrap_or_else(|e| panic!("{canonical}: {e}"));
+        assert_eq!(again.name(), spec.name);
+        assert_eq!(again.spec_string(), canonical);
+    }
+}
+
+/// The `served.skp.in` template only runs in CI's serve matrix; pin it
+/// in tier-1 too. Instantiated the same way CI does (sed the `@ADDR@`
+/// placeholder), the template must parse as the expected workload and
+/// round-trip through render — so a template drift fails here, not
+/// just in the smoke job.
+#[test]
+fn served_template_instantiates_parses_and_roundtrips() {
+    let template = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/workloads/served.skp.in"
+    ))
+    .expect("template exists");
+    assert!(template.contains("@ADDR@"), "placeholder present");
+    let instantiated = template.replace("@ADDR@", "127.0.0.1:7077");
+    let f = speculative_prefetch::parse_workload(&instantiated).expect("template parses");
+    assert_eq!(f.kind, speculative_prefetch::WorkloadKind::Sharded);
+    assert!(f.traced);
+    assert_eq!(
+        f.backend.as_deref(),
+        Some("served:127.0.0.1:7077:parallel:4x16:hash:0")
+    );
+    assert_eq!(f.policy.as_deref(), Some("skp-exact"));
+    assert_eq!(f.requests, Some(100));
+    assert_eq!(f.seed, Some(1999));
+    assert_eq!(f.scenario.n(), 24, "catalog matches parallel.skp");
+    let again = speculative_prefetch::parse_workload(&f.to_string()).expect("render round-trips");
+    assert_eq!(again, f);
+}
+
 // ---------------------------------------------------------------------
 // The `run <workload-file>` mode.
 // ---------------------------------------------------------------------
@@ -362,6 +425,11 @@ fn run_json_output_parses_for_every_workload_shape() {
             "wf_json_sharded.skp",
             "workload sharded\nbackend sharded:2x3:hash\nrequests 15\nchain 3 1 2 2 8 1\n\
              v 5\nitem 0.3 3 a\nitem 0.3 4 b\nitem 0.4 5 c\n",
+        ),
+        (
+            "wf_json_generated.skp",
+            "workload generated\nbackend sharded:2x3:hash\ngenerate flash:1.2@0.5\n\
+             requests 15\nv 5\nitem 0.3 3 a\nitem 0.3 4 b\nitem 0.4 5 c\n",
         ),
     ];
     for (name, body) in files {

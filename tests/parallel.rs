@@ -107,6 +107,12 @@ proptest! {
     /// (viewing times spanning `1e-3..1e3`, so no single bucket width
     /// fits), and a **sub-quantum jitter** shape (ties broken by
     /// `1e-12`-scale offsets that quantise into the same bucket).
+    ///
+    /// `generator_pick` swaps the hand-built chain for each registered
+    /// workload generator (flash crowd, diurnal, churn, fault
+    /// injection), so the equivalence contract also covers generated
+    /// workloads with outage windows, slow links and service spread
+    /// active.
     #[test]
     fn parallel_equivalence_holds_over_random_runs(
         states in 4usize..20,
@@ -122,6 +128,7 @@ proptest! {
         requests in 5u64..20,
         policy_pick in 0usize..3,
         time_shape in 0usize..4,
+        generator_pick in 0usize..5,
     ) {
         let max_fanout = (fanout + 1).min(states - 1).max(1);
         let min_fanout = fanout.min(max_fanout);
@@ -150,7 +157,19 @@ proptest! {
         ][placement_pick];
         let policy = ["skp-exact", "no-prefetch", "greedy"][policy_pick];
         let retrievals: Vec<f64> = (0..states).map(|i| 1.0 + (i % 7) as f64).collect();
-        let workload = Workload::sharded(chain, requests, run_seed).traced(true);
+        let workload = match generator_pick {
+            0 => Workload::sharded(chain, requests, run_seed),
+            g => {
+                let spec = [
+                    "flash:1.3@0.4",
+                    "diurnal:6x0.8",
+                    "churn:0.25/0.1",
+                    "faults:out=0@5+10;slow=1x2.5;svc=1.4",
+                ][g - 1];
+                Workload::generated(spec, requests, run_seed)
+            }
+        }
+        .traced(true);
 
         let build = |spec: String| -> RunReport {
             Engine::builder()

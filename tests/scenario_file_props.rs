@@ -96,7 +96,7 @@ proptest! {
         weights in proptest::collection::vec(1u32..1000, 2..10),
         retrievals in proptest::collection::vec(1u32..100, 10),
         viewing in 0u32..200,
-        kind_pick in 0usize..5,
+        kind_pick in 0usize..6,
         traced in proptest::bool::ANY,
         backend_pick in 0usize..6,
         policy_pick in 0usize..3,
@@ -108,6 +108,7 @@ proptest! {
         iterations_pick in 0u64..100_000,
         method_pick in 0usize..5,
         chain_seed in 0u64..10_000,
+        generate_pick in 0usize..4,
         accesses in proptest::collection::vec((0usize..10, 0u32..50), 0..20),
     ) {
         let kind = [
@@ -116,6 +117,7 @@ proptest! {
             WorkloadKind::MonteCarlo,
             WorkloadKind::MultiClient,
             WorkloadKind::Sharded,
+            WorkloadKind::Generated,
         ][kind_pick];
         // Index 0 of each pick means "directive absent".
         let backend = [
@@ -197,6 +199,18 @@ proptest! {
         } else {
             None
         };
+        let generate = matches!(kind, WorkloadKind::Generated).then(|| {
+            [
+                "flash:1.2@0.5",
+                "diurnal:8x0.9",
+                "churn:0.3/0.1",
+                "faults:out=0@10+30;slow=1x2.5;svc=1.5",
+            ][generate_pick]
+                .to_string()
+        });
+        if let Some(spec) = &generate {
+            text.push_str(&format!("generate {spec}\n"));
+        }
         text.push_str(&format!("v {viewing}\n"));
         for i in 0..n {
             text.push_str(&format!(
@@ -222,6 +236,7 @@ proptest! {
         prop_assert_eq!(parsed.iterations, iterations);
         prop_assert_eq!(parsed.method, method);
         prop_assert_eq!(parsed.chain, chain);
+        prop_assert_eq!(&parsed.generate, &generate);
         prop_assert_eq!(parsed.accesses.len(), accesses.len());
         prop_assert_eq!(parsed.scenario.n(), n);
 
@@ -272,6 +287,7 @@ proptest! {
                 Just("traced".to_string()),
                 Just("backend".to_string()),
                 Just("chain".to_string()),
+                Just("generate".to_string()),
                 Just("access".to_string()),
                 Just("mc-method".to_string()),
                 Just("sharded".to_string()),
@@ -285,6 +301,34 @@ proptest! {
     ) {
         let text = tokens.join(" ");
         let _ = parse_workload(&text);
+    }
+}
+
+/// The single-shard collapse is explicit, not accidental: with one
+/// shard the partition is trivial, and every placement — `range` and
+/// the `hot-cold` boundary thresholds included — maps item for item
+/// exactly like `hash`.
+#[test]
+fn trivial_partition_matches_hash_for_every_placement() {
+    let n = 40;
+    let hash = ShardMap::new(1, n, Placement::Hash);
+    for placement in [
+        Placement::Range,
+        Placement::HotCold { hot_items: 0 },
+        Placement::HotCold { hot_items: 1 },
+        Placement::HotCold { hot_items: n },
+        Placement::HotCold {
+            hot_items: usize::MAX,
+        },
+    ] {
+        let map = ShardMap::new(1, n, placement);
+        for item in 0..n {
+            assert_eq!(
+                map.shard_of(item),
+                hash.shard_of(item),
+                "{placement}: item {item} diverged from hash on the trivial partition"
+            );
+        }
     }
 }
 
